@@ -1,0 +1,316 @@
+// Command nous is the demo CLI (§4): it builds a custom knowledge graph
+// from a curated KB plus a stream of articles and answers the five query
+// classes from the command line.
+//
+// Subcommands:
+//
+//	nous build  [-world drone|citations|insider] [-articles N] [-out kg.json]
+//	nous query  [-articles N] -q "Tell me about DJI"
+//	nous mine   [-articles N] [-minsup K] [-maxedges L]
+//	nous trends [-articles N] [-k K]
+//	nous export [-articles N] [-format dot|json] [-entity NAME]...
+//
+// Without external data the synthetic drone world drives everything; point
+// -kb/-corpus at TSV/JSON files to use real data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"net/http"
+	"nous"
+
+	"nous/internal/corpus"
+	"nous/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "build":
+		cmdBuild(args)
+	case "query":
+		cmdQuery(args)
+	case "mine":
+		cmdMine(args)
+	case "trends":
+		cmdTrends(args)
+	case "export":
+		cmdExport(args)
+	case "serve":
+		cmdServe(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nous: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `nous — construction and querying of dynamic knowledge graphs
+
+commands:
+  build    ingest a corpus into a knowledge graph and print statistics
+  query    answer a question (five classes: trending/entity/relationship/pattern/fact)
+  mine     report closed frequent patterns over the stream window
+  trends   report bursting entities and predicates
+  export   dump the KG (or an entity neighborhood) as DOT or JSON
+  serve    start the web console + JSON API (the demo's web interface)
+
+common flags: -world drone|citations|insider, -articles N, -seed S,
+              -kb triples.tsv, -corpus articles.json
+`)
+}
+
+// buildFlags holds the flags shared by all subcommands.
+type buildFlags struct {
+	world    string
+	articles int
+	seed     int64
+	kbPath   string
+	corpus   string
+	window   time.Duration
+}
+
+func addCommonFlags(fs *flag.FlagSet) *buildFlags {
+	bf := &buildFlags{}
+	fs.StringVar(&bf.world, "world", "drone", "synthetic world: drone, citations or insider")
+	fs.IntVar(&bf.articles, "articles", 400, "number of synthetic articles to ingest")
+	fs.Int64Var(&bf.seed, "seed", 42, "world seed")
+	fs.StringVar(&bf.kbPath, "kb", "", "curated KB TSV file (overrides synthetic KB)")
+	fs.StringVar(&bf.corpus, "corpus", "", "articles JSON file (overrides synthetic corpus)")
+	fs.DurationVar(&bf.window, "window", 0, "sliding window for extracted facts (0 = keep all)")
+	return bf
+}
+
+// assemble builds the pipeline per flags.
+func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
+	var w *nous.World
+	switch bf.world {
+	case "drone":
+		cfg := nous.DefaultWorldConfig()
+		cfg.Seed = bf.seed
+		w = nous.GenerateWorld(cfg)
+	case "citations":
+		w = corpus.GenerateCitationWorld(bf.seed, 60, 120)
+	case "insider":
+		w = corpus.GenerateInsiderWorld(bf.seed, 25, 18, 1500)
+	default:
+		fatal(fmt.Errorf("unknown world %q", bf.world))
+	}
+
+	kg, err := w.LoadKG()
+	fatalIf(err)
+
+	if bf.kbPath != "" {
+		f, err := os.Open(bf.kbPath)
+		fatalIf(err)
+		triples, err := corpus.ReadTriplesTSV(f)
+		f.Close()
+		fatalIf(err)
+		for _, t := range triples {
+			if _, err := kg.AddFact(t); err != nil {
+				fmt.Fprintln(os.Stderr, "warning:", err)
+			}
+		}
+	}
+
+	cfg := nous.DefaultConfig()
+	cfg.Stream.Window = bf.window
+	p := nous.NewPipeline(kg, cfg)
+
+	var articles []nous.Article
+	if bf.corpus != "" {
+		f, err := os.Open(bf.corpus)
+		fatalIf(err)
+		articles, err = corpus.ReadArticlesJSON(f)
+		f.Close()
+		fatalIf(err)
+	} else if bf.world == "drone" {
+		articles = nous.GenerateArticles(w, nous.DefaultArticleConfig(bf.articles))
+	} else {
+		// Event-only worlds ingest their event streams as curated-style
+		// updates: emit one short article per event.
+		articles = eventArticles(w, bf.articles)
+	}
+	p.IngestAll(articles)
+	return p, w
+}
+
+// eventArticles renders generic one-sentence articles for worlds without
+// news templates (citations, insider threat).
+func eventArticles(w *nous.World, limit int) []nous.Article {
+	var out []nous.Article
+	for i, e := range w.Events {
+		if limit > 0 && i >= limit {
+			break
+		}
+		out = append(out, nous.Article{
+			ID: fmt.Sprintf("ev-%06d", i), Source: "log", Date: e.Date,
+			Text: fmt.Sprintf("%s %s %s.", e.Subject, verbFor(e.Predicate), e.Object),
+		})
+	}
+	return out
+}
+
+func verbFor(pred string) string {
+	switch pred {
+	case "authorOf":
+		return "authored"
+	case "cites":
+		return "cites"
+	case "publishedAt":
+		return "appeared at"
+	case "accessed":
+		return "accessed"
+	case "loggedInto":
+		return "logged into"
+	case "emailed":
+		return "emailed"
+	case "copiedTo":
+		return "copied to"
+	default:
+		return pred
+	}
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	out := fs.String("out", "", "write the resulting KG as JSON to this file")
+	fs.Parse(args)
+
+	start := time.Now()
+	p, _ := assemble(bf)
+	st := p.Stats()
+	kgStats := p.KG().Stats()
+	fmt.Printf("ingested %d documents in %s\n", st.Documents, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("raw triples %d → mapped %d → accepted %d (rejected %d)\n",
+		st.RawTriples, st.Mapped, st.Accepted, st.Rejected)
+	fmt.Printf("knowledge graph: %d entities, %d facts (%d curated, %d extracted)\n",
+		kgStats.Entities, kgStats.Facts, kgStats.CuratedFacts, kgStats.ExtractedFacts)
+	fmt.Printf("mean extracted confidence: %.2f\n", kgStats.MeanConfidence)
+	fmt.Printf("confidence histogram: %v\n", kgStats.ConfidenceHistogram)
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(p.KG().ExportJSON(f))
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	q := fs.String("q", "", "the question (required)")
+	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
+	fs.Parse(args)
+	if *q == "" {
+		fmt.Fprintln(os.Stderr, "query: -q is required; the five classes are:")
+		for _, c := range nous.QueryClasses() {
+			fmt.Fprintln(os.Stderr, "  ", c)
+		}
+		os.Exit(2)
+	}
+	p, _ := assemble(bf)
+	if *topicsOn {
+		p.BuildTopics()
+	}
+	a, err := p.Ask(*q)
+	fatalIf(err)
+	fmt.Println(a.Text)
+}
+
+func cmdMine(args []string) {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	k := fs.Int("k", 15, "patterns to show")
+	fs.Parse(args)
+	p, _ := assemble(bf)
+	fmt.Println("closed frequent patterns in the current window:")
+	for _, pat := range p.Patterns(*k) {
+		fmt.Printf("  support=%-4d %s\n", pat.Support, pat)
+	}
+}
+
+func cmdTrends(args []string) {
+	fs := flag.NewFlagSet("trends", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	k := fs.Int("k", 15, "trends to show")
+	fs.Parse(args)
+	p, _ := assemble(bf)
+	for _, t := range p.Trending(*k) {
+		fmt.Printf("  %-30s %-9s burst=%.1fx (%d mentions, baseline %.1f)\n",
+			t.Name, t.Kind, t.Score, t.Current, t.Baseline)
+	}
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	format := fs.String("format", "dot", "dot or json")
+	entity := fs.String("entity", "", "restrict to one entity's neighborhood (comma-separated for several)")
+	fs.Parse(args)
+	p, _ := assemble(bf)
+	var names []string
+	if *entity != "" {
+		names = splitComma(*entity)
+	}
+	switch *format {
+	case "dot":
+		fatalIf(p.KG().ExportDOT(os.Stdout, names...))
+	case "json":
+		fatalIf(p.KG().ExportJSON(os.Stdout, names...))
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
+	fs.Parse(args)
+	p, _ := assemble(bf)
+	if *topicsOn {
+		p.BuildTopics()
+	}
+	fmt.Printf("nous: serving web console on http://localhost%s\n", *addr)
+	fatalIf(http.ListenAndServe(*addr, server.New(p)))
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nous:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,583 @@
+// Package core implements NOUS's primary contribution: a dynamic knowledge
+// graph that fuses curated knowledge-base facts with facts extracted from
+// streaming text. Every fact carries provenance (source, document, sentence,
+// timestamp), a confidence score and a curated/extracted flag; extracted
+// facts can be evicted by a sliding time window while the curated substrate
+// persists. Downstream consumers (trend detection, frequent-graph mining)
+// subscribe to fact-level change events.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nous/internal/graph"
+	"nous/internal/ontology"
+)
+
+// Provenance records where a fact came from.
+type Provenance struct {
+	Source   string    // data source, e.g. "yago", "wsj"
+	DocID    string    // document identifier within the source
+	Sentence string    // supporting sentence (empty for curated facts)
+	Time     time.Time // publication / observation time
+}
+
+// Triple is one (subject, predicate, object) fact with types, confidence and
+// provenance. Confidence is in [0,1]; curated facts conventionally carry 1.
+type Triple struct {
+	Subject     string
+	Predicate   string
+	Object      string
+	SubjectType ontology.EntityType
+	ObjectType  ontology.EntityType
+	Confidence  float64
+	Curated     bool
+	Provenance  Provenance
+}
+
+// FactID identifies a fact stored in the KG.
+type FactID = graph.EdgeID
+
+// Fact is a stored triple plus its ID and endpoint vertex IDs.
+type Fact struct {
+	ID       FactID
+	Src, Dst graph.VertexID
+	Triple
+}
+
+// Event is a fact-level change notification.
+type Event struct {
+	Kind EventKind
+	Fact Fact
+}
+
+// EventKind distinguishes additions from evictions.
+type EventKind int
+
+// Event kinds.
+const (
+	FactAdded EventKind = iota
+	FactEvicted
+)
+
+// KG is the dynamic knowledge graph. All methods are safe for concurrent
+// use.
+type KG struct {
+	mu sync.RWMutex
+
+	g   *graph.Graph
+	ont *ontology.Ontology
+
+	byName  map[string]graph.VertexID // canonical name -> vertex
+	byAlias map[string][]string       // lowercase alias -> canonical names
+	names   map[graph.VertexID]string
+
+	facts map[FactID]*Fact
+	// timeline holds extracted fact IDs in insertion order for windowed
+	// eviction. Curated facts never enter the timeline.
+	timeline []FactID
+
+	listeners []func(Event)
+}
+
+// NewKG returns an empty KG over the given ontology. A nil ontology gets the
+// default.
+func NewKG(ont *ontology.Ontology) *KG {
+	if ont == nil {
+		ont = ontology.Default()
+	}
+	return &KG{
+		g:       graph.New(),
+		ont:     ont,
+		byName:  make(map[string]graph.VertexID),
+		byAlias: make(map[string][]string),
+		names:   make(map[graph.VertexID]string),
+		facts:   make(map[FactID]*Fact),
+	}
+}
+
+// Graph exposes the underlying property graph (for algorithms such as
+// PageRank and path search). Callers must not remove edges directly.
+func (kg *KG) Graph() *graph.Graph { return kg.g }
+
+// Ontology returns the KG's ontology.
+func (kg *KG) Ontology() *ontology.Ontology { return kg.ont }
+
+// Subscribe registers fn to receive fact change events. fn is invoked
+// synchronously; it must not call back into the KG.
+func (kg *KG) Subscribe(fn func(Event)) {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	kg.listeners = append(kg.listeners, fn)
+}
+
+// AddEntity registers an entity with a canonical name, a type and optional
+// aliases, returning its vertex ID. Adding an existing name returns the
+// existing vertex (aliases are merged; a more specific type overwrites a
+// generic one).
+func (kg *KG) AddEntity(name string, typ ontology.EntityType, aliases ...string) graph.VertexID {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	return kg.addEntityLocked(name, typ, aliases...)
+}
+
+func (kg *KG) addEntityLocked(name string, typ ontology.EntityType, aliases ...string) graph.VertexID {
+	if typ == "" {
+		typ = ontology.TypeAny
+	}
+	id, ok := kg.byName[name]
+	if !ok {
+		id = kg.g.AddVertexWithProps(string(typ), map[string]string{"name": name})
+		kg.byName[name] = id
+		kg.names[id] = name
+		kg.addAliasLocked(name, name)
+	} else if typ != ontology.TypeAny {
+		if v, ok := kg.g.Vertex(id); ok && v.Label == string(ontology.TypeAny) {
+			// Upgrade a generic placeholder to the specific type by
+			// re-labeling through the props API.
+			kg.g.SetVertexProp(id, "type", string(typ))
+		}
+	}
+	for _, a := range aliases {
+		kg.addAliasLocked(a, name)
+	}
+	return id
+}
+
+func (kg *KG) addAliasLocked(alias, canonical string) {
+	key := strings.ToLower(strings.TrimSpace(alias))
+	if key == "" {
+		return
+	}
+	for _, n := range kg.byAlias[key] {
+		if n == canonical {
+			return
+		}
+	}
+	kg.byAlias[key] = append(kg.byAlias[key], canonical)
+}
+
+// Entity returns the vertex ID for a canonical name.
+func (kg *KG) Entity(name string) (graph.VertexID, bool) {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	id, ok := kg.byName[name]
+	return id, ok
+}
+
+// EntityName returns the canonical name of a vertex.
+func (kg *KG) EntityName(id graph.VertexID) (string, bool) {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	n, ok := kg.names[id]
+	return n, ok
+}
+
+// EntityType returns the type of an entity by name.
+func (kg *KG) EntityType(name string) (ontology.EntityType, bool) {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	id, ok := kg.byName[name]
+	if !ok {
+		return "", false
+	}
+	v, ok := kg.g.Vertex(id)
+	if !ok {
+		return "", false
+	}
+	if t, ok2 := v.Props["type"]; ok2 {
+		return ontology.EntityType(t), true
+	}
+	return ontology.EntityType(v.Label), true
+}
+
+// Candidates returns the canonical names whose alias set contains the given
+// surface form (case-insensitive), plus prefix-token fallback matches
+// ("DJI" matches alias "dji technology").
+func (kg *KG) Candidates(surface string) []string {
+	key := strings.ToLower(strings.TrimSpace(surface))
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range kg.byAlias[key] {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	// fallback: alias token-prefix match for multiword aliases
+	if len(out) == 0 && key != "" {
+		for alias, names := range kg.byAlias {
+			if strings.HasPrefix(alias, key+" ") || strings.HasSuffix(alias, " "+key) {
+				for _, n := range names {
+					if !seen[n] {
+						seen[n] = true
+						out = append(out, n)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachAlias calls fn for every (alias, canonical, type) binding. Used to
+// build NER gazetteers from the curated KB.
+func (kg *KG) ForEachAlias(fn func(alias, canonical string, typ ontology.EntityType)) {
+	kg.mu.RLock()
+	type binding struct {
+		alias, canonical string
+	}
+	var all []binding
+	for alias, names := range kg.byAlias {
+		for _, n := range names {
+			all = append(all, binding{alias, n})
+		}
+	}
+	kg.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].alias != all[j].alias {
+			return all[i].alias < all[j].alias
+		}
+		return all[i].canonical < all[j].canonical
+	})
+	for _, b := range all {
+		typ, _ := kg.EntityType(b.canonical)
+		fn(b.alias, b.canonical, typ)
+	}
+}
+
+// Entities returns all canonical entity names, sorted.
+func (kg *KG) Entities() []string {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	out := make([]string, 0, len(kg.byName))
+	for n := range kg.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddFact stores a triple, creating entities as needed, and returns the fact
+// ID. Unknown predicates are rejected; type-incompatible triples are
+// rejected. Confidence is clamped to [0,1].
+func (kg *KG) AddFact(t Triple) (FactID, error) {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+
+	if t.Subject == "" || t.Object == "" {
+		return 0, fmt.Errorf("core: fact with empty subject or object: %+v", t)
+	}
+	p, ok := kg.ont.Predicate(t.Predicate)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown predicate %q", t.Predicate)
+	}
+	if t.SubjectType == "" {
+		t.SubjectType = p.Domain
+	}
+	if t.ObjectType == "" {
+		t.ObjectType = p.Range
+	}
+	if !kg.ont.Compatible(t.Predicate, t.SubjectType, t.ObjectType) {
+		return 0, fmt.Errorf("core: triple (%s %s %s) violates %s(%s,%s)",
+			t.Subject, t.Predicate, t.Object, t.Predicate, p.Domain, p.Range)
+	}
+	if t.Confidence < 0 {
+		t.Confidence = 0
+	}
+	if t.Confidence > 1 {
+		t.Confidence = 1
+	}
+
+	src := kg.addEntityLocked(t.Subject, t.SubjectType)
+	dst := kg.addEntityLocked(t.Object, t.ObjectType)
+
+	props := map[string]string{
+		"source": t.Provenance.Source,
+		"doc":    t.Provenance.DocID,
+	}
+	if t.Curated {
+		props["curated"] = "true"
+	}
+	if t.Provenance.Sentence != "" {
+		props["sentence"] = t.Provenance.Sentence
+	}
+	id, err := kg.g.AddEdgeFull(src, dst, t.Predicate, t.Confidence, t.Provenance.Time.Unix(), props)
+	if err != nil {
+		return 0, err
+	}
+	f := &Fact{ID: id, Src: src, Dst: dst, Triple: t}
+	kg.facts[id] = f
+	if !t.Curated {
+		kg.timeline = append(kg.timeline, id)
+	}
+	kg.notifyLocked(Event{Kind: FactAdded, Fact: *f})
+	return id, nil
+}
+
+// PredicatesBetween returns the distinct predicates of facts from subject to
+// object, sorted. It is the lookup distant supervision uses to label raw
+// extractions with known KB relations.
+func (kg *KG) PredicatesBetween(subject, object string) []string {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	s, ok1 := kg.byName[subject]
+	o, ok2 := kg.byName[object]
+	if !ok1 || !ok2 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range kg.g.FindEdges(s, o, "") {
+		if !seen[e.Label] {
+			seen[e.Label] = true
+			out = append(out, e.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasFact reports whether a (subject, predicate, object) fact exists.
+func (kg *KG) HasFact(subject, predicate, object string) bool {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	s, ok1 := kg.byName[subject]
+	o, ok2 := kg.byName[object]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return len(kg.g.FindEdges(s, o, predicate)) > 0
+}
+
+// Fact returns the stored fact by ID.
+func (kg *KG) Fact(id FactID) (Fact, bool) {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	f, ok := kg.facts[id]
+	if !ok {
+		return Fact{}, false
+	}
+	return *f, true
+}
+
+// SetConfidence updates a fact's confidence (e.g. after link-prediction
+// scoring) and mirrors it onto the edge weight.
+func (kg *KG) SetConfidence(id FactID, c float64) bool {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	f, ok := kg.facts[id]
+	if !ok {
+		return false
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	f.Confidence = c
+	return kg.g.SetEdgeWeight(id, c)
+}
+
+// RemoveFact deletes a fact (without emitting an eviction event; use
+// EvictBefore for windowed eviction).
+func (kg *KG) RemoveFact(id FactID) bool {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	return kg.removeLocked(id)
+}
+
+func (kg *KG) removeLocked(id FactID) bool {
+	if _, ok := kg.facts[id]; !ok {
+		return false
+	}
+	delete(kg.facts, id)
+	return kg.g.RemoveEdge(id)
+}
+
+// EvictBefore removes extracted (non-curated) facts observed strictly before
+// cutoff and emits FactEvicted events. It returns the number evicted.
+// Curated facts are never evicted: the paper fuses a persistent curated KB
+// with a sliding window of extracted knowledge.
+func (kg *KG) EvictBefore(cutoff time.Time) int {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	cut := cutoff.Unix()
+	n := 0
+	kept := kg.timeline[:0]
+	for _, id := range kg.timeline {
+		f, ok := kg.facts[id]
+		if !ok {
+			continue // already removed explicitly
+		}
+		if f.Provenance.Time.Unix() < cut {
+			kg.removeLocked(id)
+			kg.notifyLocked(Event{Kind: FactEvicted, Fact: *f})
+			n++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	kg.timeline = kept
+	return n
+}
+
+// FactsAbout returns all facts in which the named entity is subject or
+// object, ordered by descending confidence then ID.
+func (kg *KG) FactsAbout(name string) []Fact {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	id, ok := kg.byName[name]
+	if !ok {
+		return nil
+	}
+	var out []Fact
+	for _, e := range kg.g.Edges(id) {
+		if f, ok := kg.facts[e.ID]; ok {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// FactsByPredicate returns all facts with the given predicate, ordered by ID.
+func (kg *KG) FactsByPredicate(pred string) []Fact {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	var out []Fact
+	for _, e := range kg.g.EdgesByLabel(pred) {
+		if f, ok := kg.facts[e.ID]; ok {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+// AllFacts returns every stored fact ordered by ID.
+func (kg *KG) AllFacts() []Fact {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	out := make([]Fact, 0, len(kg.facts))
+	for _, f := range kg.facts {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumFacts returns the number of stored facts.
+func (kg *KG) NumFacts() int {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	return len(kg.facts)
+}
+
+// NumEntities returns the number of registered entities.
+func (kg *KG) NumEntities() int {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	return len(kg.byName)
+}
+
+// ObjectsOf returns the object names of facts (subject, pred, *), with their
+// confidences.
+func (kg *KG) ObjectsOf(subject, pred string) []ScoredEntity {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	id, ok := kg.byName[subject]
+	if !ok {
+		return nil
+	}
+	var out []ScoredEntity
+	kg.g.ForEachOutEdge(id, func(e graph.Edge) bool {
+		if pred == "" || e.Label == pred {
+			if n, ok := kg.names[e.Dst]; ok {
+				out = append(out, ScoredEntity{Name: n, Score: e.Weight})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SubjectsOf returns the subject names of facts (*, pred, object).
+func (kg *KG) SubjectsOf(pred, object string) []ScoredEntity {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	id, ok := kg.byName[object]
+	if !ok {
+		return nil
+	}
+	var out []ScoredEntity
+	kg.g.ForEachInEdge(id, func(e graph.Edge) bool {
+		if pred == "" || e.Label == pred {
+			if n, ok := kg.names[e.Src]; ok {
+				out = append(out, ScoredEntity{Name: n, Score: e.Weight})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ScoredEntity pairs an entity name with a score (confidence, rank, …).
+type ScoredEntity struct {
+	Name  string
+	Score float64
+}
+
+// Neighborhood returns the set of entity names within the given number of
+// hops of the named entity (excluding itself), treating edges as undirected.
+func (kg *KG) Neighborhood(name string, hops int) []string {
+	kg.mu.RLock()
+	id, ok := kg.byName[name]
+	kg.mu.RUnlock()
+	if !ok || hops <= 0 {
+		return nil
+	}
+	dist := graph.SSSP(kg.g, id)
+	var out []string
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	for v, d := range dist {
+		if d > 0 && d <= hops {
+			if n, ok := kg.names[v]; ok {
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (kg *KG) notifyLocked(ev Event) {
+	for _, fn := range kg.listeners {
+		fn(ev)
+	}
+}

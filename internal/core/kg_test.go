@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nous/internal/ontology"
+)
+
+func day(n int) time.Time {
+	return time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func curated(s, p, o string) Triple {
+	return Triple{Subject: s, Predicate: p, Object: o, Confidence: 1, Curated: true,
+		Provenance: Provenance{Source: "yago"}}
+}
+
+func extracted(s, p, o string, conf float64, t time.Time) Triple {
+	return Triple{Subject: s, Predicate: p, Object: o, Confidence: conf,
+		Provenance: Provenance{Source: "wsj", DocID: "d1", Sentence: s + " " + p + " " + o, Time: t}}
+}
+
+func TestAddFactCreatesEntities(t *testing.T) {
+	kg := NewKG(nil)
+	id, err := kg.AddFact(curated("DJI", "manufactures", "Phantom 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg.NumEntities() != 2 || kg.NumFacts() != 1 {
+		t.Fatalf("entities=%d facts=%d", kg.NumEntities(), kg.NumFacts())
+	}
+	f, ok := kg.Fact(id)
+	if !ok || f.Subject != "DJI" || f.Object != "Phantom 3" {
+		t.Fatalf("Fact = %+v, %v", f, ok)
+	}
+	if typ, _ := kg.EntityType("DJI"); typ != ontology.TypeCompany {
+		t.Errorf("subject type defaulted to %s, want Company", typ)
+	}
+	if typ, _ := kg.EntityType("Phantom 3"); typ != ontology.TypeProduct {
+		t.Errorf("object type defaulted to %s, want Product", typ)
+	}
+}
+
+func TestAddFactRejectsBadInput(t *testing.T) {
+	kg := NewKG(nil)
+	if _, err := kg.AddFact(curated("", "acquired", "X")); err == nil {
+		t.Error("empty subject accepted")
+	}
+	if _, err := kg.AddFact(curated("A", "notapred", "B")); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+	bad := curated("Alice", "acquired", "Bob")
+	bad.SubjectType = ontology.TypePerson
+	bad.ObjectType = ontology.TypePerson
+	if _, err := kg.AddFact(bad); err == nil {
+		t.Error("type-incompatible triple accepted")
+	}
+}
+
+func TestConfidenceClamping(t *testing.T) {
+	kg := NewKG(nil)
+	tr := extracted("A Corp", "acquired", "B Corp", 1.7, day(0))
+	id, err := kg.AddFact(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := kg.Fact(id); f.Confidence != 1 {
+		t.Errorf("confidence not clamped: %v", f.Confidence)
+	}
+	kg.SetConfidence(id, -0.5)
+	if f, _ := kg.Fact(id); f.Confidence != 0 {
+		t.Errorf("SetConfidence not clamped: %v", f.Confidence)
+	}
+}
+
+func TestHasFactAndLookups(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.8, day(1)))
+	kg.AddFact(extracted("Parrot", "acquired", "Aeros", 0.3, day(2)))
+
+	if !kg.HasFact("DJI", "acquired", "Aeros") {
+		t.Error("HasFact missed existing fact")
+	}
+	if kg.HasFact("DJI", "acquired", "Shenzhen") {
+		t.Error("HasFact invented a fact")
+	}
+	objs := kg.ObjectsOf("DJI", "")
+	if len(objs) != 2 {
+		t.Fatalf("ObjectsOf(DJI) = %v", objs)
+	}
+	if objs[0].Name != "Shenzhen" { // confidence 1 beats 0.8
+		t.Errorf("expected Shenzhen first by confidence, got %v", objs)
+	}
+	subs := kg.SubjectsOf("acquired", "Aeros")
+	if len(subs) != 2 || subs[0].Name != "DJI" {
+		t.Errorf("SubjectsOf = %v", subs)
+	}
+}
+
+func TestFactsAboutOrdering(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.2, day(1)))
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	facts := kg.FactsAbout("DJI")
+	if len(facts) != 2 {
+		t.Fatalf("FactsAbout = %d facts", len(facts))
+	}
+	if facts[0].Confidence < facts[1].Confidence {
+		t.Error("facts not ordered by descending confidence")
+	}
+}
+
+func TestEvictBeforeKeepsCurated(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.9, day(0)))
+	kg.AddFact(extracted("DJI", "acquired", "RoboPix", 0.9, day(10)))
+
+	var evicted []string
+	kg.Subscribe(func(ev Event) {
+		if ev.Kind == FactEvicted {
+			evicted = append(evicted, ev.Fact.Object)
+		}
+	})
+	n := kg.EvictBefore(day(5))
+	if n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if len(evicted) != 1 || evicted[0] != "Aeros" {
+		t.Fatalf("eviction events = %v", evicted)
+	}
+	if !kg.HasFact("DJI", "headquarteredIn", "Shenzhen") {
+		t.Error("curated fact was evicted")
+	}
+	if kg.HasFact("DJI", "acquired", "Aeros") {
+		t.Error("old extracted fact survived eviction")
+	}
+	if !kg.HasFact("DJI", "acquired", "RoboPix") {
+		t.Error("in-window fact was evicted")
+	}
+}
+
+func TestEvictBeforeIdempotent(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(extracted("A Co", "acquired", "B Co", 0.5, day(0)))
+	if n := kg.EvictBefore(day(1)); n != 1 {
+		t.Fatalf("first evict = %d", n)
+	}
+	if n := kg.EvictBefore(day(1)); n != 0 {
+		t.Fatalf("second evict = %d, want 0", n)
+	}
+}
+
+func TestSubscribeReceivesAdds(t *testing.T) {
+	kg := NewKG(nil)
+	var got []string
+	kg.Subscribe(func(ev Event) {
+		if ev.Kind == FactAdded {
+			got = append(got, ev.Fact.Predicate)
+		}
+	})
+	kg.AddFact(curated("DJI", "manufactures", "Phantom 3"))
+	if len(got) != 1 || got[0] != "manufactures" {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestCandidatesAliases(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddEntity("DJI Technology Co.", ontology.TypeCompany, "DJI", "dji technology")
+	kg.AddEntity("Dow Jones Index", ontology.TypeTopic, "DJI")
+	cands := kg.Candidates("dji")
+	if len(cands) != 2 {
+		t.Fatalf("Candidates(dji) = %v, want both entities", cands)
+	}
+	if got := kg.Candidates("DJI Technology Co."); len(got) != 1 {
+		t.Fatalf("exact name lookup = %v", got)
+	}
+}
+
+func TestEntityTypeUpgrade(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddEntity("Windermere", ontology.TypeAny)
+	kg.AddEntity("Windermere", ontology.TypeCompany)
+	typ, ok := kg.EntityType("Windermere")
+	if !ok || typ != ontology.TypeCompany {
+		t.Fatalf("type = %v, %v; want Company", typ, ok)
+	}
+}
+
+func TestNeighborhoodHops(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("A Co", "acquired", "B Co"))
+	kg.AddFact(curated("B Co", "acquired", "C Co"))
+	kg.AddFact(curated("C Co", "acquired", "D Co"))
+	nb1 := kg.Neighborhood("A Co", 1)
+	if len(nb1) != 1 || nb1[0] != "B Co" {
+		t.Fatalf("1-hop = %v", nb1)
+	}
+	nb2 := kg.Neighborhood("A Co", 2)
+	if len(nb2) != 2 {
+		t.Fatalf("2-hop = %v", nb2)
+	}
+}
+
+func TestStats(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.35, day(1)))
+	kg.AddFact(extracted("DJI", "acquired", "RoboPix", 0.95, day(2)))
+	s := kg.Stats()
+	if s.Facts != 3 || s.CuratedFacts != 1 || s.ExtractedFacts != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.PredicateCounts["acquired"] != 2 {
+		t.Errorf("predicate counts = %v", s.PredicateCounts)
+	}
+	if s.SourceCounts["wsj"] != 2 || s.SourceCounts["yago"] != 1 {
+		t.Errorf("source counts = %v", s.SourceCounts)
+	}
+	if s.ConfidenceHistogram[3] != 1 || s.ConfidenceHistogram[9] != 2 {
+		t.Errorf("hist = %v", s.ConfidenceHistogram)
+	}
+	if s.MeanConfidence < 0.64 || s.MeanConfidence > 0.66 {
+		t.Errorf("mean confidence = %v", s.MeanConfidence)
+	}
+	top := s.TopPredicates(1)
+	if len(top) != 1 || top[0].Name != "acquired" {
+		t.Errorf("TopPredicates = %v", top)
+	}
+}
+
+func TestExportDOTColors(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.8, day(1)))
+	var buf bytes.Buffer
+	if err := kg.ExportDOT(&buf, "DJI"); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.Contains(dot, "color=red") {
+		t.Error("curated edge not red")
+	}
+	if !strings.Contains(dot, "color=blue") || !strings.Contains(dot, "p=0.80") {
+		t.Error("extracted edge not blue with confidence")
+	}
+}
+
+func TestExportJSONRoundtrip(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.8, day(1)))
+	var buf bytes.Buffer
+	if err := kg.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["subject"] != "DJI" || got[0]["time"] != "2015-01-02" {
+		t.Fatalf("json = %v", got)
+	}
+}
+
+// Property: NumFacts always equals the number of edges in the backing graph,
+// under random interleavings of adds and evictions.
+func TestFactEdgeParityQuick(t *testing.T) {
+	subjects := []string{"A Co", "B Co", "C Co", "D Co"}
+	f := func(ops []uint8) bool {
+		kg := NewKG(nil)
+		ts := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1, 2:
+				s := subjects[int(op)%len(subjects)]
+				o := subjects[(int(op)+1)%len(subjects)]
+				kg.AddFact(extracted(s, "acquired", o, 0.5, day(ts)))
+				ts++
+			case 3:
+				kg.EvictBefore(day(ts - 1))
+			}
+		}
+		return kg.NumFacts() == kg.Graph().NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+)
+
+// Stats summarises the quality-related statistics the NOUS demo surfaces
+// (demo feature 2: "summarization of quality-related statistics such as
+// confidence distributions").
+type Stats struct {
+	Entities       int
+	Facts          int
+	CuratedFacts   int
+	ExtractedFacts int
+	// PredicateCounts maps predicate -> fact count.
+	PredicateCounts map[string]int
+	// SourceCounts maps provenance source -> fact count.
+	SourceCounts map[string]int
+	// ConfidenceHistogram has 10 buckets: [0,0.1), [0.1,0.2), … [0.9,1.0].
+	ConfidenceHistogram [10]int
+	// MeanConfidence over extracted facts (curated facts are pinned at 1).
+	MeanConfidence float64
+}
+
+// Stats computes the current quality statistics.
+func (kg *KG) Stats() Stats {
+	kg.mu.RLock()
+	defer kg.mu.RUnlock()
+	s := Stats{
+		Entities:        len(kg.byName),
+		Facts:           len(kg.facts),
+		PredicateCounts: make(map[string]int),
+		SourceCounts:    make(map[string]int),
+	}
+	sum, n := 0.0, 0
+	for _, f := range kg.facts {
+		s.PredicateCounts[f.Predicate]++
+		s.SourceCounts[f.Provenance.Source]++
+		if f.Curated {
+			s.CuratedFacts++
+		} else {
+			s.ExtractedFacts++
+			sum += f.Confidence
+			n++
+		}
+		b := int(f.Confidence * 10)
+		if b > 9 {
+			b = 9
+		}
+		if b < 0 {
+			b = 0
+		}
+		s.ConfidenceHistogram[b]++
+	}
+	if n > 0 {
+		s.MeanConfidence = sum / float64(n)
+	}
+	return s
+}
+
+// TopPredicates returns the k most frequent predicates with counts.
+func (s Stats) TopPredicates(k int) []ScoredEntity {
+	out := make([]ScoredEntity, 0, len(s.PredicateCounts))
+	for p, c := range s.PredicateCounts {
+		out = append(out, ScoredEntity{Name: p, Score: float64(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Article is one generated news document, with ground-truth labels for
+// evaluation: the events its sentences realise and the canonical entity
+// behind every ambiguous surface mention.
+type Article struct {
+	ID     string
+	Source string
+	Date   time.Time
+	Title  string
+	Text   string
+	// Truth lists the events (true or rumor) this article reports.
+	Truth []Event
+	// Mentions maps ambiguous/aliased surface forms to canonical entities.
+	Mentions []MentionLabel
+}
+
+// MentionLabel records that a surface string in this article denotes a
+// specific canonical entity.
+type MentionLabel struct {
+	Surface string
+	Entity  string
+}
+
+// ArticleConfig controls article generation.
+type ArticleConfig struct {
+	Seed int64
+	// N is the number of articles to generate.
+	N int
+	// AliasRate is the probability that a company is mentioned by its short
+	// alias instead of its canonical name.
+	AliasRate float64
+	// PronounRate is the probability of adding a pronoun follow-up sentence
+	// realising a second fact (exercises coreference resolution).
+	PronounRate float64
+	// KBReportRate is the fraction of articles that re-report curated facts
+	// with varied phrasing (the distant-supervision training signal).
+	KBReportRate float64
+	// NoiseSentences is the number of fact-free sentences added per article.
+	NoiseSentences int
+}
+
+// DefaultArticleConfig generates a medium corpus.
+func DefaultArticleConfig(n int) ArticleConfig {
+	return ArticleConfig{
+		Seed:           7,
+		N:              n,
+		AliasRate:      0.3,
+		PronounRate:    0.35,
+		KBReportRate:   0.15,
+		NoiseSentences: 2,
+	}
+}
+
+// template realises an event as a sentence. Multiple templates per predicate
+// give the extractor realistic phrase variety; some use phrases outside the
+// seed lexicon so that distant-supervision expansion has something to learn.
+type template func(s, o string, rng *rand.Rand) string
+
+var eventTemplates = map[string][]template{
+	"acquired": {
+		func(s, o string, rng *rand.Rand) string {
+			return fmt.Sprintf("%s announced that it has acquired %s for $%d million.", s, o, 10+rng.Intn(900))
+		},
+		func(s, o string, rng *rand.Rand) string {
+			return fmt.Sprintf("%s bought %s in a deal valued at $%d million.", s, o, 10+rng.Intn(900))
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s was acquired by %s.", o, s)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s snapped up %s last week.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s completed its purchase of %s.", s, o)
+		},
+	},
+	"partnersWith": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s announced a partnership with %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s partnered with %s to develop new drones.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s teamed up with %s.", s, o)
+		},
+	},
+	"manufactures": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s unveiled the %s at a trade show.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s makes the %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s launched the %s, its newest drone.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("The %s is manufactured by %s.", o, s)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s introduced the %s on Monday.", s, o)
+		},
+	},
+	"deploys": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s is deploying the %s to support its operations.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s now uses the %s for aerial photography.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s employs the %s in daily inspections.", s, o)
+		},
+	},
+	"invests": {
+		func(s, o string, rng *rand.Rand) string {
+			return fmt.Sprintf("%s invested $%d million in %s.", s, 5+rng.Intn(200), o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s led a funding round in %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s backed %s in its latest round.", s, o)
+		},
+	},
+	"develops": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s is developing %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s demonstrated %s at the expo.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s showcased %s.", s, o)
+		},
+	},
+	"approves": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("The %s approved the %s for commercial flights.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("The %s granted a license for the %s.", s, o)
+		},
+	},
+	"bans": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("The %s banned the %s from urban airspace.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("The %s grounded the %s after safety complaints.", s, o)
+		},
+	},
+	"worksFor": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s joined %s as chief executive.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s works for %s.", s, o)
+		},
+		// inverted surface forms: subject and object swap grammatical roles
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s hired %s.", o, s)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s appointed %s to lead its drone division.", o, s)
+		},
+	},
+	// curated-fact re-reports (distant-supervision signal)
+	"headquarteredIn": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s is based in %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s is headquartered in %s.", s, o)
+		},
+	},
+	"ceoOf": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s is the chief executive of %s.", s, o)
+		},
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s runs %s.", s, o)
+		},
+	},
+	"competesWith": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s competes with %s.", s, o)
+		},
+	},
+	"foundedBy": {
+		func(s, o string, _ *rand.Rand) string {
+			return fmt.Sprintf("%s was founded by %s.", s, o)
+		},
+	},
+}
+
+// pronounTemplates realise a second event whose subject is the same company
+// as the first, referring to it with a pronoun or definite nominal.
+var pronounTemplates = map[string][]string{
+	"acquired":     {"It also acquired %s.", "The company also bought %s."},
+	"manufactures": {"It also unveiled the %s.", "The company also launched the %s."},
+	"partnersWith": {"It also announced a partnership with %s.", "The company also partnered with %s."},
+	"invests":      {"It also invested in %s.", "The company also backed %s."},
+	"develops":     {"It is also developing %s.", "The company is also developing %s."},
+	"deploys":      {"It is also deploying the %s.", "The company also uses the %s."},
+}
+
+var noiseTemplates = []string{
+	"Shares rose %d percent in morning trading.",
+	"Analysts said the move signals consolidation in the drone market.",
+	"The deal is subject to regulatory approval.",
+	"Revenue grew %d percent last quarter.",
+	"The drone market is expected to reach $%d billion by 2020.",
+	"Industry observers were surprised by the announcement.",
+	"A spokesman declined to comment on the terms.",
+	"Commercial drone adoption continues to accelerate.",
+	"The company did not disclose financial details.",
+	"Safety concerns remain a topic of debate among regulators.",
+}
+
+// GenerateArticles renders cfg.N articles from the world's event stream.
+// Events are assigned round-robin so a small N still covers the stream's
+// date range; each article reports one or two events.
+func GenerateArticles(w *World, cfg ArticleConfig) []Article {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if len(w.Events) == 0 || cfg.N <= 0 {
+		return nil
+	}
+	articles := make([]Article, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		if rng.Float64() < cfg.KBReportRate && len(w.Curated) > 0 {
+			articles = append(articles, w.kbReportArticle(rng, cfg, i))
+			continue
+		}
+		ev := w.Events[i%len(w.Events)]
+		articles = append(articles, w.eventArticle(rng, cfg, i, ev))
+	}
+	return articles
+}
+
+// eventArticle renders an article around one primary event, optionally a
+// pronoun-referenced second event by the same subject, noise sentences and
+// alias mentions.
+func (w *World) eventArticle(rng *rand.Rand, cfg ArticleConfig, idx int, ev Event) Article {
+	a := Article{
+		ID:     fmt.Sprintf("wsj-%06d", idx),
+		Source: "wsj",
+		Date:   ev.Date,
+	}
+	tmpls := eventTemplates[ev.Predicate]
+	if len(tmpls) == 0 {
+		tmpls = eventTemplates["acquired"]
+	}
+
+	subjSurface := w.surfaceFor(rng, cfg, &a, ev.Subject)
+	objSurface := w.surfaceFor(rng, cfg, &a, ev.Object)
+	first := tmpls[rng.Intn(len(tmpls))](subjSurface, objSurface, rng)
+	a.Title = strings.TrimSuffix(first, ".")
+	sentences := []string{first}
+	a.Truth = append(a.Truth, ev)
+
+	// Context sentences characterising ambiguous mentions (the signal the
+	// disambiguator needs).
+	if went, ok := w.byName[ev.Subject]; ok && len(went.Words) >= 2 {
+		sentences = append(sentences, fmt.Sprintf("Its %s and %s business has grown steadily.", went.Words[0], went.Words[1%len(went.Words)]))
+	}
+	if oent, ok := w.byName[ev.Object]; ok && objSurface != ev.Object && len(oent.Words) >= 2 {
+		sentences = append(sentences, fmt.Sprintf("The latter is known for its %s and %s work.", oent.Words[0], oent.Words[1%len(oent.Words)]))
+	}
+
+	// Pronoun follow-up realising a second event with the same subject.
+	if rng.Float64() < cfg.PronounRate {
+		if second, ok := w.findEventBySubject(rng, ev.Subject, ev.Predicate); ok {
+			if pts := pronounTemplates[second.Predicate]; len(pts) > 0 {
+				oSurface := w.surfaceFor(rng, cfg, &a, second.Object)
+				sentences = append(sentences, fmt.Sprintf(pts[rng.Intn(len(pts))], oSurface))
+				second.Date = ev.Date
+				a.Truth = append(a.Truth, second)
+			}
+		}
+	}
+
+	for i := 0; i < cfg.NoiseSentences; i++ {
+		sentences = append(sentences, noiseSentence(rng))
+	}
+	a.Text = strings.Join(sentences, " ")
+	return a
+}
+
+// kbReportArticle re-reports one or two curated facts with natural phrasing.
+func (w *World) kbReportArticle(rng *rand.Rand, cfg ArticleConfig, idx int) Article {
+	a := Article{
+		ID:     fmt.Sprintf("wsj-%06d", idx),
+		Source: "wsj",
+	}
+	t := w.Curated[rng.Intn(len(w.Curated))]
+	tmpls := eventTemplates[t.Predicate]
+	if len(tmpls) == 0 {
+		tmpls = eventTemplates["competesWith"]
+	}
+	first := tmpls[rng.Intn(len(tmpls))](t.Subject, t.Object, rng)
+	a.Title = strings.TrimSuffix(first, ".")
+	// KB reports are dated uniformly across the stream's range.
+	if len(w.Events) > 0 {
+		a.Date = w.Events[rng.Intn(len(w.Events))].Date
+	}
+	a.Truth = append(a.Truth, Event{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object, Date: a.Date})
+	sentences := []string{first, noiseSentence(rng)}
+	a.Text = strings.Join(sentences, " ")
+	return a
+}
+
+// surfaceFor picks the surface form for an entity mention (canonical name or
+// alias) and records the label when the surface differs from the name.
+func (w *World) surfaceFor(rng *rand.Rand, cfg ArticleConfig, a *Article, name string) string {
+	e, ok := w.byName[name]
+	if !ok || len(e.Aliases) == 0 || rng.Float64() >= cfg.AliasRate {
+		return name
+	}
+	alias := e.Aliases[rng.Intn(len(e.Aliases))]
+	if alias != name {
+		a.Mentions = append(a.Mentions, MentionLabel{Surface: alias, Entity: name})
+	}
+	return alias
+}
+
+func (w *World) findEventBySubject(rng *rand.Rand, subject, excludePred string) (Event, bool) {
+	var candidates []Event
+	for _, e := range w.Events {
+		if e.Subject == subject && e.Predicate != excludePred {
+			if _, ok := pronounTemplates[e.Predicate]; ok {
+				candidates = append(candidates, e)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return Event{}, false
+	}
+	return candidates[rng.Intn(len(candidates))], true
+}
+
+func noiseSentence(rng *rand.Rand) string {
+	t := noiseTemplates[rng.Intn(len(noiseTemplates))]
+	if strings.Contains(t, "%d") {
+		return fmt.Sprintf(t, 1+rng.Intn(30))
+	}
+	return t
+}

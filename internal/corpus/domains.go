@@ -1,0 +1,157 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nous/internal/core"
+	"nous/internal/ontology"
+)
+
+// The paper (§3.1) lists three deployment domains for NOUS: business
+// intelligence from news, insider-threat detection from enterprise logs, and
+// citation analytics from bibliography databases. GenerateCitationWorld and
+// GenerateInsiderWorld build the latter two as event streams in the shared
+// ontology, so the same pipeline, miner and query layer run unchanged.
+
+// GenerateCitationWorld builds a citation-analytics domain: authors,
+// papers, venues and institutions with authorship/citation events over time.
+func GenerateCitationWorld(seed int64, authors, papers int) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{Ontology: ontology.Default(), byName: make(map[string]*Entity)}
+	add := func(e Entity) *Entity {
+		w.Entities = append(w.Entities, e)
+		p := &w.Entities[len(w.Entities)-1]
+		w.byName[e.Name] = p
+		return p
+	}
+
+	venues := []string{"ICDE", "VLDB", "SIGMOD", "KDD", "WWW", "EMNLP"}
+	for _, v := range venues {
+		add(Entity{Name: v, Type: ontology.TypeEvent, Words: []string{"conference", "research"}})
+	}
+	institutions := []string{"PNNL", "Purdue University", "MIT", "Stanford University", "ETH Zurich", "Tsinghua University"}
+	for _, in := range institutions {
+		add(Entity{Name: in, Type: ontology.TypeUniversity, Words: []string{"research", "lab"}})
+	}
+
+	var authorEnts []*Entity
+	for i := 0; i < authors; i++ {
+		name := fmt.Sprintf("%s %s", pick(rng, firstNames), pick(rng, lastNames))
+		if _, dup := w.byName[name]; dup {
+			continue
+		}
+		authorEnts = append(authorEnts, add(Entity{Name: name, Type: ontology.TypePerson, Aliases: []string{lastOf(name)}, Words: []string{"author", "research"}}))
+	}
+
+	topics := []string{"Graph Mining", "Knowledge Graphs", "Stream Processing", "Entity Linking", "Question Answering", "Link Prediction"}
+	var paperEnts []*Entity
+	for i := 0; i < papers; i++ {
+		topic := topics[rng.Intn(len(topics))]
+		name := fmt.Sprintf("%s: Paper %d", topic, i)
+		paperEnts = append(paperEnts, add(Entity{Name: name, Type: ontology.TypePaper, Words: []string{"paper", topic}}))
+	}
+
+	for i := range w.Entities {
+		w.Entities[i].Popularity = 1.0 / float64(i+1)
+	}
+
+	cur := func(s, p, o string, st, ot ontology.EntityType) {
+		w.Curated = append(w.Curated, core.Triple{Subject: s, Predicate: p, Object: o,
+			SubjectType: st, ObjectType: ot, Confidence: 1, Curated: true,
+			Provenance: core.Provenance{Source: "dblp"}})
+	}
+	for _, a := range authorEnts {
+		inst := institutions[rng.Intn(len(institutions))]
+		cur(a.Name, "affiliatedWith", inst, ontology.TypePerson, ontology.TypeUniversity)
+	}
+
+	start := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, p := range paperEnts {
+		date := start.AddDate(0, i%72, 0)
+		venue := venues[rng.Intn(len(venues))]
+		w.Events = append(w.Events, Event{Subject: p.Name, Predicate: "publishedAt", Object: venue, Date: date})
+		nAuth := 1 + rng.Intn(3)
+		for k := 0; k < nAuth; k++ {
+			a := authorEnts[rng.Intn(len(authorEnts))]
+			w.Events = append(w.Events, Event{Subject: a.Name, Predicate: "authorOf", Object: p.Name, Date: date})
+		}
+		// cite up to 3 earlier papers
+		for k := 0; k < rng.Intn(4) && i > 0; k++ {
+			older := paperEnts[rng.Intn(i)]
+			w.Events = append(w.Events, Event{Subject: p.Name, Predicate: "cites", Object: older.Name, Date: date})
+		}
+	}
+	sort.Slice(w.Events, func(i, j int) bool { return w.Events[i].Date.Before(w.Events[j].Date) })
+	return w
+}
+
+// GenerateInsiderWorld builds an insider-threat domain: employees accessing
+// resources, emailing each other and copying files, with a small set of
+// planted exfiltration patterns (access -> copy -> email) late in the
+// stream — the structural signal the streaming miner should surface.
+func GenerateInsiderWorld(seed int64, users, resources, events int) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{Ontology: ontology.Default(), byName: make(map[string]*Entity)}
+	add := func(e Entity) *Entity {
+		w.Entities = append(w.Entities, e)
+		p := &w.Entities[len(w.Entities)-1]
+		w.byName[e.Name] = p
+		return p
+	}
+
+	var userEnts []*Entity
+	for i := 0; i < users; i++ {
+		name := fmt.Sprintf("%s %s", pick(rng, firstNames), pick(rng, lastNames))
+		if _, dup := w.byName[name]; dup {
+			continue
+		}
+		userEnts = append(userEnts, add(Entity{Name: name, Type: ontology.TypePerson, Words: []string{"employee"}}))
+	}
+	var resEnts []*Entity
+	kinds := []string{"fileserver", "database", "repo", "share", "laptop", "usb-drive"}
+	for i := 0; i < resources; i++ {
+		name := fmt.Sprintf("%s-%02d", kinds[i%len(kinds)], i)
+		resEnts = append(resEnts, add(Entity{Name: name, Type: ontology.TypeResource, Words: []string{"resource"}}))
+	}
+	for i := range w.Entities {
+		w.Entities[i].Popularity = 1.0 / float64(i+1)
+	}
+
+	start := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < events; i++ {
+		date := start.Add(time.Duration(i) * time.Hour)
+		u := userEnts[rng.Intn(len(userEnts))]
+		switch rng.Intn(5) {
+		case 0, 1:
+			w.Events = append(w.Events, Event{Subject: u.Name, Predicate: "accessed", Object: resEnts[rng.Intn(len(resEnts))].Name, Date: date})
+		case 2:
+			w.Events = append(w.Events, Event{Subject: u.Name, Predicate: "loggedInto", Object: resEnts[rng.Intn(len(resEnts))].Name, Date: date})
+		case 3:
+			other := userEnts[rng.Intn(len(userEnts))]
+			if other.Name != u.Name {
+				w.Events = append(w.Events, Event{Subject: u.Name, Predicate: "emailed", Object: other.Name, Date: date})
+			}
+		case 4:
+			a := resEnts[rng.Intn(len(resEnts))]
+			b := resEnts[rng.Intn(len(resEnts))]
+			if a.Name != b.Name {
+				w.Events = append(w.Events, Event{Subject: a.Name, Predicate: "copiedTo", Object: b.Name, Date: date})
+			}
+		}
+		// Plant the exfiltration motif in the last quarter of the stream.
+		if i > events*3/4 && rng.Float64() < 0.15 && len(resEnts) >= 2 {
+			bad := userEnts[rng.Intn(len(userEnts))]
+			src := resEnts[rng.Intn(len(resEnts))]
+			usb := resEnts[len(resEnts)-1] // the usb-drive style sink
+			w.Events = append(w.Events,
+				Event{Subject: bad.Name, Predicate: "accessed", Object: src.Name, Date: date},
+				Event{Subject: src.Name, Predicate: "copiedTo", Object: usb.Name, Date: date.Add(time.Minute)},
+			)
+		}
+	}
+	sort.Slice(w.Events, func(i, j int) bool { return w.Events[i].Date.Before(w.Events[j].Date) })
+	return w
+}

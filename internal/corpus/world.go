@@ -1,0 +1,511 @@
+// Package corpus generates the data substrate the paper used but did not
+// ship: a curated knowledge base (the YAGO2 stand-in) and a dated stream of
+// news articles (the Wall Street Journal stand-in), both drawn from a seeded
+// world model. Because articles realise a hidden ground-truth event stream,
+// every stage of the pipeline — extraction, disambiguation, confidence
+// estimation — can be evaluated exactly, which the original demo could not
+// do. Loaders for external TSV/JSON data are also provided so a real KB or
+// corpus can be substituted.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nous/internal/core"
+	"nous/internal/ontology"
+)
+
+// Entity is a world-model entity: canonical name, type, aliases and the
+// topical words that characterise it (used to build context documents).
+type Entity struct {
+	Name       string
+	Type       ontology.EntityType
+	Aliases    []string
+	Words      []string
+	Popularity float64 // Zipf-distributed; drives mention frequency and prior
+	// Sector groups companies and technologies: events are
+	// sector-assortative (acquirers buy within their sector), giving the
+	// world the latent block structure real corporate networks have.
+	Sector int
+}
+
+// Sectors of the generated economy.
+const (
+	SectorDrone = iota
+	SectorMedia
+	SectorFinance
+	SectorPharma
+	numSectors
+)
+
+// Event is one hidden ground-truth happening that articles may report.
+type Event struct {
+	Subject   string
+	Predicate string
+	Object    string
+	Date      time.Time
+	// Rumor marks a planted false fact: articles report it, but it is not
+	// true in the world. Confidence estimation should score these low.
+	Rumor bool
+}
+
+// World is a complete generated domain: entities, a curated KB expressed in
+// the ontology, and a dated event stream.
+type World struct {
+	Ontology *ontology.Ontology
+	Entities []Entity
+	Curated  []core.Triple
+	Events   []Event
+
+	byName map[string]*Entity
+}
+
+// Config controls world generation.
+type Config struct {
+	Seed       int64
+	Companies  int // generated companies in addition to the fixed drone-world cast
+	People     int
+	Products   int
+	Events     int     // ground-truth events across the date range
+	RumorRate  float64 // fraction of events that are false rumors
+	Start, End time.Time
+}
+
+// DefaultConfig is a medium-sized drone-domain world.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      42,
+		Companies: 40,
+		People:    60,
+		Products:  50,
+		Events:    400,
+		RumorRate: 0.1,
+		Start:     time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:       time.Date(2015, 12, 31, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Fixed cast from the paper's drone use case. Windermere (a real-estate firm
+// employing drones) and DJI appear in the paper's own figures.
+var fixedCast = []Entity{
+	{Name: "DJI", Type: ontology.TypeCompany, Aliases: []string{"DJI Technology", "Da-Jiang Innovations"}, Words: []string{"drone", "quadcopter", "camera", "consumer", "aerial", "photography"}},
+	{Name: "Parrot", Type: ontology.TypeCompany, Aliases: []string{"Parrot SA"}, Words: []string{"drone", "consumer", "wireless", "aerial", "french"}},
+	{Name: "Yuneec", Type: ontology.TypeCompany, Aliases: []string{"Yuneec International"}, Words: []string{"drone", "electric", "aviation", "aerial"}},
+	{Name: "3D Robotics", Type: ontology.TypeCompany, Aliases: []string{"3DR"}, Words: []string{"drone", "open-source", "autopilot", "aerial"}},
+	{Name: "GoPro", Type: ontology.TypeCompany, Aliases: []string{"GoPro Inc."}, Words: []string{"camera", "action", "sports", "video"}},
+	{Name: "Amazon", Type: ontology.TypeCompany, Aliases: []string{"Amazon.com"}, Words: []string{"retail", "delivery", "e-commerce", "logistics", "cloud"}},
+	{Name: "Windermere", Type: ontology.TypeCompany, Aliases: []string{"Windermere Real Estate"}, Words: []string{"real-estate", "property", "listing", "photography"}},
+	{Name: "FAA", Type: ontology.TypeAgency, Aliases: []string{"Federal Aviation Administration"}, Words: []string{"regulation", "airspace", "safety", "federal", "license"}},
+	{Name: "Shenzhen", Type: ontology.TypeCity, Words: []string{"china", "manufacturing", "tech"}},
+	{Name: "Paris", Type: ontology.TypeCity, Words: []string{"france", "capital"}},
+	{Name: "Berkeley", Type: ontology.TypeCity, Words: []string{"california", "university"}},
+	{Name: "Seattle", Type: ontology.TypeCity, Words: []string{"washington", "tech", "coffee"}},
+	{Name: "Washington D.C.", Type: ontology.TypeCity, Aliases: []string{"Washington"}, Words: []string{"capital", "government", "federal"}},
+	{Name: "Phantom 3", Type: ontology.TypeProduct, Aliases: []string{"Phantom"}, Words: []string{"drone", "camera", "quadcopter", "gimbal"}},
+	{Name: "Bebop 2", Type: ontology.TypeProduct, Aliases: []string{"Bebop"}, Words: []string{"drone", "lightweight", "fpv"}},
+	{Name: "Typhoon H", Type: ontology.TypeProduct, Aliases: []string{"Typhoon"}, Words: []string{"drone", "hexacopter", "camera"}},
+	{Name: "Prime Air", Type: ontology.TypeProduct, Words: []string{"delivery", "drone", "package", "logistics"}},
+	{Name: "Obstacle Avoidance", Type: ontology.TypeTechnology, Words: []string{"sensor", "vision", "navigation", "safety", "drone"}},
+	{Name: "Autonomous Drone Navigation", Type: ontology.TypeTechnology, Aliases: []string{"Autonomous Navigation"}, Words: []string{"autonomy", "software", "gps", "mapping", "drone"}},
+	{Name: "Delivery Drones", Type: ontology.TypeTechnology, Aliases: []string{"drone delivery"}, Words: []string{"delivery", "logistics", "package", "drone"}},
+	{Name: "Aerial Drone Imaging", Type: ontology.TypeTechnology, Aliases: []string{"Aerial Imaging"}, Words: []string{"camera", "photography", "mapping", "survey", "aerial"}},
+	{Name: "Industrial Drone Inspection", Type: ontology.TypeTechnology, Words: []string{"inspection", "industrial", "drone", "survey"}},
+	// off-sector technologies anchor the media/finance/pharma sectors; the
+	// tech names deliberately share tokens with their sector's companies so
+	// KG neighborhoods carry topical signal.
+	{Name: "Broadcast Media Analytics", Type: ontology.TypeTechnology, Words: []string{"media", "broadcast", "advertising", "audience"}, Sector: SectorMedia},
+	{Name: "Television Advertising Platform", Type: ontology.TypeTechnology, Words: []string{"television", "advertising", "media"}, Sector: SectorMedia},
+	{Name: "Investment Banking Platform", Type: ontology.TypeTechnology, Words: []string{"banking", "investment", "capital", "fund"}, Sector: SectorFinance},
+	{Name: "Equity Fund Modeling", Type: ontology.TypeTechnology, Words: []string{"equity", "fund", "capital", "risk"}, Sector: SectorFinance},
+	{Name: "Clinical Drug Pipeline", Type: ontology.TypeTechnology, Words: []string{"clinical", "drug", "pharmaceutical", "trial"}, Sector: SectorPharma},
+	{Name: "Biotech Gene Therapy", Type: ontology.TypeTechnology, Words: []string{"biotech", "gene", "clinical", "therapy"}, Sector: SectorPharma},
+}
+
+// Ambiguous pairs: distinct entities sharing a short alias, exercising the
+// AIDA-style disambiguation of §3.3. The pairs straddle sectors, so a
+// correctly fused KG neighborhood disambiguates them.
+var ambiguousCast = []Entity{
+	{Name: "Apex Robotics", Type: ontology.TypeCompany, Aliases: []string{"Apex"}, Words: []string{"drone", "robotics", "industrial", "inspection"}, Sector: SectorDrone},
+	{Name: "Apex Media Group", Type: ontology.TypeCompany, Aliases: []string{"Apex"}, Words: []string{"media", "advertising", "broadcast", "television"}, Sector: SectorMedia},
+	{Name: "Titan Aerospace", Type: ontology.TypeCompany, Aliases: []string{"Titan"}, Words: []string{"solar", "drone", "high-altitude", "aerospace"}, Sector: SectorDrone},
+	{Name: "Titan Financial", Type: ontology.TypeCompany, Aliases: []string{"Titan"}, Words: []string{"banking", "investment", "fund", "capital"}, Sector: SectorFinance},
+	{Name: "Vertex Labs", Type: ontology.TypeCompany, Aliases: []string{"Vertex"}, Words: []string{"software", "vision", "drone", "mapping"}, Sector: SectorDrone},
+	{Name: "Vertex Pharma", Type: ontology.TypeCompany, Aliases: []string{"Vertex"}, Words: []string{"pharmaceutical", "drug", "biotech", "clinical"}, Sector: SectorPharma},
+}
+
+var (
+	companyPrefixes = []string{"Aero", "Sky", "Quad", "Hover", "Nimbus", "Strato", "Zephyr", "Orbit", "Falcon", "Raven", "Cloud", "Apex", "Vector", "Pulse", "Echo", "Nova", "Atlas", "Luma", "Kestrel", "Swift"}
+	companySuffixes = []string{"dyne", "tech", "ics", "ware", "flight", "air", "scan", "lift", "works", "net"}
+	companyKinds    = []string{"Systems", "Robotics", "Technologies", "Aviation", "Industries", "Labs", "Dynamics", "Aerial", "Analytics", "Ventures"}
+	firstNames      = []string{"James", "Mary", "Wei", "Sofia", "Raj", "Elena", "Frank", "Grace", "Omar", "Lucia", "Chen", "Anna", "David", "Mei", "Paul", "Sara", "Igor", "Nina", "Hugo", "Ava", "Ken", "Lily", "Marco", "Ruth", "Tariq", "Jane"}
+	lastNames       = []string{"Smith", "Wang", "Garcia", "Patel", "Kim", "Mueller", "Rossi", "Chen", "Johnson", "Lee", "Brown", "Silva", "Novak", "Sato", "Khan", "Olsen", "Dubois", "Costa", "Haas", "Moreno", "Fischer", "Berg"}
+	cities          = []string{"Austin", "Boston", "Denver", "Palo Alto", "Munich", "Toronto", "Singapore", "London", "Tel Aviv", "Sydney", "Zurich", "Oslo", "Dublin", "Lyon", "Osaka", "Taipei"}
+	productAdjs     = []string{"Falcon", "Raven", "Condor", "Swift", "Osprey", "Heron", "Kite", "Comet", "Meteor", "Pulse", "Spark", "Vortex", "Glide", "Zenith", "Halo"}
+	techWords       = []string{"lidar", "mapping", "sensor", "battery", "gimbal", "camera", "autopilot", "swarm", "tracking", "imaging", "telemetry", "navigation"}
+	bizWords        = []string{"enterprise", "consumer", "industrial", "agriculture", "inspection", "survey", "security", "logistics", "insurance", "energy"}
+
+	// sectorWords characterises companies per sector; overlapping tokens
+	// with the sector technologies above give KG neighborhoods topical
+	// signal for disambiguation.
+	sectorWords = [numSectors][]string{
+		SectorDrone:   {"drone", "aerial", "quadcopter", "inspection", "mapping", "camera", "autopilot"},
+		SectorMedia:   {"media", "advertising", "broadcast", "television", "audience"},
+		SectorFinance: {"banking", "investment", "fund", "capital", "equity"},
+		SectorPharma:  {"pharmaceutical", "clinical", "drug", "biotech", "trial"},
+	}
+)
+
+// Generate builds a deterministic world from the config.
+func Generate(cfg Config) *World {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		Ontology: ontology.Default(),
+		byName:   make(map[string]*Entity),
+	}
+	add := func(e Entity) *Entity {
+		if _, dup := w.byName[e.Name]; dup {
+			return w.byName[e.Name]
+		}
+		w.Entities = append(w.Entities, e)
+		p := &w.Entities[len(w.Entities)-1]
+		w.byName[e.Name] = p
+		return p
+	}
+	for _, e := range fixedCast {
+		add(e)
+	}
+	for _, e := range ambiguousCast {
+		add(e)
+	}
+	for _, c := range cities {
+		add(Entity{Name: c, Type: ontology.TypeCity, Words: []string{"city"}})
+	}
+
+	// Generated companies: mostly drone-sector (the demo domain), the rest
+	// spread across media/finance/pharma so sector structure is non-trivial.
+	var companies []*Entity
+	for _, e := range w.Entities {
+		if e.Type == ontology.TypeCompany {
+			companies = append(companies, w.byName[e.Name])
+		}
+	}
+	for i := 0; i < cfg.Companies; i++ {
+		base := companyPrefixes[rng.Intn(len(companyPrefixes))] + companySuffixes[rng.Intn(len(companySuffixes))]
+		kind := companyKinds[rng.Intn(len(companyKinds))]
+		name := fmt.Sprintf("%s %s", base, kind)
+		if _, dup := w.byName[name]; dup {
+			continue
+		}
+		sector := SectorDrone
+		if rng.Float64() > 0.7 {
+			sector = 1 + rng.Intn(numSectors-1)
+		}
+		words := []string{pick(rng, sectorWords[sector]), pick(rng, bizWords), pick(rng, sectorWords[sector])}
+		ent := add(Entity{Name: name, Type: ontology.TypeCompany, Aliases: []string{base}, Words: words, Sector: sector})
+		companies = append(companies, ent)
+	}
+
+	// People.
+	var people []*Entity
+	for i := 0; i < cfg.People; i++ {
+		name := fmt.Sprintf("%s %s", pick(rng, firstNames), pick(rng, lastNames))
+		if _, dup := w.byName[name]; dup {
+			continue
+		}
+		ent := add(Entity{Name: name, Type: ontology.TypePerson, Aliases: []string{lastOf(name)}, Words: []string{"executive"}})
+		people = append(people, ent)
+	}
+
+	// Products.
+	var products []*Entity
+	for _, e := range fixedCast {
+		if e.Type == ontology.TypeProduct {
+			products = append(products, w.byName[e.Name])
+		}
+	}
+	for i := 0; i < cfg.Products; i++ {
+		name := fmt.Sprintf("%s %d", pick(rng, productAdjs), 1+rng.Intn(9))
+		if _, dup := w.byName[name]; dup {
+			continue
+		}
+		ent := add(Entity{Name: name, Type: ontology.TypeProduct, Words: []string{"drone", pick(rng, techWords)}})
+		products = append(products, ent)
+	}
+
+	// Technologies from the fixed cast only (they anchor topics).
+	var techs []*Entity
+	var locations []*Entity
+	var agencies []*Entity
+	for i := range w.Entities {
+		e := &w.Entities[i]
+		switch e.Type {
+		case ontology.TypeTechnology:
+			techs = append(techs, e)
+		case ontology.TypeCity, ontology.TypeLocation, ontology.TypeCountry:
+			locations = append(locations, e)
+		case ontology.TypeAgency:
+			agencies = append(agencies, e)
+		}
+	}
+
+	// Zipf popularity by insertion order with fixed cast boosted.
+	for i := range w.Entities {
+		w.Entities[i].Popularity = 1.0 / math.Pow(float64(i+1), 0.7)
+	}
+
+	// ---- Curated KB (the YAGO2 stand-in) ----
+	cur := func(s, p, o string, st, ot ontology.EntityType) {
+		w.Curated = append(w.Curated, core.Triple{
+			Subject: s, Predicate: p, Object: o,
+			SubjectType: st, ObjectType: ot,
+			Confidence: 1, Curated: true,
+			Provenance: core.Provenance{Source: "curated-kb"},
+		})
+	}
+	// headquarteredIn is functional: fixed anchors claim theirs first.
+	hqOf := map[string]bool{"DJI": true, "Parrot": true, "3D Robotics": true, "Amazon": true}
+	for i, c := range companies {
+		if !hqOf[c.Name] {
+			loc := locations[rng.Intn(len(locations))]
+			cur(c.Name, "headquarteredIn", loc.Name, c.Type, loc.Type)
+		}
+		if len(people) > 0 {
+			ceo := people[(i*3+rng.Intn(len(people)))%len(people)]
+			cur(ceo.Name, "ceoOf", c.Name, ceo.Type, c.Type)
+			founder := people[(i*5+rng.Intn(len(people)))%len(people)]
+			cur(c.Name, "foundedBy", founder.Name, c.Type, founder.Type)
+		}
+		// products: fixed pairs for the drone cast, random for the rest
+		nProd := 1 + rng.Intn(2)
+		for k := 0; k < nProd && len(products) > 0; k++ {
+			p := products[(i*2+k*7+rng.Intn(len(products)))%len(products)]
+			cur(c.Name, "manufactures", p.Name, c.Type, p.Type)
+		}
+		// Companies develop technologies of their own sector and compete
+		// within it — the KG-neighborhood signal disambiguation needs.
+		if own := sectorTechs(techs, c.Sector); len(own) > 0 {
+			tch := own[rng.Intn(len(own))]
+			cur(c.Name, "develops", tch.Name, c.Type, tch.Type)
+		}
+		if rng.Float64() < 0.4 {
+			if other, ok := pickSameSector(rng, companies, c, 0.9); ok {
+				cur(c.Name, "competesWith", other.Name, c.Type, other.Type)
+			}
+		}
+	}
+	// Fixed, paper-faithful anchors.
+	cur("DJI", "headquarteredIn", "Shenzhen", ontology.TypeCompany, ontology.TypeCity)
+	cur("Parrot", "headquarteredIn", "Paris", ontology.TypeCompany, ontology.TypeCity)
+	cur("3D Robotics", "headquarteredIn", "Berkeley", ontology.TypeCompany, ontology.TypeCity)
+	cur("Amazon", "headquarteredIn", "Seattle", ontology.TypeCompany, ontology.TypeCity)
+	cur("DJI", "manufactures", "Phantom 3", ontology.TypeCompany, ontology.TypeProduct)
+	cur("Parrot", "manufactures", "Bebop 2", ontology.TypeCompany, ontology.TypeProduct)
+	cur("Yuneec", "manufactures", "Typhoon H", ontology.TypeCompany, ontology.TypeProduct)
+	cur("Amazon", "develops", "Delivery Drones", ontology.TypeCompany, ontology.TypeTechnology)
+	cur("FAA", "regulates", "Delivery Drones", ontology.TypeAgency, ontology.TypeTechnology)
+	w.dedupeCurated()
+
+	// ---- Ground-truth event stream ----
+	span := cfg.End.Sub(cfg.Start)
+	for i := 0; i < cfg.Events; i++ {
+		date := cfg.Start.Add(time.Duration(rng.Int63n(int64(span))))
+		ev := w.randomEvent(rng, companies, people, products, techs, agencies)
+		if ev.Subject == "" {
+			continue
+		}
+		ev.Date = date
+		ev.Rumor = rng.Float64() < cfg.RumorRate
+		w.Events = append(w.Events, ev)
+	}
+	sort.Slice(w.Events, func(i, j int) bool { return w.Events[i].Date.Before(w.Events[j].Date) })
+	return w
+}
+
+// randomEvent draws one plausible event according to the domain mix of the
+// paper's use case: acquisitions, partnerships, launches, deployments,
+// investments, regulatory actions.
+func (w *World) randomEvent(rng *rand.Rand, companies, people, products, techs, agencies []*Entity) Event {
+	if len(companies) < 2 {
+		return Event{}
+	}
+	pickC := func() *Entity { return companies[rng.Intn(len(companies))] }
+	// pickPair draws an ordered company pair, same-sector with probability
+	// 0.75 — the latent block structure link prediction learns.
+	pickPair := func() (*Entity, *Entity, bool) {
+		a := pickC()
+		if b, ok := pickSameSector(rng, companies, a, 0.75); ok {
+			return a, b, true
+		}
+		return nil, nil, false
+	}
+	switch rng.Intn(10) {
+	case 0, 1: // acquisition
+		a, b, ok := pickPair()
+		if !ok {
+			return Event{}
+		}
+		return Event{Subject: a.Name, Predicate: "acquired", Object: b.Name}
+	case 2: // partnership
+		a, b, ok := pickPair()
+		if !ok {
+			return Event{}
+		}
+		return Event{Subject: a.Name, Predicate: "partnersWith", Object: b.Name}
+	case 3, 4: // product launch
+		if len(products) == 0 {
+			return Event{}
+		}
+		return Event{Subject: pickC().Name, Predicate: "manufactures", Object: products[rng.Intn(len(products))].Name}
+	case 5: // deployment (the Windermere story)
+		if len(products) == 0 {
+			return Event{}
+		}
+		return Event{Subject: pickC().Name, Predicate: "deploys", Object: products[rng.Intn(len(products))].Name}
+	case 6: // investment
+		a, b, ok := pickPair()
+		if !ok {
+			return Event{}
+		}
+		return Event{Subject: a.Name, Predicate: "invests", Object: b.Name}
+	case 7: // technology development
+		c := pickC()
+		own := sectorTechs(techs, c.Sector)
+		if len(own) == 0 {
+			own = techs
+		}
+		if len(own) == 0 {
+			return Event{}
+		}
+		return Event{Subject: c.Name, Predicate: "develops", Object: own[rng.Intn(len(own))].Name}
+	case 8: // regulatory action
+		if len(agencies) == 0 || len(products) == 0 {
+			return Event{}
+		}
+		ag := agencies[rng.Intn(len(agencies))]
+		if rng.Intn(2) == 0 {
+			return Event{Subject: ag.Name, Predicate: "approves", Object: products[rng.Intn(len(products))].Name}
+		}
+		return Event{Subject: ag.Name, Predicate: "bans", Object: products[rng.Intn(len(products))].Name}
+	default: // executive hire
+		if len(people) == 0 {
+			return Event{}
+		}
+		return Event{Subject: people[rng.Intn(len(people))].Name, Predicate: "worksFor", Object: pickC().Name}
+	}
+}
+
+func (w *World) dedupeCurated() {
+	seen := map[string]bool{}
+	out := w.Curated[:0]
+	for _, t := range w.Curated {
+		k := t.Subject + "\x00" + t.Predicate + "\x00" + t.Object
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	w.Curated = out
+}
+
+// Entity returns the world entity with the given canonical name.
+func (w *World) Entity(name string) (Entity, bool) {
+	e, ok := w.byName[name]
+	if !ok {
+		return Entity{}, false
+	}
+	return *e, true
+}
+
+// EntitiesOfType returns the names of entities with the given type, sorted.
+func (w *World) EntitiesOfType(t ontology.EntityType) []string {
+	var out []string
+	for _, e := range w.Entities {
+		if e.Type == t {
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadKG loads the curated KB (entities with aliases, then curated triples)
+// into a fresh dynamic KG.
+func (w *World) LoadKG() (*core.KG, error) {
+	kg := core.NewKG(w.Ontology)
+	for _, e := range w.Entities {
+		kg.AddEntity(e.Name, e.Type, e.Aliases...)
+	}
+	for _, t := range w.Curated {
+		if _, err := kg.AddFact(t); err != nil {
+			return nil, fmt.Errorf("corpus: loading curated fact: %w", err)
+		}
+	}
+	return kg, nil
+}
+
+// TrueFact reports whether (s,p,o) is true in the world: either curated or a
+// non-rumor event.
+func (w *World) TrueFact(s, p, o string) bool {
+	for _, t := range w.Curated {
+		if t.Subject == s && t.Predicate == p && t.Object == o {
+			return true
+		}
+	}
+	for _, e := range w.Events {
+		if !e.Rumor && e.Subject == s && e.Predicate == p && e.Object == o {
+			return true
+		}
+	}
+	return false
+}
+
+// sectorTechs filters technologies by sector.
+func sectorTechs(techs []*Entity, sector int) []*Entity {
+	var out []*Entity
+	for _, t := range techs {
+		if t.Sector == sector {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// pickSameSector draws a partner for a: with probability sameProb from a's
+// sector, otherwise any company. It reports failure when no distinct
+// partner exists.
+func pickSameSector(rng *rand.Rand, companies []*Entity, a *Entity, sameProb float64) (*Entity, bool) {
+	if rng.Float64() < sameProb {
+		var same []*Entity
+		for _, c := range companies {
+			if c.Sector == a.Sector && c.Name != a.Name {
+				same = append(same, c)
+			}
+		}
+		if len(same) > 0 {
+			return same[rng.Intn(len(same))], true
+		}
+	}
+	for tries := 0; tries < 4; tries++ {
+		b := companies[rng.Intn(len(companies))]
+		if b.Name != a.Name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func lastOf(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == ' ' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,246 @@
+package extract
+
+import (
+	"testing"
+	"time"
+
+	"nous/internal/ner"
+	"nous/internal/ontology"
+)
+
+func testExtractor() *Extractor {
+	r := ner.NewRecognizer()
+	for surface, typ := range map[string]ontology.EntityType{
+		"DJI":       ontology.TypeCompany,
+		"Parrot":    ontology.TypeCompany,
+		"Aeros":     ontology.TypeCompany,
+		"GoPro":     ontology.TypeCompany,
+		"Shenzhen":  ontology.TypeCity,
+		"Phantom 3": ontology.TypeProduct,
+		"FAA":       ontology.TypeAgency,
+	} {
+		r.AddGazetteer(surface, typ)
+	}
+	return New(r, nil)
+}
+
+func extractOne(t *testing.T, text string) []RawTriple {
+	t.Helper()
+	doc := Document{ID: "d1", Source: "test", Date: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC), Text: text}
+	return testExtractor().Extract(doc)
+}
+
+func findTriple(ts []RawTriple, a1, a2 string) (RawTriple, bool) {
+	for _, tr := range ts {
+		if tr.Arg1 == a1 && tr.Arg2 == a2 {
+			return tr, true
+		}
+	}
+	return RawTriple{}, false
+}
+
+func TestSimpleSVO(t *testing.T) {
+	ts := extractOne(t, "DJI acquired Aeros.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("no (DJI, Aeros) triple in %+v", ts)
+	}
+	if tr.RelNorm != "acquire" {
+		t.Errorf("RelNorm = %q, want acquire", tr.RelNorm)
+	}
+	if tr.Arg1Type != ontology.TypeCompany || tr.Arg2Type != ontology.TypeCompany {
+		t.Errorf("types = %s/%s", tr.Arg1Type, tr.Arg2Type)
+	}
+	if tr.Negated || tr.Passive {
+		t.Errorf("flags wrong: %+v", tr)
+	}
+	if tr.Confidence < 0.8 {
+		t.Errorf("clean SVO confidence = %v", tr.Confidence)
+	}
+}
+
+func TestPerfectAspect(t *testing.T) {
+	ts := extractOne(t, "DJI has acquired Aeros for $75 million.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "acquire" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+	if len(tr.Extras) == 0 || tr.Extras[0].Prep != "for" {
+		t.Errorf("extras = %+v, want for-PP", tr.Extras)
+	}
+}
+
+func TestPassiveInversion(t *testing.T) {
+	ts := extractOne(t, "Aeros was acquired by DJI.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("passive not inverted: %+v", ts)
+	}
+	if tr.RelNorm != "acquire" || !tr.Passive {
+		t.Errorf("triple = %+v", tr)
+	}
+}
+
+func TestCopularPassiveNotInverted(t *testing.T) {
+	ts := extractOne(t, "DJI is based in Shenzhen.")
+	tr, ok := findTriple(ts, "DJI", "Shenzhen")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "base in" {
+		t.Errorf("RelNorm = %q, want 'base in'", tr.RelNorm)
+	}
+}
+
+func TestExtendedRelationPhrase(t *testing.T) {
+	ts := extractOne(t, "DJI announced a partnership with Parrot.")
+	tr, ok := findTriple(ts, "DJI", "Parrot")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "announce partnership with" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+}
+
+func TestVerbParticle(t *testing.T) {
+	ts := extractOne(t, "DJI snapped up Aeros last week.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "snap up" {
+		t.Errorf("RelNorm = %q, want 'snap up'", tr.RelNorm)
+	}
+}
+
+func TestCopulaWithRoleNoun(t *testing.T) {
+	ts := extractOne(t, "Frank Wang is the chief executive of DJI.")
+	tr, ok := findTriple(ts, "Frank Wang", "DJI")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "be chief executive of" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+}
+
+func TestPronounCoref(t *testing.T) {
+	ts := extractOne(t, "DJI acquired Aeros. It also unveiled the Phantom 3.")
+	tr, ok := findTriple(ts, "DJI", "Phantom 3")
+	if !ok {
+		t.Fatalf("pronoun not resolved to subject: %+v", ts)
+	}
+	if tr.RelNorm != "unveil" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+}
+
+func TestNominalCoref(t *testing.T) {
+	ts := extractOne(t, "DJI acquired Aeros. The company also partnered with GoPro.")
+	tr, ok := findTriple(ts, "DJI", "GoPro")
+	if !ok {
+		t.Fatalf("nominal not resolved to subject: %+v", ts)
+	}
+	if tr.RelNorm != "partner with" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+}
+
+func TestComplementClauseSubject(t *testing.T) {
+	ts := extractOne(t, "DJI announced that it has acquired Aeros for $75 million.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("complement clause missed: %+v", ts)
+	}
+	if tr.RelNorm != "acquire" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+}
+
+func TestNegationDetected(t *testing.T) {
+	ts := extractOne(t, "DJI did not acquire Parrot.")
+	tr, ok := findTriple(ts, "DJI", "Parrot")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if !tr.Negated {
+		t.Error("negation missed")
+	}
+}
+
+func TestNaryExtras(t *testing.T) {
+	ts := extractOne(t, "DJI bought Aeros in a deal valued at $300 million.")
+	tr, ok := findTriple(ts, "DJI", "Aeros")
+	if !ok {
+		t.Fatalf("triples = %+v", ts)
+	}
+	if tr.RelNorm != "buy" {
+		t.Errorf("RelNorm = %q", tr.RelNorm)
+	}
+	if len(tr.Extras) == 0 || tr.Extras[0].Prep != "in" {
+		t.Errorf("extras = %+v", tr.Extras)
+	}
+}
+
+func TestUnknownEntitiesLowerConfidence(t *testing.T) {
+	known := extractOne(t, "DJI acquired Aeros.")
+	unknown := extractOne(t, "Foo acquired bar equipment.")
+	if len(known) == 0 {
+		t.Fatal("known extraction failed")
+	}
+	if len(unknown) == 0 {
+		t.Skip("no unknown-arg triple extracted")
+	}
+	if unknown[0].Confidence >= known[0].Confidence {
+		t.Errorf("unknown-arg confidence %v >= known %v", unknown[0].Confidence, known[0].Confidence)
+	}
+}
+
+func TestProvenanceStamped(t *testing.T) {
+	ts := extractOne(t, "DJI acquired Aeros.")
+	if len(ts) == 0 {
+		t.Fatal("no triples")
+	}
+	tr := ts[0]
+	if tr.DocID != "d1" || tr.Source != "test" || tr.Date.IsZero() || tr.Sentence == "" {
+		t.Errorf("provenance missing: %+v", tr)
+	}
+}
+
+func TestNoTripleFromNoise(t *testing.T) {
+	ts := extractOne(t, "Industry observers were surprised by the announcement.")
+	for _, tr := range ts {
+		if tr.Arg1 == "DJI" {
+			t.Errorf("phantom triple %+v", tr)
+		}
+	}
+}
+
+func TestEmptyAndMalformedInput(t *testing.T) {
+	if ts := extractOne(t, ""); len(ts) != 0 {
+		t.Errorf("empty text produced %+v", ts)
+	}
+	if ts := extractOne(t, "   \n\t  "); len(ts) != 0 {
+		t.Errorf("whitespace text produced %+v", ts)
+	}
+	// Must not panic on punctuation-only or fragment input.
+	extractOne(t, "!!! ??? ...")
+	extractOne(t, "acquired by")
+	extractOne(t, "The the the.")
+}
+
+func BenchmarkExtract(b *testing.B) {
+	e := testExtractor()
+	doc := Document{ID: "d", Source: "bench", Text: "DJI announced that it has acquired Aeros for $75 million. " +
+		"The company also partnered with GoPro. Analysts said the deal signals consolidation. " +
+		"Aeros was acquired by DJI after months of talks. The FAA approved the Phantom 3 for commercial flights."}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(doc)
+	}
+}

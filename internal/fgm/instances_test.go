@@ -1,0 +1,115 @@
+package fgm
+
+import "testing"
+
+func chainPattern() Pattern {
+	return Pattern{
+		VertexLabels: []string{"C", "C", "P"},
+		Edges: []PatternEdge{
+			{Src: 0, Dst: 1, Label: "acquired"},
+			{Src: 1, Dst: 2, Label: "manufactures"},
+		},
+	}
+}
+
+func chainEdges() []Edge {
+	return []Edge{
+		{Src: 1, Dst: 2, SrcLabel: "C", DstLabel: "C", Label: "acquired"},
+		{Src: 2, Dst: 3, SrcLabel: "C", DstLabel: "P", Label: "manufactures"},
+		{Src: 10, Dst: 20, SrcLabel: "C", DstLabel: "C", Label: "acquired"},
+		{Src: 20, Dst: 30, SrcLabel: "C", DstLabel: "P", Label: "manufactures"},
+		// distractors
+		{Src: 5, Dst: 6, SrcLabel: "C", DstLabel: "P", Label: "manufactures"},
+		{Src: 7, Dst: 8, SrcLabel: "C", DstLabel: "C", Label: "partnersWith"},
+	}
+}
+
+func TestFindInstancesChain(t *testing.T) {
+	ins := FindInstances(chainPattern(), chainEdges(), 0)
+	if len(ins) != 2 {
+		t.Fatalf("instances = %d, want 2: %+v", len(ins), ins)
+	}
+	SortInstances(ins)
+	if ins[0].Vertices[0] != 1 || ins[0].Vertices[1] != 2 || ins[0].Vertices[2] != 3 {
+		t.Fatalf("first instance = %+v", ins[0])
+	}
+	if ins[0].Edges[0].Label != "acquired" || ins[0].Edges[1].Label != "manufactures" {
+		t.Fatalf("edges misaligned: %+v", ins[0].Edges)
+	}
+}
+
+func TestFindInstancesLimit(t *testing.T) {
+	ins := FindInstances(chainPattern(), chainEdges(), 1)
+	if len(ins) != 1 {
+		t.Fatalf("limit ignored: %d instances", len(ins))
+	}
+}
+
+func TestFindInstancesInjective(t *testing.T) {
+	// Pattern with two distinct C vertices both acquiring the same target
+	// must not map both positions onto one concrete vertex.
+	p := Pattern{
+		VertexLabels: []string{"C", "C", "C"},
+		Edges: []PatternEdge{
+			{Src: 0, Dst: 2, Label: "acquired"},
+			{Src: 1, Dst: 2, Label: "acquired"},
+		},
+	}
+	edges := []Edge{
+		{Src: 1, Dst: 9, SrcLabel: "C", DstLabel: "C", Label: "acquired"},
+	}
+	if ins := FindInstances(p, edges, 0); len(ins) != 0 {
+		t.Fatalf("non-injective match accepted: %+v", ins)
+	}
+	edges = append(edges, Edge{Src: 2, Dst: 9, SrcLabel: "C", DstLabel: "C", Label: "acquired"})
+	ins := FindInstances(p, edges, 0)
+	if len(ins) != 2 { // (1,2,9) and (2,1,9)
+		t.Fatalf("instances = %d, want 2", len(ins))
+	}
+}
+
+func TestFindInstancesDirectionality(t *testing.T) {
+	p := Pattern{
+		VertexLabels: []string{"C", "C"},
+		Edges:        []PatternEdge{{Src: 0, Dst: 1, Label: "acquired"}},
+	}
+	edges := []Edge{{Src: 5, Dst: 6, SrcLabel: "C", DstLabel: "C", Label: "acquired"}}
+	ins := FindInstances(p, edges, 0)
+	if len(ins) != 1 || ins[0].Vertices[0] != 5 {
+		t.Fatalf("instances = %+v", ins)
+	}
+}
+
+func TestFindInstancesSelfLoop(t *testing.T) {
+	p := Pattern{
+		VertexLabels: []string{"C"},
+		Edges:        []PatternEdge{{Src: 0, Dst: 0, Label: "references"}},
+	}
+	edges := []Edge{
+		{Src: 1, Dst: 1, SrcLabel: "C", DstLabel: "C", Label: "references"},
+		{Src: 2, Dst: 3, SrcLabel: "C", DstLabel: "C", Label: "references"}, // not a self-loop
+	}
+	ins := FindInstances(p, edges, 0)
+	if len(ins) != 1 || ins[0].Vertices[0] != 1 {
+		t.Fatalf("self-loop instances = %+v", ins)
+	}
+}
+
+func TestMinerFindInstancesAgreesWithSupport(t *testing.T) {
+	m := NewMiner(Config{MaxEdges: 2, MinSupport: 1})
+	for _, e := range chainEdges() {
+		m.Add(e)
+	}
+	for _, p := range m.FrequentPatterns() {
+		ins := m.FindInstances(p, 0)
+		if len(ins) != p.Support {
+			t.Fatalf("pattern %s: support %d but %d instances", p, p.Support, len(ins))
+		}
+	}
+}
+
+func TestFindInstancesEmptyPattern(t *testing.T) {
+	if ins := FindInstances(Pattern{}, chainEdges(), 0); ins != nil {
+		t.Fatalf("empty pattern matched: %+v", ins)
+	}
+}

@@ -1,0 +1,491 @@
+package fgm
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config tunes the streaming miner.
+type Config struct {
+	// MaxEdges bounds pattern size (edges per pattern). Default 3.
+	MaxEdges int
+	// MinSupport is the frequency threshold (embedding count, or MNI when
+	// TrackMNI is set). Default 3.
+	MinSupport int
+	// WindowSize caps the number of stream edges kept; 0 disables
+	// count-based eviction (use EvictBefore for time-based windows).
+	WindowSize int
+	// Workers parallelizes AddBatch across hash partitions. Default
+	// GOMAXPROCS.
+	Workers int
+	// TrackMNI switches support from embedding count to the
+	// minimum-node-image metric.
+	TrackMNI bool
+}
+
+// DefaultConfig returns the configuration used in the paper-style
+// experiments.
+func DefaultConfig() Config {
+	return Config{MaxEdges: 3, MinSupport: 3, WindowSize: 2000}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 3
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// windowEdge is a stream edge resident in the window.
+type windowEdge struct {
+	id int64
+	Edge
+}
+
+// Miner is the streaming closed-frequent-pattern miner. Methods are not
+// safe for concurrent use with each other; AddBatch parallelizes
+// internally.
+type Miner struct {
+	cfg Config
+
+	nextID int64
+	queue  []*windowEdge              // FIFO arrival order
+	adj    map[int64][]*windowEdge    // vertex -> incident window edges
+	byID   map[int64]*windowEdge      // edge id -> edge
+	counts map[string]int             // pattern code -> embedding count
+	images map[string][]map[int64]int // code -> position -> vertex -> count (MNI)
+
+	canon    *canonicalizer
+	patterns map[string]Pattern // code -> abstract pattern
+
+	prevFrequent map[string]bool // for Transitions()
+
+	// stats
+	embeddingsTouched int64
+}
+
+// NewMiner returns an empty miner.
+func NewMiner(cfg Config) *Miner {
+	cfg = cfg.withDefaults()
+	return &Miner{
+		cfg:          cfg,
+		adj:          make(map[int64][]*windowEdge),
+		byID:         make(map[int64]*windowEdge),
+		counts:       make(map[string]int),
+		images:       make(map[string][]map[int64]int),
+		canon:        newCanonicalizer(),
+		patterns:     make(map[string]Pattern),
+		prevFrequent: make(map[string]bool),
+	}
+}
+
+// WindowLen returns the number of edges currently in the window.
+func (m *Miner) WindowLen() int { return len(m.queue) }
+
+// EmbeddingsTouched returns the cumulative number of embeddings enumerated —
+// the work metric compared against the from-scratch baseline.
+func (m *Miner) EmbeddingsTouched() int64 { return m.embeddingsTouched }
+
+// Add inserts one stream edge, incrementally updating pattern counts, and
+// evicts the oldest edges if the count-based window overflows.
+func (m *Miner) Add(e Edge) {
+	we := &windowEdge{id: m.nextID, Edge: e}
+	m.nextID++
+	m.insert(we)
+	m.applyEmbeddings(we, +1)
+	m.enforceWindow()
+}
+
+// AddBatch inserts a batch of edges and updates counts in parallel across
+// workers. Each new embedding is attributed to exactly one new edge — the
+// one with the maximum id it contains — so counts are exact.
+func (m *Miner) AddBatch(es []Edge) {
+	if len(es) == 0 {
+		return
+	}
+	batch := make([]*windowEdge, len(es))
+	for i, e := range es {
+		we := &windowEdge{id: m.nextID, Edge: e}
+		m.nextID++
+		m.insert(we)
+		batch[i] = we
+	}
+	workers := m.cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		for _, we := range batch {
+			m.applyEmbeddings(we, +1)
+		}
+	} else {
+		// Each worker enumerates with a private canonicalizer (the shared
+		// memo is not thread-safe); deltas merge under the mutex.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				local := newDelta()
+				canon := newCanonicalizer()
+				for i := w; i < len(batch); i += workers {
+					m.enumerate(batch[i], func(f *windowEdge) bool { return f.id < batch[i].id },
+						func(set []*windowEdge) { local.record(canon, m.cfg.TrackMNI, set) })
+				}
+				mu.Lock()
+				m.applyDelta(local, +1)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+	}
+	m.enforceWindow()
+}
+
+// EvictBefore removes all window edges with Time < cutoff (time-based
+// sliding window), decrementing affected pattern counts. It returns the
+// number of evicted edges.
+func (m *Miner) EvictBefore(cutoff int64) int {
+	n := 0
+	kept := m.queue[:0]
+	// Evict one at a time: symmetric enumeration keeps counts exact.
+	var victims []*windowEdge
+	for _, we := range m.queue {
+		if we.Time < cutoff {
+			victims = append(victims, we)
+		} else {
+			kept = append(kept, we)
+		}
+	}
+	m.queue = kept
+	for _, we := range victims {
+		m.applyEmbeddings(we, -1)
+		m.remove(we)
+		n++
+	}
+	return n
+}
+
+// enforceWindow evicts oldest edges past the count-based capacity.
+func (m *Miner) enforceWindow() {
+	if m.cfg.WindowSize <= 0 {
+		return
+	}
+	for len(m.queue) > m.cfg.WindowSize {
+		we := m.queue[0]
+		m.queue = m.queue[1:]
+		m.applyEmbeddings(we, -1)
+		m.remove(we)
+	}
+}
+
+func (m *Miner) insert(we *windowEdge) {
+	m.queue = append(m.queue, we)
+	m.byID[we.id] = we
+	m.adj[we.Src] = append(m.adj[we.Src], we)
+	if we.Dst != we.Src {
+		m.adj[we.Dst] = append(m.adj[we.Dst], we)
+	}
+}
+
+func (m *Miner) remove(we *windowEdge) {
+	delete(m.byID, we.id)
+	m.adj[we.Src] = dropEdge(m.adj[we.Src], we.id)
+	if len(m.adj[we.Src]) == 0 {
+		delete(m.adj, we.Src)
+	}
+	if we.Dst != we.Src {
+		m.adj[we.Dst] = dropEdge(m.adj[we.Dst], we.id)
+		if len(m.adj[we.Dst]) == 0 {
+			delete(m.adj, we.Dst)
+		}
+	}
+}
+
+func dropEdge(list []*windowEdge, id int64) []*windowEdge {
+	for i, e := range list {
+		if e.id == id {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// delta accumulates pattern count changes from one worker.
+type delta struct {
+	counts   map[string]int
+	images   map[string][]map[int64]int
+	patterns map[string]Pattern
+	emb      int64
+}
+
+func newDelta() *delta {
+	return &delta{
+		counts:   make(map[string]int),
+		images:   make(map[string][]map[int64]int),
+		patterns: make(map[string]Pattern),
+	}
+}
+
+// applyEmbeddings enumerates the embeddings attributable to we and applies
+// sign to their pattern counts. Adds (+1) attribute an embedding to its
+// newest edge — edge ids increase monotonically, so a sequential add sees
+// exactly the embeddings born with we. Evicts (-1) touch every embedding
+// containing we, which by induction removes exactly the embeddings that die
+// with it.
+func (m *Miner) applyEmbeddings(we *windowEdge, sign int) {
+	d := newDelta()
+	extendOK := func(f *windowEdge) bool { return f.id < we.id } // add rule
+	if sign < 0 {
+		extendOK = func(f *windowEdge) bool { return true } // evict rule
+	}
+	m.enumerate(we, extendOK, func(set []*windowEdge) { d.record(m.canon, m.cfg.TrackMNI, set) })
+	m.applyDelta(d, sign)
+}
+
+// enumerate runs a DFS over connected edge supersets of {we} up to
+// MaxEdges, extending only with edges admitted by extendOK, de-duplicating
+// by edge-id set, and yielding each embedding to fn.
+func (m *Miner) enumerate(we *windowEdge, extendOK func(*windowEdge) bool, fn func([]*windowEdge)) {
+	maxE := m.cfg.MaxEdges
+	seen := map[string]bool{}
+	set := []*windowEdge{we}
+	verts := map[int64]bool{we.Src: true, we.Dst: true}
+
+	var rec func()
+	rec = func() {
+		key := edgeSetKey(set)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		fn(set)
+		if len(set) >= maxE {
+			return
+		}
+		for v := range verts {
+			for _, f := range m.adj[v] {
+				if f.id == we.id || !extendOK(f) || inSet(set, f.id) {
+					continue
+				}
+				set = append(set, f)
+				addedSrc := !verts[f.Src]
+				addedDst := !verts[f.Dst]
+				verts[f.Src] = true
+				verts[f.Dst] = true
+				rec()
+				set = set[:len(set)-1]
+				if addedSrc {
+					delete(verts, f.Src)
+				}
+				if addedDst {
+					delete(verts, f.Dst)
+				}
+			}
+		}
+	}
+	rec()
+}
+
+// record canonicalizes one embedding into the delta.
+func (d *delta) record(canon *canonicalizer, trackMNI bool, set []*windowEdge) {
+	emb := make([]embEdge, len(set))
+	for i, we := range set {
+		emb[i] = embEdge{src: we.Src, dst: we.Dst, srcLabel: we.SrcLabel, dstLabel: we.DstLabel, label: we.Label}
+	}
+	code, perm, pattern := canon.canonicalize(emb)
+	if _, ok := d.patterns[code]; !ok {
+		d.patterns[code] = pattern
+	}
+	d.counts[code]++
+	d.emb++
+	if trackMNI {
+		imgs := d.images[code]
+		if imgs == nil {
+			imgs = make([]map[int64]int, len(pattern.VertexLabels))
+			for i := range imgs {
+				imgs[i] = make(map[int64]int)
+			}
+			d.images[code] = imgs
+		}
+		for vid, pos := range perm {
+			imgs[pos][vid]++
+		}
+	}
+}
+
+// applyDelta folds a worker delta into the miner with the given sign.
+func (m *Miner) applyDelta(d *delta, sign int) {
+	m.embeddingsTouched += d.emb
+	for code, p := range d.patterns {
+		if _, ok := m.patterns[code]; !ok {
+			m.patterns[code] = p
+		}
+	}
+	for code, c := range d.counts {
+		m.counts[code] += sign * c
+		if m.counts[code] <= 0 {
+			delete(m.counts, code)
+		}
+	}
+	if !m.cfg.TrackMNI {
+		return
+	}
+	for code, imgs := range d.images {
+		cur := m.images[code]
+		if cur == nil {
+			if sign < 0 {
+				continue
+			}
+			cur = make([]map[int64]int, len(imgs))
+			for i := range cur {
+				cur[i] = make(map[int64]int)
+			}
+			m.images[code] = cur
+		}
+		for pos, byVid := range imgs {
+			for vid, c := range byVid {
+				cur[pos][vid] += sign * c
+				if cur[pos][vid] <= 0 {
+					delete(cur[pos], vid)
+				}
+			}
+		}
+		if m.counts[code] == 0 {
+			delete(m.images, code)
+		}
+	}
+}
+
+// Support returns the current support of a pattern code.
+func (m *Miner) Support(code string) int {
+	if m.cfg.TrackMNI {
+		imgs, ok := m.images[code]
+		if !ok || len(imgs) == 0 {
+			return 0
+		}
+		minImg := -1
+		for _, byVid := range imgs {
+			if minImg < 0 || len(byVid) < minImg {
+				minImg = len(byVid)
+			}
+		}
+		return minImg
+	}
+	return m.counts[code]
+}
+
+// FrequentPatterns returns all patterns at or above MinSupport, largest
+// support first.
+func (m *Miner) FrequentPatterns() []Pattern {
+	var out []Pattern
+	for code := range m.counts {
+		if s := m.Support(code); s >= m.cfg.MinSupport {
+			p := m.patterns[code]
+			p.Support = s
+			out = append(out, p)
+		}
+	}
+	sortPatterns(out)
+	return out
+}
+
+// ClosedPatterns returns the frequent patterns with no frequent
+// super-pattern of equal support — the miner's reporting unit per the
+// paper.
+func (m *Miner) ClosedPatterns() []Pattern {
+	freq := m.FrequentPatterns()
+	return closedOf(freq)
+}
+
+// Transitions reports which patterns entered and left the frequent set
+// since the previous call — the signal used to "reconstruct smaller
+// patterns from larger patterns that just turned infrequent".
+func (m *Miner) Transitions() (entered, left []Pattern) {
+	cur := map[string]bool{}
+	for _, p := range m.FrequentPatterns() {
+		cur[p.Code] = true
+		if !m.prevFrequent[p.Code] {
+			entered = append(entered, p)
+		}
+	}
+	for code := range m.prevFrequent {
+		if !cur[code] {
+			p := m.patterns[code]
+			p.Support = m.Support(code)
+			left = append(left, p)
+		}
+	}
+	m.prevFrequent = cur
+	sortPatterns(entered)
+	sortPatterns(left)
+	return entered, left
+}
+
+// closedOf filters a frequent set down to closed patterns.
+func closedOf(freq []Pattern) []Pattern {
+	bySize := map[int][]Pattern{}
+	for _, p := range freq {
+		bySize[len(p.Edges)] = append(bySize[len(p.Edges)], p)
+	}
+	var out []Pattern
+	for _, p := range freq {
+		closed := true
+		for _, q := range bySize[len(p.Edges)+1] {
+			if q.Support == p.Support && subPatternOf(p, q) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	sortPatterns(out)
+	return out
+}
+
+func sortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support > ps[j].Support
+		}
+		if len(ps[i].Edges) != len(ps[j].Edges) {
+			return len(ps[i].Edges) > len(ps[j].Edges)
+		}
+		return ps[i].Code < ps[j].Code
+	})
+}
+
+func edgeSetKey(set []*windowEdge) string {
+	ids := make([]int64, len(set))
+	for i, e := range set {
+		ids[i] = e.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	key := make([]byte, 0, len(ids)*8)
+	for _, id := range ids {
+		for b := 0; b < 8; b++ {
+			key = append(key, byte(id>>(8*b)))
+		}
+	}
+	return string(key)
+}
+
+func inSet(set []*windowEdge, id int64) bool {
+	for _, e := range set {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+// Package fgm implements NOUS's major research contribution (§3.5): a
+// distributed algorithm for frequent graph mining over a stream of triples.
+// The streaming miner maintains, incrementally under both edge arrival and
+// sliding-window eviction, the embedding counts of every connected pattern
+// up to a size bound, and reports the closed frequent patterns of the
+// current window. Patterns abstract entities to their types, so the miner
+// simultaneously covers the curated KB and extracted knowledge — the
+// "combining both structures" property the paper highlights.
+//
+// Two baselines accompany it: an Arabesque-style from-scratch embedding
+// enumerator re-run per window (the system the paper benchmarks against,
+// reporting ~3× speedup) and a full transaction-setting gSpan.
+package fgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one typed, labeled stream edge: a triple whose endpoints carry
+// entity identities (for embedding counting) and type labels (for pattern
+// abstraction).
+type Edge struct {
+	Src, Dst           int64  // entity identities
+	SrcLabel, DstLabel string // entity types
+	Label              string // predicate
+	Time               int64  // event time (used by time-based eviction)
+}
+
+// PatternEdge is one edge of an abstract pattern between canonical vertex
+// positions.
+type PatternEdge struct {
+	Src, Dst int
+	Label    string
+}
+
+// Pattern is a connected, labeled, directed multigraph abstraction with a
+// canonical code and its current support.
+type Pattern struct {
+	VertexLabels []string
+	Edges        []PatternEdge
+	Support      int
+	Code         string
+}
+
+// String renders a pattern as the paper's figures do:
+// (Company a)-[acquired]->(Company b); (Company b)-[manufactures]->(Product c).
+func (p Pattern) String() string {
+	varName := func(i int) string { return string(rune('a' + i)) }
+	parts := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		parts[i] = fmt.Sprintf("(%s %s)-[%s]->(%s %s)",
+			p.VertexLabels[e.Src], varName(e.Src), e.Label, p.VertexLabels[e.Dst], varName(e.Dst))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// canonicalizer computes canonical codes for small embeddings, memoizing on
+// the raw (sorted-vertex-order) signature.
+type canonicalizer struct {
+	memo map[string]canonEntry
+}
+
+type canonEntry struct {
+	code string
+	// permOfRaw maps raw vertex position (by ascending concrete id) to
+	// canonical position.
+	permOfRaw []int
+	pattern   Pattern
+}
+
+func newCanonicalizer() *canonicalizer {
+	return &canonicalizer{memo: make(map[string]canonEntry)}
+}
+
+// embEdge is the abstract view of one embedding edge.
+type embEdge struct {
+	src, dst           int64
+	srcLabel, dstLabel string
+	label              string
+}
+
+// canonicalize returns the canonical code, the concrete-vertex→canonical-
+// position mapping and the abstract pattern of an embedding.
+func (c *canonicalizer) canonicalize(emb []embEdge) (string, map[int64]int, Pattern) {
+	// Collect distinct vertices in ascending concrete-id order.
+	var vids []int64
+	seen := map[int64]bool{}
+	labels := map[int64]string{}
+	for _, e := range emb {
+		if !seen[e.src] {
+			seen[e.src] = true
+			vids = append(vids, e.src)
+		}
+		if !seen[e.dst] {
+			seen[e.dst] = true
+			vids = append(vids, e.dst)
+		}
+		labels[e.src] = e.srcLabel
+		labels[e.dst] = e.dstLabel
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	rawPos := make(map[int64]int, len(vids))
+	for i, v := range vids {
+		rawPos[v] = i
+	}
+
+	rawSig := buildSig(emb, rawPos, vids, labels, identityPerm(len(vids)))
+	if ent, ok := c.memo[rawSig]; ok {
+		perm := make(map[int64]int, len(vids))
+		for i, v := range vids {
+			perm[v] = ent.permOfRaw[i]
+		}
+		return ent.code, perm, ent.pattern
+	}
+
+	k := len(vids)
+	best := ""
+	var bestPerm []int
+	permute(k, func(p []int) {
+		sig := buildSig(emb, rawPos, vids, labels, p)
+		if best == "" || sig < best {
+			best = sig
+			bestPerm = append(bestPerm[:0], p...)
+		}
+	})
+
+	pattern := patternFromSig(best)
+	pattern.Code = best
+	c.memo[rawSig] = canonEntry{code: best, permOfRaw: append([]int{}, bestPerm...), pattern: pattern}
+
+	perm := make(map[int64]int, len(vids))
+	for i, v := range vids {
+		perm[v] = bestPerm[i]
+	}
+	return best, perm, pattern
+}
+
+// buildSig renders an embedding under a raw→position permutation as
+// "L0,L1|s>d:label;s>d:label" with edges sorted.
+func buildSig(emb []embEdge, rawPos map[int64]int, vids []int64, labels map[int64]string, perm []int) string {
+	vlabels := make([]string, len(vids))
+	for i, v := range vids {
+		vlabels[perm[i]] = labels[v]
+	}
+	edges := make([]string, len(emb))
+	for i, e := range emb {
+		edges[i] = fmt.Sprintf("%d>%d:%s", perm[rawPos[e.src]], perm[rawPos[e.dst]], e.label)
+	}
+	sort.Strings(edges)
+	return strings.Join(vlabels, ",") + "|" + strings.Join(edges, ";")
+}
+
+// patternFromSig parses a signature back into a Pattern.
+func patternFromSig(sig string) Pattern {
+	var p Pattern
+	parts := strings.SplitN(sig, "|", 2)
+	if parts[0] != "" {
+		p.VertexLabels = strings.Split(parts[0], ",")
+	}
+	if len(parts) < 2 || parts[1] == "" {
+		return p
+	}
+	for _, es := range strings.Split(parts[1], ";") {
+		var s, d int
+		var label string
+		if i := strings.IndexByte(es, ':'); i >= 0 {
+			label = es[i+1:]
+			fmt.Sscanf(es[:i], "%d>%d", &s, &d)
+		}
+		p.Edges = append(p.Edges, PatternEdge{Src: s, Dst: d, Label: label})
+	}
+	return p
+}
+
+func identityPerm(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permute calls fn with every permutation of [0,k). fn must copy p if it
+// keeps it.
+func permute(k int, fn func(p []int)) {
+	p := identityPerm(k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			fn(p)
+			return
+		}
+		for j := i; j < k; j++ {
+			p[i], p[j] = p[j], p[i]
+			rec(i + 1)
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	rec(0)
+}
+
+// subPatternOf reports whether p is a subgraph of q (injective vertex
+// mapping preserving vertex labels, edge labels and direction).
+func subPatternOf(p, q Pattern) bool {
+	if len(p.Edges) > len(q.Edges) || len(p.VertexLabels) > len(q.VertexLabels) {
+		return false
+	}
+	n, m := len(p.VertexLabels), len(q.VertexLabels)
+	assign := make([]int, n)
+	used := make([]bool, m)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == n {
+			return edgesContained(p.Edges, q.Edges, assign)
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || p.VertexLabels[i] != q.VertexLabels[j] {
+				continue
+			}
+			assign[i] = j
+			used[j] = true
+			if match(i + 1) {
+				return true
+			}
+			assign[i] = -1
+			used[j] = false
+		}
+		return false
+	}
+	return match(0)
+}
+
+// edgesContained checks multiset containment of p-edges mapped through
+// assign into q-edges.
+func edgesContained(pe, qe []PatternEdge, assign []int) bool {
+	remaining := make(map[PatternEdge]int, len(qe))
+	for _, e := range qe {
+		remaining[e]++
+	}
+	for _, e := range pe {
+		mapped := PatternEdge{Src: assign[e.Src], Dst: assign[e.Dst], Label: e.Label}
+		if remaining[mapped] == 0 {
+			return false
+		}
+		remaining[mapped]--
+	}
+	return true
+}

@@ -1,0 +1,431 @@
+// Package graph implements an in-memory directed property graph with
+// per-label edge indexes, temporal edges and a Pregel-style bulk-synchronous
+// compute engine. It is the substrate NOUS's paper built on Apache Spark
+// GraphX; this implementation preserves the same API surface — vertices and
+// edges carrying arbitrary properties, neighborhood iteration, and
+// message-passing supersteps over hash partitions — at single-process scale.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a vertex. IDs are assigned densely by the graph and
+// are never reused within one Graph instance.
+type VertexID int64
+
+// EdgeID identifies an edge within one Graph instance.
+type EdgeID int64
+
+// NilVertex is returned by lookups that find no vertex.
+const NilVertex VertexID = -1
+
+// Vertex is a labeled node with arbitrary string properties.
+type Vertex struct {
+	ID    VertexID
+	Label string // entity type, e.g. "Organization"
+	Props map[string]string
+}
+
+// Edge is a directed, labeled, timestamped edge with a weight and arbitrary
+// string properties. Timestamp is seconds since the epoch (0 when the edge is
+// not temporal).
+type Edge struct {
+	ID        EdgeID
+	Src, Dst  VertexID
+	Label     string // predicate, e.g. "acquired"
+	Weight    float64
+	Timestamp int64
+	Props     map[string]string
+}
+
+// Graph is a mutable directed multigraph. All exported methods are safe for
+// concurrent use.
+type Graph struct {
+	mu sync.RWMutex
+
+	vertices map[VertexID]*Vertex
+	edges    map[EdgeID]*Edge
+	out      map[VertexID][]*Edge
+	in       map[VertexID][]*Edge
+	byLabel  map[string]map[EdgeID]*Edge // edge label -> edges
+
+	nextVertex VertexID
+	nextEdge   EdgeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[VertexID]*Vertex),
+		edges:    make(map[EdgeID]*Edge),
+		out:      make(map[VertexID][]*Edge),
+		in:       make(map[VertexID][]*Edge),
+		byLabel:  make(map[string]map[EdgeID]*Edge),
+	}
+}
+
+// AddVertex inserts a vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(label string) VertexID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := g.nextVertex
+	g.nextVertex++
+	g.vertices[id] = &Vertex{ID: id, Label: label}
+	return id
+}
+
+// AddVertexWithProps inserts a vertex carrying the given properties.
+// The props map is copied.
+func (g *Graph) AddVertexWithProps(label string, props map[string]string) VertexID {
+	id := g.AddVertex(label)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := g.vertices[id]
+	v.Props = copyProps(props)
+	return id
+}
+
+// SetVertexProp sets one property on a vertex. It reports whether the vertex
+// exists.
+func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.vertices[id]
+	if !ok {
+		return false
+	}
+	if v.Props == nil {
+		v.Props = make(map[string]string)
+	}
+	v.Props[key] = value
+	return true
+}
+
+// VertexProp returns a property of a vertex.
+func (g *Graph) VertexProp(id VertexID, key string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	if !ok || v.Props == nil {
+		return "", false
+	}
+	val, ok := v.Props[key]
+	return val, ok
+}
+
+// Vertex returns a copy of the vertex with the given ID.
+func (g *Graph) Vertex(id VertexID) (Vertex, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	if !ok {
+		return Vertex{}, false
+	}
+	cp := *v
+	cp.Props = copyProps(v.Props)
+	return cp, true
+}
+
+// HasVertex reports whether the vertex exists.
+func (g *Graph) HasVertex(id VertexID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.vertices[id]
+	return ok
+}
+
+// AddEdge inserts a directed edge and returns its ID. Both endpoints must
+// exist.
+func (g *Graph) AddEdge(src, dst VertexID, label string) (EdgeID, error) {
+	return g.AddEdgeFull(src, dst, label, 1.0, 0, nil)
+}
+
+// AddEdgeFull inserts a directed edge with weight, timestamp and properties.
+func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts int64, props map[string]string) (EdgeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.vertices[src]; !ok {
+		return 0, fmt.Errorf("graph: add edge %q: source vertex %d does not exist", label, src)
+	}
+	if _, ok := g.vertices[dst]; !ok {
+		return 0, fmt.Errorf("graph: add edge %q: destination vertex %d does not exist", label, dst)
+	}
+	id := g.nextEdge
+	g.nextEdge++
+	e := &Edge{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)}
+	g.edges[id] = e
+	g.out[src] = append(g.out[src], e)
+	g.in[dst] = append(g.in[dst], e)
+	idx, ok := g.byLabel[label]
+	if !ok {
+		idx = make(map[EdgeID]*Edge)
+		g.byLabel[label] = idx
+	}
+	idx[id] = e
+	return id, nil
+}
+
+// RemoveEdge deletes an edge. It reports whether the edge existed.
+func (g *Graph) RemoveEdge(id EdgeID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return false
+	}
+	delete(g.edges, id)
+	g.out[e.Src] = removeEdgeFrom(g.out[e.Src], id)
+	g.in[e.Dst] = removeEdgeFrom(g.in[e.Dst], id)
+	if idx := g.byLabel[e.Label]; idx != nil {
+		delete(idx, id)
+		if len(idx) == 0 {
+			delete(g.byLabel, e.Label)
+		}
+	}
+	return true
+}
+
+// Edge returns a copy of the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return Edge{}, false
+	}
+	cp := *e
+	cp.Props = copyProps(e.Props)
+	return cp, true
+}
+
+// SetEdgeProp sets one property on an edge. It reports whether the edge
+// exists.
+func (g *Graph) SetEdgeProp(id EdgeID, key, value string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return false
+	}
+	if e.Props == nil {
+		e.Props = make(map[string]string)
+	}
+	e.Props[key] = value
+	return true
+}
+
+// SetEdgeWeight updates an edge's weight. It reports whether the edge exists.
+func (g *Graph) SetEdgeWeight(id EdgeID, w float64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return false
+	}
+	e.Weight = w
+	return true
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices)
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// OutDegree returns the number of outgoing edges of a vertex.
+func (g *Graph) OutDegree(id VertexID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.out[id])
+}
+
+// InDegree returns the number of incoming edges of a vertex.
+func (g *Graph) InDegree(id VertexID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.in[id])
+}
+
+// Degree returns in-degree + out-degree.
+func (g *Graph) Degree(id VertexID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.out[id]) + len(g.in[id])
+}
+
+// OutEdges returns copies of the outgoing edges of a vertex.
+func (g *Graph) OutEdges(id VertexID) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return copyEdges(g.out[id])
+}
+
+// InEdges returns copies of the incoming edges of a vertex.
+func (g *Graph) InEdges(id VertexID) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return copyEdges(g.in[id])
+}
+
+// Edges returns copies of all edges incident to the vertex (both directions).
+func (g *Graph) Edges(id VertexID) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	all := make([]Edge, 0, len(g.out[id])+len(g.in[id]))
+	for _, e := range g.out[id] {
+		all = append(all, *e)
+	}
+	for _, e := range g.in[id] {
+		all = append(all, *e)
+	}
+	return all
+}
+
+// Neighbors returns the distinct vertices adjacent to id in either direction,
+// in ascending order.
+func (g *Graph) Neighbors(id VertexID) []VertexID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[VertexID]struct{})
+	for _, e := range g.out[id] {
+		seen[e.Dst] = struct{}{}
+	}
+	for _, e := range g.in[id] {
+		seen[e.Src] = struct{}{}
+	}
+	delete(seen, id)
+	ids := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EdgesByLabel returns copies of all edges carrying the given label.
+func (g *Graph) EdgesByLabel(label string) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	idx := g.byLabel[label]
+	es := make([]Edge, 0, len(idx))
+	for _, e := range idx {
+		es = append(es, *e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+	return es
+}
+
+// EdgeLabels returns the distinct edge labels present in the graph, sorted.
+func (g *Graph) EdgeLabels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	labels := make([]string, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// VertexIDs returns all vertex IDs in ascending order.
+func (g *Graph) VertexIDs() []VertexID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]VertexID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EdgeIDs returns all edge IDs in ascending order.
+func (g *Graph) EdgeIDs() []EdgeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]EdgeID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// FindEdges returns copies of edges from src to dst with the given label.
+// An empty label matches any label.
+func (g *Graph) FindEdges(src, dst VertexID, label string) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for _, e := range g.out[src] {
+		if e.Dst == dst && (label == "" || e.Label == label) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// ForEachOutEdge calls fn for each outgoing edge of id while fn returns true.
+// fn must not mutate the graph.
+func (g *Graph) ForEachOutEdge(id VertexID, fn func(Edge) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.out[id] {
+		if !fn(*e) {
+			return
+		}
+	}
+}
+
+// ForEachInEdge calls fn for each incoming edge of id while fn returns true.
+// fn must not mutate the graph.
+func (g *Graph) ForEachInEdge(id VertexID, fn func(Edge) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.in[id] {
+		if !fn(*e) {
+			return
+		}
+	}
+}
+
+func removeEdgeFrom(list []*Edge, id EdgeID) []*Edge {
+	for i, e := range list {
+		if e.ID == id {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+func copyEdges(list []*Edge) []Edge {
+	out := make([]Edge, len(list))
+	for i, e := range list {
+		out[i] = *e
+		out[i].Props = copyProps(e.Props)
+	}
+	return out
+}
+
+func copyProps(p map[string]string) map[string]string {
+	if p == nil {
+		return nil
+	}
+	cp := make(map[string]string, len(p))
+	for k, v := range p {
+		cp[k] = v
+	}
+	return cp
+}

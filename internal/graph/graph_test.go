@@ -1,0 +1,388 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexAssignsDistinctIDs(t *testing.T) {
+	g := New()
+	a := g.AddVertex("Person")
+	b := g.AddVertex("Org")
+	if a == b {
+		t.Fatalf("expected distinct IDs, got %d twice", a)
+	}
+	if g.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d, want 2", g.NumVertices())
+	}
+	v, ok := g.Vertex(a)
+	if !ok || v.Label != "Person" {
+		t.Fatalf("Vertex(%d) = %+v, %v; want Person", a, v, ok)
+	}
+}
+
+func TestAddEdgeRequiresEndpoints(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	if _, err := g.AddEdge(a, 999, "rel"); err == nil {
+		t.Fatal("expected error for missing destination")
+	}
+	if _, err := g.AddEdge(999, a, "rel"); err == nil {
+		t.Fatal("expected error for missing source")
+	}
+}
+
+func TestEdgeLookupAndDegree(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	e1, err := g.AddEdge(a, b, "knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a, c, "knows"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, c, "likes"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := g.OutDegree(a); got != 2 {
+		t.Errorf("OutDegree(a) = %d, want 2", got)
+	}
+	if got := g.InDegree(c); got != 2 {
+		t.Errorf("InDegree(c) = %d, want 2", got)
+	}
+	if got := g.Degree(b); got != 2 {
+		t.Errorf("Degree(b) = %d, want 2", got)
+	}
+	e, ok := g.Edge(e1)
+	if !ok || e.Label != "knows" || e.Src != a || e.Dst != b {
+		t.Errorf("Edge(e1) = %+v, %v", e, ok)
+	}
+	if es := g.EdgesByLabel("knows"); len(es) != 2 {
+		t.Errorf("EdgesByLabel(knows) = %d edges, want 2", len(es))
+	}
+	if labels := g.EdgeLabels(); len(labels) != 2 || labels[0] != "knows" || labels[1] != "likes" {
+		t.Errorf("EdgeLabels = %v", labels)
+	}
+}
+
+func TestRemoveEdgeCleansIndexes(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	id, _ := g.AddEdge(a, b, "rel")
+	if !g.RemoveEdge(id) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.RemoveEdge(id) {
+		t.Fatal("RemoveEdge returned true for already-removed edge")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if g.OutDegree(a) != 0 || g.InDegree(b) != 0 {
+		t.Fatal("degrees not cleaned after removal")
+	}
+	if es := g.EdgesByLabel("rel"); len(es) != 0 {
+		t.Fatalf("label index not cleaned: %v", es)
+	}
+}
+
+func TestFindEdgesFiltersByLabel(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	g.AddEdge(a, b, "x")
+	g.AddEdge(a, b, "y")
+	if got := len(g.FindEdges(a, b, "x")); got != 1 {
+		t.Errorf("FindEdges(x) = %d, want 1", got)
+	}
+	if got := len(g.FindEdges(a, b, "")); got != 2 {
+		t.Errorf("FindEdges(any) = %d, want 2", got)
+	}
+	if got := len(g.FindEdges(b, a, "")); got != 0 {
+		t.Errorf("FindEdges(reverse) = %d, want 0", got)
+	}
+}
+
+func TestNeighborsUndirectedDistinct(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	g.AddEdge(a, b, "r")
+	g.AddEdge(b, a, "r") // both directions: still one neighbor
+	g.AddEdge(c, a, "r")
+	nbs := g.Neighbors(a)
+	if len(nbs) != 2 || nbs[0] != b || nbs[1] != c {
+		t.Fatalf("Neighbors(a) = %v, want [%d %d]", nbs, b, c)
+	}
+}
+
+func TestVertexAndEdgeProps(t *testing.T) {
+	g := New()
+	a := g.AddVertexWithProps("A", map[string]string{"name": "DJI"})
+	if v, _ := g.Vertex(a); v.Props["name"] != "DJI" {
+		t.Fatalf("props not stored: %+v", v)
+	}
+	if !g.SetVertexProp(a, "hq", "Shenzhen") {
+		t.Fatal("SetVertexProp failed")
+	}
+	if got, ok := g.VertexProp(a, "hq"); !ok || got != "Shenzhen" {
+		t.Fatalf("VertexProp = %q, %v", got, ok)
+	}
+	b := g.AddVertex("B")
+	id, _ := g.AddEdgeFull(a, b, "rel", 0.5, 1234, map[string]string{"src": "wsj"})
+	e, _ := g.Edge(id)
+	if e.Weight != 0.5 || e.Timestamp != 1234 || e.Props["src"] != "wsj" {
+		t.Fatalf("edge fields lost: %+v", e)
+	}
+	if !g.SetEdgeWeight(id, 0.9) {
+		t.Fatal("SetEdgeWeight failed")
+	}
+	if e, _ := g.Edge(id); e.Weight != 0.9 {
+		t.Fatalf("weight not updated: %v", e.Weight)
+	}
+}
+
+func TestVertexCopiesAreIsolated(t *testing.T) {
+	g := New()
+	a := g.AddVertexWithProps("A", map[string]string{"k": "v"})
+	v, _ := g.Vertex(a)
+	v.Props["k"] = "mutated"
+	v2, _ := g.Vertex(a)
+	if v2.Props["k"] != "v" {
+		t.Fatal("Vertex returned a shared props map")
+	}
+}
+
+// Property: after any sequence of adds and removes, sum of out-degrees ==
+// sum of in-degrees == NumEdges, and no index contains a removed edge.
+func TestDegreeInvariantQuick(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		var vids []VertexID
+		var eids []EdgeID
+		for i := 0; i < 8; i++ {
+			vids = append(vids, g.AddVertex("T"))
+		}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1: // add edge
+				s := vids[rng.Intn(len(vids))]
+				d := vids[rng.Intn(len(vids))]
+				id, err := g.AddEdge(s, d, "r")
+				if err != nil {
+					return false
+				}
+				eids = append(eids, id)
+			case 2: // remove random known edge (may already be gone)
+				if len(eids) > 0 {
+					g.RemoveEdge(eids[rng.Intn(len(eids))])
+				}
+			}
+		}
+		sumOut, sumIn := 0, 0
+		for _, v := range vids {
+			sumOut += g.OutDegree(v)
+			sumIn += g.InDegree(v)
+		}
+		return sumOut == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := New()
+	n := 20
+	var ids []VertexID
+	for i := 0; i < n; i++ {
+		ids = append(ids, g.AddVertex("V"))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		g.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], "r")
+	}
+	pr := PageRank(g, 0.85, 30)
+	sum := 0.0
+	for _, r := range pr {
+		if r < 0 {
+			t.Fatalf("negative rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1.0) > 1e-6 {
+		t.Fatalf("PageRank sum = %v, want ~1", sum)
+	}
+}
+
+func TestPageRankFavorsSink(t *testing.T) {
+	// star: everyone points at hub; hub should have max rank.
+	g := New()
+	hub := g.AddVertex("hub")
+	for i := 0; i < 10; i++ {
+		v := g.AddVertex("leaf")
+		g.AddEdge(v, hub, "r")
+	}
+	pr := PageRank(g, 0.85, 25)
+	for id, r := range pr {
+		if id != hub && r >= pr[hub] {
+			t.Fatalf("leaf %d rank %v >= hub rank %v", id, r, pr[hub])
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if got := PageRank(New(), 0.85, 10); len(got) != 0 {
+		t.Fatalf("PageRank on empty graph = %v", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	d := g.AddVertex("D")
+	e := g.AddVertex("E")
+	g.AddEdge(a, b, "r")
+	g.AddEdge(c, b, "r") // a,b,c one component (undirected)
+	g.AddEdge(d, e, "r") // d,e another
+
+	cc := ConnectedComponents(g)
+	if cc[a] != cc[b] || cc[b] != cc[c] {
+		t.Fatalf("a,b,c should share a component: %v", cc)
+	}
+	if cc[d] != cc[e] {
+		t.Fatalf("d,e should share a component: %v", cc)
+	}
+	if cc[a] == cc[d] {
+		t.Fatalf("a and d should differ: %v", cc)
+	}
+	if cc[a] != a {
+		t.Fatalf("component label should be min ID %d, got %d", a, cc[a])
+	}
+}
+
+func TestSSSPHopCounts(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("C")
+	d := g.AddVertex("D")
+	iso := g.AddVertex("ISO")
+	g.AddEdge(a, b, "r")
+	g.AddEdge(b, c, "r")
+	g.AddEdge(d, c, "r") // reachable via undirected traversal
+
+	dist := SSSP(g, a)
+	want := map[VertexID]int{a: 0, b: 1, c: 2, d: 3}
+	for v, wd := range want {
+		if dist[v] != wd {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], wd)
+		}
+	}
+	if _, ok := dist[iso]; ok {
+		t.Error("isolated vertex should be unreachable")
+	}
+	if got := SSSP(g, 999); len(got) != 0 {
+		t.Errorf("SSSP from missing vertex = %v", got)
+	}
+}
+
+func TestPregelHaltsWithoutMessages(t *testing.T) {
+	g := New()
+	g.AddVertex("A")
+	steps := 0
+	p := &Pregel[int, int]{
+		MaxSupersteps: 100,
+		Init:          func(v Vertex) int { return 0 },
+		Compute: func(ctx *PregelContext[int], v Vertex, s int, msgs []int) int {
+			steps++
+			return s + 1 // never sends: must halt after superstep 0
+		},
+	}
+	states := p.Run(g)
+	if steps != 1 {
+		t.Fatalf("Compute ran %d times, want 1", steps)
+	}
+	for _, s := range states {
+		if s != 1 {
+			t.Fatalf("state = %d, want 1", s)
+		}
+	}
+}
+
+func TestPregelCombinerMergesMessages(t *testing.T) {
+	// Two sources send 1 to the same sink with a sum combiner; the sink must
+	// observe a single merged message of 2.
+	g := New()
+	s1 := g.AddVertex("S")
+	s2 := g.AddVertex("S")
+	sink := g.AddVertex("T")
+	g.AddEdge(s1, sink, "r")
+	g.AddEdge(s2, sink, "r")
+
+	p := &Pregel[int, int]{
+		MaxSupersteps: 3,
+		Combine:       func(a, b int) int { return a + b },
+		Init:          func(v Vertex) int { return 0 },
+		Compute: func(ctx *PregelContext[int], v Vertex, s int, msgs []int) int {
+			if ctx.Superstep == 0 && v.Label == "S" {
+				g.ForEachOutEdge(v.ID, func(e Edge) bool {
+					ctx.Send(e.Dst, 1)
+					return true
+				})
+				return s
+			}
+			if len(msgs) > 1 {
+				t.Errorf("combiner not applied: %d messages", len(msgs))
+			}
+			for _, m := range msgs {
+				s += m
+			}
+			return s
+		},
+	}
+	states := p.Run(g)
+	if states[sink] != 2 {
+		t.Fatalf("sink state = %d, want 2", states[sink])
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	g := New()
+	var ids []VertexID
+	for i := 0; i < 1000; i++ {
+		ids = append(ids, g.AddVertex("V"))
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], "r")
+	}
+}
+
+func BenchmarkPageRank1k(b *testing.B) {
+	g := New()
+	var ids []VertexID
+	for i := 0; i < 1000; i++ {
+		ids = append(ids, g.AddVertex("V"))
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], "r")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, 0.85, 10)
+	}
+}

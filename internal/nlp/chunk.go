@@ -1,0 +1,133 @@
+package nlp
+
+import "strings"
+
+// Chunk is a shallow-parse phrase: a contiguous token span of one kind.
+type Chunk struct {
+	Kind  string // "NP" or "VP"
+	Start int    // first token index (inclusive)
+	End   int    // last token index (exclusive)
+	Head  int    // index of the head token (last noun of an NP, main verb of a VP)
+	// Passive is set on VP chunks of the form be + VBN ("was acquired").
+	Passive bool
+}
+
+// Text renders the chunk's surface text.
+func (c Chunk) Text(toks []Token) string {
+	out := ""
+	for i := c.Start; i < c.End; i++ {
+		if i > c.Start {
+			out += " "
+		}
+		out += toks[i].Text
+	}
+	return out
+}
+
+// ChunkSentence performs shallow NP/VP chunking over a tagged sentence.
+//
+// NP  := (DT|PRP$)? (JJ|JJR|VBN|VBG|CD)* (NN|NNS|NNP)+ (POS NP)?
+// VP  := (MD|RB)* (V) (RB|RP)*   with passive detection for be+VBN
+//
+// Possessives chain into a single NP ("DJI's Phantom division").
+func ChunkSentence(toks []Token) []Chunk {
+	var chunks []Chunk
+	i := 0
+	for i < len(toks) {
+		if c, next, ok := matchNP(toks, i); ok {
+			chunks = append(chunks, c)
+			i = next
+			continue
+		}
+		if c, next, ok := matchVP(toks, i); ok {
+			chunks = append(chunks, c)
+			i = next
+			continue
+		}
+		i++
+	}
+	return chunks
+}
+
+func matchNP(toks []Token, i int) (Chunk, int, bool) {
+	start := i
+	// optional determiner / possessive pronoun
+	if i < len(toks) && (toks[i].Tag == "DT" || toks[i].Tag == "PRP$") {
+		i++
+	}
+	// premodifiers
+	for i < len(toks) {
+		t := toks[i].Tag
+		if t == "JJ" || t == "JJR" || t == "JJS" || t == "CD" || t == "VBN" || t == "VBG" {
+			i++
+			continue
+		}
+		break
+	}
+	// head nouns
+	nounStart := i
+	for i < len(toks) && IsNounTag(toks[i].Tag) {
+		i++
+	}
+	if i == nounStart {
+		// A bare pronoun is an NP on its own (for coref).
+		if start == nounStart && nounStart < len(toks) && toks[nounStart].Tag == "PRP" {
+			return Chunk{Kind: "NP", Start: nounStart, End: nounStart + 1, Head: nounStart}, nounStart + 1, true
+		}
+		return Chunk{}, start, false
+	}
+	head := i - 1
+	// Trailing cardinals belong to product-style names: "Phantom 3".
+	for i < len(toks) && toks[i].Tag == "CD" && !strings.Contains(toks[i].Text, "$") {
+		i++
+	}
+	// possessive chain: "DJI 's Phantom division"
+	if i+1 < len(toks) && toks[i].Tag == "POS" {
+		if sub, next, ok := matchNP(toks, i+1); ok {
+			return Chunk{Kind: "NP", Start: start, End: sub.End, Head: sub.Head}, next, true
+		}
+	}
+	return Chunk{Kind: "NP", Start: start, End: i, Head: head}, i, true
+}
+
+func matchVP(toks []Token, i int) (Chunk, int, bool) {
+	start := i
+	// leading modals/adverbs
+	for i < len(toks) && (toks[i].Tag == "MD" || toks[i].Tag == "RB" || toks[i].Tag == "TO") {
+		i++
+	}
+	verbStart := i
+	sawBe := false
+	lastVerb := -1
+	for i < len(toks) {
+		t := toks[i]
+		if IsVerbTag(t.Tag) && t.Tag != "MD" {
+			if isBeForm(t.Lower) || t.Lower == "have" || t.Lower == "has" || t.Lower == "had" {
+				sawBe = sawBe || isBeForm(t.Lower)
+				lastVerb = i
+				i++
+				continue
+			}
+			lastVerb = i
+			i++
+			// interleaved adverbs: "quickly acquired"
+			for i < len(toks) && (toks[i].Tag == "RB" || toks[i].Tag == "RP") {
+				i++
+			}
+			continue
+		}
+		if t.Tag == "RB" && lastVerb >= 0 {
+			i++
+			continue
+		}
+		break
+	}
+	if lastVerb < 0 || i == verbStart && start == verbStart {
+		return Chunk{}, start, false
+	}
+	if lastVerb < 0 {
+		return Chunk{}, start, false
+	}
+	passive := sawBe && toks[lastVerb].Tag == "VBN"
+	return Chunk{Kind: "VP", Start: start, End: i, Head: lastVerb, Passive: passive}, i, true
+}

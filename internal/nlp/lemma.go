@@ -1,0 +1,116 @@
+package nlp
+
+import "strings"
+
+// Lemma returns the dictionary form of a lowercase word given its tag:
+// plural nouns are singularized, inflected verbs reduced to their stem,
+// everything else is returned unchanged.
+func Lemma(lower, tag string) string {
+	switch {
+	case tag == "NNS" || tag == "NNPS":
+		return singularize(lower)
+	case IsVerbTag(tag):
+		return verbLemma(lower)
+	}
+	return lower
+}
+
+func singularize(w string) string {
+	if s, ok := irregularNouns[w]; ok {
+		return s
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses") || strings.HasSuffix(w, "shes") || strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "oes") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"), strings.HasSuffix(w, "us"), strings.HasSuffix(w, "is"):
+		return w
+	case strings.HasSuffix(w, "s") && len(w) > 2:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func verbLemma(w string) string {
+	if v, ok := irregularVerbs[w]; ok {
+		return v.Base
+	}
+	if base, _, ok := verbInflection(w); ok {
+		return base
+	}
+	// generic rules for verbs outside the stem list
+	switch {
+	case strings.HasSuffix(w, "ying") && len(w) > 5:
+		return w[:len(w)-4] + "y"
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		stem := w[:len(w)-3]
+		if doubledConsonant(stem) {
+			return stem[:len(stem)-1]
+		}
+		if needsE(stem) {
+			return stem + "e"
+		}
+		return stem
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		stem := w[:len(w)-2]
+		if doubledConsonant(stem) {
+			return stem[:len(stem)-1]
+		}
+		if needsE(stem) {
+			return stem + "e"
+		}
+		return stem
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "es") && len(w) > 3 && esTakesFullSuffix(w):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 2:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func doubledConsonant(stem string) bool {
+	if len(stem) < 3 {
+		return false
+	}
+	a, b := stem[len(stem)-1], stem[len(stem)-2]
+	if a != b {
+		return false
+	}
+	switch a {
+	case 'b', 'd', 'g', 'm', 'n', 'p', 'r', 't', 'l':
+		return true
+	}
+	return false
+}
+
+// needsE guesses whether the stem lost a silent 'e' ("announc" → "announce").
+func needsE(stem string) bool {
+	if len(stem) < 2 {
+		return false
+	}
+	last := stem[len(stem)-1]
+	prev := stem[len(stem)-2]
+	switch last {
+	case 'c', 'g', 'v', 'z', 'u':
+		return true
+	case 's':
+		return prev != 's'
+	case 'r':
+		return prev == 'i' || prev == 'u' // acquir→acquire, secur→secure
+	}
+	return false
+}
+
+func esTakesFullSuffix(w string) bool {
+	stem := w[:len(w)-2]
+	return strings.HasSuffix(stem, "sh") || strings.HasSuffix(stem, "ch") ||
+		strings.HasSuffix(stem, "ss") || strings.HasSuffix(stem, "x") ||
+		strings.HasSuffix(stem, "z") || strings.HasSuffix(stem, "o")
+}

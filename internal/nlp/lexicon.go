@@ -1,0 +1,208 @@
+package nlp
+
+// Closed-class lexicon and common open-class words used by the tagger.
+// Tags follow the Penn Treebank subset the extractor consumes:
+// NN NNS NNP CD DT IN JJ RB PRP PRP$ CC MD TO VB VBZ VBD VBG VBN WDT WP
+// EX POS UH plus literal punctuation tags.
+
+var lexicon = map[string]string{
+	// determiners
+	"the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+	"these": "DT", "those": "DT", "each": "DT", "every": "DT", "some": "DT",
+	"any": "DT", "no": "DT", "another": "DT", "both": "DT", "all": "DT",
+	// prepositions / subordinating conjunctions
+	"of": "IN", "in": "IN", "on": "IN", "at": "IN", "by": "IN", "for": "IN",
+	"with": "IN", "from": "IN", "into": "IN", "over": "IN", "under": "IN",
+	"after": "IN", "before": "IN", "between": "IN", "through": "IN",
+	"during": "IN", "about": "IN", "against": "IN", "near": "IN",
+	"since": "IN", "until": "IN", "within": "IN", "without": "IN",
+	"amid": "IN", "despite": "IN", "per": "IN", "via": "IN", "as": "IN",
+	"because": "IN", "while": "IN", "if": "IN", "than": "IN", "across": "IN",
+	// pronouns
+	"he": "PRP", "she": "PRP", "it": "PRP", "they": "PRP", "we": "PRP",
+	"i": "PRP", "you": "PRP", "him": "PRP", "her": "PRP", "them": "PRP",
+	"us": "PRP", "itself": "PRP", "himself": "PRP", "herself": "PRP",
+	"themselves": "PRP", "who": "WP", "whom": "WP", "which": "WDT",
+	"whose": "WP$", "what": "WP",
+	"his": "PRP$", "its": "PRP$", "their": "PRP$", "our": "PRP$",
+	"my": "PRP$", "your": "PRP$",
+	// conjunctions
+	"and": "CC", "or": "CC", "but": "CC", "nor": "CC", "yet": "CC",
+	// modals
+	"will": "MD", "would": "MD", "can": "MD", "could": "MD", "may": "MD",
+	"might": "MD", "must": "MD", "shall": "MD", "should": "MD",
+	// to
+	"to": "TO",
+	// existential
+	"there": "EX",
+	// be / have / do
+	"be": "VB", "is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD",
+	"been": "VBN", "being": "VBG", "am": "VBP",
+	"have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG",
+	"do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN", "doing": "VBG",
+	// frequent adverbs
+	"not": "RB", "n't": "RB", "also": "RB", "now": "RB", "then": "RB",
+	"here": "RB", "very": "RB", "just": "RB", "still": "RB", "already": "RB",
+	"soon": "RB", "once": "RB", "again": "RB", "never": "RB", "often": "RB",
+	"later": "RB", "recently": "RB", "earlier": "RB", "today": "NN",
+	"yesterday": "NN", "tomorrow": "NN", "more": "RBR", "most": "RBS",
+	"up": "RP", "out": "RP", "down": "RP", "off": "RP",
+	// frequent adjectives that suffix rules miss
+	"new": "JJ", "big": "JJ", "small": "JJ", "large": "JJ", "early": "JJ",
+	"late": "JJ", "high": "JJ", "low": "JJ", "first": "JJ", "last": "JJ",
+	"major": "JJ", "top": "JJ", "key": "JJ", "next": "JJ", "own": "JJ",
+	"civilian": "JJ", "commercial": "JJ", "federal": "JJ", "leading": "JJ",
+	"chief": "JJ", "senior": "JJ", "former": "JJ", "emerging": "JJ",
+	"unmanned": "JJ", "aerial": "JJ", "autonomous": "JJ", "non-military": "JJ",
+	// frequent plain nouns
+	"company": "NN", "drone": "NN", "drones": "NNS", "startup": "NN",
+	"technology": "NN", "market": "NN", "deal": "NN", "agency": "NN",
+	"maker": "NN", "firm": "NN", "year": "NN", "month": "NN", "week": "NN",
+	"people": "NNS", "million": "CD", "billion": "CD", "percent": "NN",
+	"analyst": "NN", "regulator": "NN", "quarter": "NN", "share": "NN",
+	"shares": "NNS", "stock": "NN", "revenue": "NN", "product": "NN",
+	"one": "CD", "two": "CD", "three": "CD", "four": "CD", "five": "CD",
+	"six": "CD", "seven": "CD", "eight": "CD", "nine": "CD", "ten": "CD",
+	"dozen": "CD", "hundred": "CD", "thousand": "CD",
+	"device": "NN", "aircraft": "NN", "operations": "NNS", "ceo": "NN",
+	"executive": "NN", "spokesman": "NN", "spokeswoman": "NN",
+}
+
+// verbStems lists base forms of verbs common in business / technology news;
+// the tagger recognises their inflections. The set matters for relation-
+// phrase detection (a ReVerb pattern must start at a verb).
+var verbStems = map[string]bool{
+	"acquire": true, "buy": true, "purchase": true, "sell": true,
+	"announce": true, "launch": true, "release": true, "unveil": true,
+	"manufacture": true, "produce": true, "build": true, "make": true,
+	"develop": true, "design": true, "create": true, "introduce": true,
+	"use": true, "deploy": true, "operate": true, "employ": true,
+	"test": true, "fly": true, "deliver": true, "ship": true,
+	"partner": true, "collaborate": true, "merge": true, "join": true,
+	"invest": true, "fund": true, "raise": true, "back": true,
+	"regulate": true, "ban": true, "approve": true, "grant": true,
+	"found": true, "start": true, "establish": true, "head": true,
+	"lead": true, "run": true, "own": true, "hold": true,
+	"hire": true, "appoint": true, "name": true, "promote": true,
+	"plan": true, "expect": true, "say": true, "report": true,
+	"track": true, "monitor": true, "expand": true, "enter": true,
+	"open": true, "close": true, "sign": true, "win": true,
+	"compete": true, "supply": true, "provide": true, "offer": true,
+	"base": true, "locate": true, "headquarter": true, "work": true,
+	"serve": true, "target": true, "seek": true, "consider": true,
+	"agree": true, "reach": true, "complete": true, "finish": true,
+	"study": true, "hypothesize": true, "reason": true, "identify": true,
+	"spin": true, "list": true, "file": true, "sue": true, "fine": true,
+	"warn": true, "order": true, "license": true, "certify": true,
+	"publish": true, "cite": true, "reference": true, "author": true,
+	"access": true, "download": true, "upload": true, "log": true,
+	"email": true, "copy": true, "leak": true, "exfiltrate": true,
+	"visit": true, "attack": true, "breach": true, "steal": true,
+}
+
+// irregularVerbs maps inflected forms to (base, tag).
+var irregularVerbs = map[string]struct {
+	Base string
+	Tag  string
+}{
+	"is": {"be", "VBZ"}, "are": {"be", "VBP"}, "was": {"be", "VBD"},
+	"were": {"be", "VBD"}, "been": {"be", "VBN"}, "being": {"be", "VBG"},
+	"am": {"be", "VBP"}, "has": {"have", "VBZ"}, "had": {"have", "VBD"},
+	"having": {"have", "VBG"}, "does": {"do", "VBZ"}, "did": {"do", "VBD"},
+	"done": {"do", "VBN"}, "doing": {"do", "VBG"},
+	"bought": {"buy", "VBD"}, "sold": {"sell", "VBD"},
+	"made": {"make", "VBD"}, "built": {"build", "VBD"},
+	"flew": {"fly", "VBD"}, "flown": {"fly", "VBN"},
+	"held": {"hold", "VBD"}, "led": {"lead", "VBD"},
+	"ran": {"run", "VBD"}, "said": {"say", "VBD"},
+	"took": {"take", "VBD"}, "taken": {"take", "VBN"},
+	"went": {"go", "VBD"}, "gone": {"go", "VBN"},
+	"won": {"win", "VBD"}, "found": {"find", "VBD"},
+	"founded": {"found", "VBD"}, "sought": {"seek", "VBD"},
+	"spun": {"spin", "VBD"}, "stole": {"steal", "VBD"},
+	"stolen": {"steal", "VBN"}, "grew": {"grow", "VBD"},
+	"grown": {"grow", "VBN"}, "became": {"become", "VBD"},
+	"become": {"become", "VB"}, "begun": {"begin", "VBN"},
+	"began": {"begin", "VBD"}, "met": {"meet", "VBD"},
+	"paid": {"pay", "VBD"}, "kept": {"keep", "VBD"},
+	"left": {"leave", "VBD"}, "lost": {"lose", "VBD"},
+	"brought": {"bring", "VBD"}, "wrote": {"write", "VBD"},
+	"written": {"write", "VBN"}, "saw": {"see", "VBD"},
+	"seen": {"see", "VBN"}, "came": {"come", "VBD"},
+	"got": {"get", "VBD"}, "gotten": {"get", "VBN"},
+	"rose": {"rise", "VBD"}, "risen": {"rise", "VBN"},
+	"fell": {"fall", "VBD"}, "fallen": {"fall", "VBN"},
+	"hit": {"hit", "VBD"}, "set": {"set", "VBD"},
+	"put": {"put", "VBD"}, "cut": {"cut", "VBD"},
+}
+
+// irregularNouns maps plural to singular.
+var irregularNouns = map[string]string{
+	"people": "person", "children": "child", "men": "man", "women": "woman",
+	"feet": "foot", "teeth": "tooth", "mice": "mouse", "geese": "goose",
+	"criteria": "criterion", "data": "datum", "media": "medium",
+	"analyses": "analysis", "crises": "crisis", "theses": "thesis",
+	"indices": "index", "aircraft": "aircraft", "series": "series",
+	"subsidiaries": "subsidiary", "companies": "company",
+	"agencies": "agency", "technologies": "technology",
+}
+
+// stopwords is the standard small English stopword list used when building
+// bag-of-words contexts for disambiguation and LDA.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "in": true, "on": true,
+	"at": true, "by": true, "for": true, "with": true, "from": true,
+	"to": true, "and": true, "or": true, "but": true, "is": true,
+	"are": true, "was": true, "were": true, "be": true, "been": true,
+	"being": true, "have": true, "has": true, "had": true, "do": true,
+	"does": true, "did": true, "will": true, "would": true, "can": true,
+	"could": true, "may": true, "might": true, "must": true, "shall": true,
+	"should": true, "it": true, "its": true, "this": true, "that": true,
+	"these": true, "those": true, "he": true, "she": true, "they": true,
+	"them": true, "his": true, "her": true, "their": true, "we": true,
+	"our": true, "you": true, "your": true, "i": true, "as": true,
+	"not": true, "no": true, "so": true, "if": true, "then": true,
+	"than": true, "too": true, "very": true, "just": true, "about": true,
+	"into": true, "over": true, "after": true, "before": true, "also": true,
+	"more": true, "most": true, "other": true, "some": true, "such": true,
+	"only": true, "own": true, "same": true, "all": true, "any": true,
+	"both": true, "each": true, "few": true, "said": true, "which": true,
+	"who": true, "whom": true, "what": true, "when": true, "where": true,
+	"why": true, "how": true, "there": true, "here": true, "out": true,
+	"up": true, "down": true, "new": true, "one": true, "two": true,
+	"s": true, "'s": true, "mr": true, "mrs": true, "ms": true,
+}
+
+// IsStopword reports whether the lowercase word is a stopword.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// ContentWords returns the lowercase lemmas of the non-stopword, alphabetic
+// tokens of a sentence — the bag-of-words form used for contexts and topics.
+func ContentWords(s Sentence) []string {
+	var out []string
+	for _, t := range s.Tokens {
+		if IsStopword(t.Lower) || !isAlphaWord(t.Lower) {
+			continue
+		}
+		l := t.Lemma
+		if l == "" {
+			l = t.Lower
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func isAlphaWord(w string) bool {
+	hasLetter := false
+	for _, r := range w {
+		if 'a' <= r && r <= 'z' {
+			hasLetter = true
+			continue
+		}
+		if r != '-' && r != '.' {
+			return false
+		}
+	}
+	return hasLetter
+}

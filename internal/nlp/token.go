@@ -1,0 +1,193 @@
+// Package nlp provides the natural-language substrate NOUS's extraction
+// pipeline needs: tokenization, sentence splitting, a rule/lexicon part-of-
+// speech tagger, a lemmatizer and an NP/VP chunker. The paper delegated this
+// layer to an OpenIE/SRL toolchain; this package reproduces the same
+// contract — token streams with Penn-style tags feeding a verb-centred
+// relation extractor — with deterministic, dependency-free rules.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token of a sentence with its surface form, lowercase form,
+// Penn-style part-of-speech tag and lemma.
+type Token struct {
+	Text  string
+	Lower string
+	Tag   string
+	Lemma string
+}
+
+// Sentence is a tagged, lemmatized sentence.
+type Sentence struct {
+	Text   string
+	Tokens []Token
+}
+
+// abbreviations that do not end a sentence when followed by a period.
+var abbreviations = map[string]bool{
+	"inc": true, "corp": true, "co": true, "ltd": true, "llc": true,
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"jr": true, "sr": true, "st": true, "vs": true, "etc": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true, "u.s": true, "u.k": true, "no": true,
+	"gen": true, "gov": true, "sen": true, "rep": true, "capt": true,
+}
+
+// SplitSentences splits text into sentence strings. It breaks on '.', '!'
+// and '?' except when the period terminates a known abbreviation, a single
+// capital initial ("J."), or sits inside a number ("3.5").
+func SplitSentences(text string) []string {
+	var out []string
+	runes := []rune(text)
+	start := 0
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '\n' {
+			// Treat blank lines / newlines as hard sentence breaks.
+			if s := strings.TrimSpace(string(runes[start : i+1])); s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+			continue
+		}
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		if r == '.' {
+			if i+1 < len(runes) && unicode.IsDigit(runes[i+1]) && i > 0 && unicode.IsDigit(runes[i-1]) {
+				continue // decimal point
+			}
+			w := lastWord(runes, i)
+			lw := strings.ToLower(w)
+			if abbreviations[lw] {
+				continue
+			}
+			if len(w) == 1 && unicode.IsUpper([]rune(w)[0]) {
+				continue // single initial: "J. Smith"
+			}
+			// "U.S." style acronyms: previous rune is a letter and the one
+			// before is a period.
+			if i >= 2 && unicode.IsLetter(runes[i-1]) && runes[i-2] == '.' {
+				continue
+			}
+		}
+		// Consume trailing quote/paren after the terminator.
+		end := i + 1
+		for end < len(runes) && (runes[end] == '"' || runes[end] == '\'' || runes[end] == ')') {
+			end++
+		}
+		if s := strings.TrimSpace(string(runes[start:end])); s != "" {
+			out = append(out, s)
+		}
+		start = end
+		i = end - 1
+	}
+	if s := strings.TrimSpace(string(runes[start:])); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func lastWord(runes []rune, end int) string {
+	i := end - 1
+	for i >= 0 && (unicode.IsLetter(runes[i]) || runes[i] == '.') {
+		i--
+	}
+	return strings.TrimSuffix(string(runes[i+1:end]), ".")
+}
+
+// Tokenize splits a sentence into tokens. Punctuation becomes its own token
+// except inside abbreviations ("Inc."), acronyms ("U.S."), decimals ("3.5"),
+// hyphenated words ("drone-based") and possessive markers ("DJI's" →
+// ["DJI", "'s"]).
+func Tokenize(sentence string) []string {
+	var toks []string
+	runes := []rune(sentence)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '$' || r == '€':
+			j := i
+			for j < len(runes) {
+				c := runes[j]
+				if unicode.IsLetter(c) || unicode.IsDigit(c) {
+					j++
+					continue
+				}
+				// interior punctuation that stays in-token
+				// ("drone-based", "fileserver-03")
+				if c == '-' && j+1 < len(runes) && (unicode.IsLetter(runes[j+1]) || unicode.IsDigit(runes[j+1])) {
+					j++
+					continue
+				}
+				if (c == '.' || c == ',') && j+1 < len(runes) && unicode.IsDigit(runes[j+1]) && j > i && unicode.IsDigit(runes[j-1]) {
+					j++
+					continue
+				}
+				if c == '.' && j+1 < len(runes) && unicode.IsLetter(runes[j+1]) && j > i && unicode.IsLetter(runes[j-1]) {
+					// acronym interior: U.S.A
+					j++
+					continue
+				}
+				if c == '$' || c == '€' {
+					break
+				}
+				break
+			}
+			word := string(runes[i:j])
+			if r == '$' || r == '€' {
+				toks = append(toks, string(r))
+				i++
+				continue
+			}
+			// keep trailing period on known abbreviations and acronyms
+			if j < len(runes) && runes[j] == '.' {
+				lw := strings.ToLower(word)
+				if abbreviations[lw] || isAcronymBody(word) || (len(word) == 1 && unicode.IsUpper([]rune(word)[0])) {
+					word += "."
+					j++
+				}
+			}
+			toks = append(toks, word)
+			i = j
+		case r == '\'' && i+1 < len(runes) && (runes[i+1] == 's' || runes[i+1] == 'S') &&
+			(i+2 >= len(runes) || !unicode.IsLetter(runes[i+2])):
+			toks = append(toks, "'s")
+			i += 2
+		default:
+			toks = append(toks, string(r))
+			i++
+		}
+	}
+	return toks
+}
+
+func isAcronymBody(w string) bool {
+	return strings.Contains(w, ".")
+}
+
+// Process splits text into sentences and returns them tokenized, tagged and
+// lemmatized.
+func Process(text string) []Sentence {
+	raw := SplitSentences(text)
+	out := make([]Sentence, 0, len(raw))
+	for _, s := range raw {
+		words := Tokenize(s)
+		if len(words) == 0 {
+			continue
+		}
+		toks := Tag(words)
+		for i := range toks {
+			toks[i].Lemma = Lemma(toks[i].Lower, toks[i].Tag)
+		}
+		out = append(out, Sentence{Text: s, Tokens: toks})
+	}
+	return out
+}

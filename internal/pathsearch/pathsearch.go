@@ -1,0 +1,282 @@
+// Package pathsearch implements NOUS's question-answering graph search
+// (§3.6): given a source entity, a target entity and an optional
+// relationship constraint, it returns the top-K paths explaining how the
+// two are related. The walk performs a look-ahead at every hop — candidate
+// nodes are ordered by the Jensen–Shannon divergence between their LDA topic
+// distribution and the target's — and every complete path is scored by its
+// topic coherence (mean divergence along the path, lower is better). A
+// breadth-first shortest-path baseline is provided for the evaluation.
+package pathsearch
+
+import (
+	"sort"
+
+	"nous/internal/graph"
+	"nous/internal/topics"
+)
+
+// Path is one source→target explanation.
+type Path struct {
+	Vertices []graph.VertexID
+	Edges    []graph.Edge
+	// Coherence is the mean topic divergence between consecutive vertices
+	// (lower = more coherent). Zero when no topic model is attached.
+	Coherence float64
+}
+
+// Len returns the number of hops.
+func (p Path) Len() int { return len(p.Edges) }
+
+// Options tunes the search.
+type Options struct {
+	K        int // number of paths to return (default 3)
+	MaxDepth int // maximum hops (default 4)
+	Beam     int // beam width per depth (default 32)
+	// Predicate, when set, requires the path to traverse at least one edge
+	// with this label (the paper's "relationship constraint").
+	Predicate string
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.Beam <= 0 {
+		o.Beam = 32
+	}
+	return o
+}
+
+// Searcher runs coherence-guided path queries over a property graph.
+type Searcher struct {
+	g       *graph.Graph
+	topicOf map[graph.VertexID][]float64
+}
+
+// New returns a searcher. topicOf maps vertices to LDA topic distributions;
+// it may be nil, in which case the search degrades to an uninformed beam.
+func New(g *graph.Graph, topicOf map[graph.VertexID][]float64) *Searcher {
+	return &Searcher{g: g, topicOf: topicOf}
+}
+
+// divergence returns the topic JS divergence between two vertices, or 0
+// when either lacks a topic vector.
+func (s *Searcher) divergence(a, b graph.VertexID) float64 {
+	ta, ok1 := s.topicOf[a]
+	tb, ok2 := s.topicOf[b]
+	if !ok1 || !ok2 || len(ta) != len(tb) {
+		return 0
+	}
+	return topics.JSDivergence(ta, tb)
+}
+
+// partial is a path under construction.
+type partial struct {
+	verts   []graph.VertexID
+	edges   []graph.Edge
+	visited map[graph.VertexID]bool
+	divSum  float64
+}
+
+// TopK returns up to K paths from src to dst ordered by ascending coherence
+// (ties: shorter first, then lexicographic vertex order).
+func (s *Searcher) TopK(src, dst graph.VertexID, opt Options) []Path {
+	opt = opt.withDefaults()
+	if !s.g.HasVertex(src) || !s.g.HasVertex(dst) || src == dst {
+		return nil
+	}
+
+	start := partial{
+		verts:   []graph.VertexID{src},
+		edges:   nil,
+		visited: map[graph.VertexID]bool{src: true},
+	}
+	frontier := []partial{start}
+	var found []Path
+	seen := map[string]bool{}
+
+	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
+		type scored struct {
+			p         partial
+			lookahead float64
+		}
+		var next []scored
+		for _, p := range frontier {
+			cur := p.verts[len(p.verts)-1]
+			for _, e := range s.g.Edges(cur) {
+				nb := e.Dst
+				if nb == cur {
+					nb = e.Src
+				}
+				if p.visited[nb] {
+					continue
+				}
+				step := s.divergence(cur, nb)
+				np := partial{
+					verts:   append(append([]graph.VertexID{}, p.verts...), nb),
+					edges:   append(append([]graph.Edge{}, p.edges...), e),
+					visited: map[graph.VertexID]bool{},
+					divSum:  p.divSum + step,
+				}
+				for v := range p.visited {
+					np.visited[v] = true
+				}
+				np.visited[nb] = true
+
+				if nb == dst {
+					if opt.Predicate == "" || hasLabel(np.edges, opt.Predicate) {
+						path := Path{
+							Vertices:  np.verts,
+							Edges:     np.edges,
+							Coherence: np.divSum / float64(len(np.edges)),
+						}
+						k := pathKey(path)
+						if !seen[k] {
+							seen[k] = true
+							found = append(found, path)
+						}
+					}
+					continue
+				}
+				next = append(next, scored{p: np, lookahead: np.divSum + s.divergence(nb, dst)})
+			}
+		}
+		// Look-ahead pruning: keep the Beam candidates closest (in topic
+		// space) to the target.
+		sort.SliceStable(next, func(i, j int) bool {
+			if next[i].lookahead != next[j].lookahead {
+				return next[i].lookahead < next[j].lookahead
+			}
+			return lessVerts(next[i].p.verts, next[j].p.verts)
+		})
+		if len(next) > opt.Beam {
+			next = next[:opt.Beam]
+		}
+		frontier = frontier[:0]
+		for _, sc := range next {
+			frontier = append(frontier, sc.p)
+		}
+	}
+
+	sort.SliceStable(found, func(i, j int) bool {
+		if found[i].Coherence != found[j].Coherence {
+			return found[i].Coherence < found[j].Coherence
+		}
+		if len(found[i].Edges) != len(found[j].Edges) {
+			return len(found[i].Edges) < len(found[j].Edges)
+		}
+		return lessVerts(found[i].Vertices, found[j].Vertices)
+	})
+	if len(found) > opt.K {
+		found = found[:opt.K]
+	}
+	return found
+}
+
+// BFSPaths is the uninformed baseline: up to K shortest (fewest-hop) paths
+// from src to dst, ranked by length then lexicographic order. Coherence is
+// filled in from the searcher's topic map for comparison but does not
+// influence the ranking.
+func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
+	opt = opt.withDefaults()
+	if !s.g.HasVertex(src) || !s.g.HasVertex(dst) || src == dst {
+		return nil
+	}
+	var found []Path
+	seen := map[string]bool{}
+	frontier := []partial{{
+		verts:   []graph.VertexID{src},
+		visited: map[graph.VertexID]bool{src: true},
+	}}
+	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
+		var next []partial
+		for _, p := range frontier {
+			cur := p.verts[len(p.verts)-1]
+			for _, e := range s.g.Edges(cur) {
+				nb := e.Dst
+				if nb == cur {
+					nb = e.Src
+				}
+				if p.visited[nb] {
+					continue
+				}
+				np := partial{
+					verts:   append(append([]graph.VertexID{}, p.verts...), nb),
+					edges:   append(append([]graph.Edge{}, p.edges...), e),
+					visited: map[graph.VertexID]bool{},
+					divSum:  p.divSum + s.divergence(cur, nb),
+				}
+				for v := range p.visited {
+					np.visited[v] = true
+				}
+				np.visited[nb] = true
+				if nb == dst {
+					if opt.Predicate == "" || hasLabel(np.edges, opt.Predicate) {
+						path := Path{Vertices: np.verts, Edges: np.edges,
+							Coherence: np.divSum / float64(len(np.edges))}
+						k := pathKey(path)
+						if !seen[k] {
+							seen[k] = true
+							found = append(found, path)
+						}
+					}
+					continue
+				}
+				next = append(next, np)
+			}
+		}
+		// Unbounded BFS fan-out explodes on dense graphs; cap like GraphX
+		// jobs cap their frontier, but without topic guidance (by vertex
+		// order, which is insertion order — a neutral choice).
+		sort.SliceStable(next, func(i, j int) bool { return lessVerts(next[i].verts, next[j].verts) })
+		if len(next) > opt.Beam*4 {
+			next = next[:opt.Beam*4]
+		}
+		frontier = next
+		if len(found) >= opt.K {
+			break
+		}
+	}
+	sort.SliceStable(found, func(i, j int) bool {
+		if len(found[i].Edges) != len(found[j].Edges) {
+			return len(found[i].Edges) < len(found[j].Edges)
+		}
+		return lessVerts(found[i].Vertices, found[j].Vertices)
+	})
+	if len(found) > opt.K {
+		found = found[:opt.K]
+	}
+	return found
+}
+
+func hasLabel(edges []graph.Edge, label string) bool {
+	for _, e := range edges {
+		if e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+func pathKey(p Path) string {
+	key := make([]byte, 0, len(p.Edges)*8)
+	for _, e := range p.Edges {
+		id := e.ID
+		for i := 0; i < 8; i++ {
+			key = append(key, byte(id>>(8*i)))
+		}
+	}
+	return string(key)
+}
+
+func lessVerts(a, b []graph.VertexID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

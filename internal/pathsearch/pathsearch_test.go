@@ -1,0 +1,225 @@
+package pathsearch
+
+import (
+	"testing"
+
+	"nous/internal/graph"
+)
+
+// plantedGraph builds the C4 evaluation scenario: a 3-hop on-topic path
+// src→a→b→dst (all drone-topic) and a 2-hop off-topic shortcut src→hub→dst
+// through a high-degree finance hub.
+//
+// Topic space: [drone, finance].
+func plantedGraph() (g *graph.Graph, src, dst, a, b, hub graph.VertexID, topicOf map[graph.VertexID][]float64) {
+	g = graph.New()
+	src = g.AddVertex("Company")
+	dst = g.AddVertex("Company")
+	a = g.AddVertex("Company")
+	b = g.AddVertex("Company")
+	hub = g.AddVertex("Company")
+
+	mustEdge(g, src, a, "partnersWith")
+	mustEdge(g, a, b, "suppliesTo")
+	mustEdge(g, b, dst, "acquired")
+	mustEdge(g, src, hub, "invests")
+	mustEdge(g, hub, dst, "invests")
+
+	topicOf = map[graph.VertexID][]float64{
+		src: {0.9, 0.1},
+		a:   {0.85, 0.15},
+		b:   {0.9, 0.1},
+		dst: {0.95, 0.05},
+		hub: {0.05, 0.95},
+	}
+	// hub is high-degree: attach noise spokes
+	for i := 0; i < 10; i++ {
+		v := g.AddVertex("Company")
+		mustEdge(g, hub, v, "invests")
+		topicOf[v] = []float64{0.5, 0.5}
+	}
+	return
+}
+
+func mustEdge(g *graph.Graph, a, b graph.VertexID, label string) {
+	if _, err := g.AddEdge(a, b, label); err != nil {
+		panic(err)
+	}
+}
+
+func TestCoherencePrefersOnTopicPath(t *testing.T) {
+	g, src, dst, a, b, hub, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	paths := s.TopK(src, dst, Options{K: 3, MaxDepth: 4})
+	if len(paths) < 2 {
+		t.Fatalf("found %d paths, want >= 2", len(paths))
+	}
+	best := paths[0]
+	want := []graph.VertexID{src, a, b, dst}
+	if !equalVerts(best.Vertices, want) {
+		t.Fatalf("best path = %v (coherence %.4f), want planted %v", best.Vertices, best.Coherence, want)
+	}
+	// The hub path must rank worse.
+	for i, p := range paths {
+		if containsVert(p.Vertices, hub) && i == 0 {
+			t.Fatal("hub shortcut ranked first")
+		}
+	}
+}
+
+func TestBFSBaselinePrefersShortPath(t *testing.T) {
+	g, src, dst, _, _, hub, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	paths := s.BFSPaths(src, dst, Options{K: 3, MaxDepth: 4})
+	if len(paths) == 0 {
+		t.Fatal("BFS found nothing")
+	}
+	if !containsVert(paths[0].Vertices, hub) {
+		t.Fatalf("BFS best path should take the 2-hop hub shortcut, got %v", paths[0].Vertices)
+	}
+	if paths[0].Len() != 2 {
+		t.Fatalf("BFS best path length = %d, want 2", paths[0].Len())
+	}
+}
+
+func TestPredicateConstraint(t *testing.T) {
+	g, src, dst, _, _, _, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	paths := s.TopK(src, dst, Options{K: 5, MaxDepth: 4, Predicate: "acquired"})
+	if len(paths) == 0 {
+		t.Fatal("no constrained paths")
+	}
+	for _, p := range paths {
+		ok := false
+		for _, e := range p.Edges {
+			if e.Label == "acquired" {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("path %v violates the predicate constraint", p.Vertices)
+		}
+	}
+}
+
+func TestPathsAreValidAndAcyclic(t *testing.T) {
+	g, src, dst, _, _, _, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	for _, p := range s.TopK(src, dst, Options{K: 5, MaxDepth: 4}) {
+		if p.Vertices[0] != src || p.Vertices[len(p.Vertices)-1] != dst {
+			t.Fatalf("path endpoints wrong: %v", p.Vertices)
+		}
+		if len(p.Edges) != len(p.Vertices)-1 {
+			t.Fatalf("edge/vertex count mismatch: %v", p)
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, v := range p.Vertices {
+			if seen[v] {
+				t.Fatalf("cycle in path %v", p.Vertices)
+			}
+			seen[v] = true
+		}
+		// each edge must connect consecutive vertices (either direction)
+		for i, e := range p.Edges {
+			u, v := p.Vertices[i], p.Vertices[i+1]
+			if !(e.Src == u && e.Dst == v) && !(e.Src == v && e.Dst == u) {
+				t.Fatalf("edge %d does not connect %d-%d: %+v", i, u, v, e)
+			}
+		}
+	}
+}
+
+func TestNoPathCases(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("X")
+	b := g.AddVertex("X")
+	c := g.AddVertex("X") // isolated
+	mustEdge(g, a, b, "r")
+	s := New(g, nil)
+	if got := s.TopK(a, c, Options{}); len(got) != 0 {
+		t.Errorf("path to isolated vertex: %v", got)
+	}
+	if got := s.TopK(a, a, Options{}); len(got) != 0 {
+		t.Errorf("self path: %v", got)
+	}
+	if got := s.TopK(a, 999, Options{}); len(got) != 0 {
+		t.Errorf("path to missing vertex: %v", got)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	g := graph.New()
+	var ids []graph.VertexID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, g.AddVertex("X"))
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		mustEdge(g, ids[i], ids[i+1], "r")
+	}
+	s := New(g, nil)
+	if got := s.TopK(ids[0], ids[5], Options{MaxDepth: 3}); len(got) != 0 {
+		t.Fatalf("found %d paths beyond MaxDepth", len(got))
+	}
+	if got := s.TopK(ids[0], ids[5], Options{MaxDepth: 5}); len(got) != 1 {
+		t.Fatalf("expected exactly the chain path, got %d", len(got))
+	}
+}
+
+func TestNilTopicsDegradesGracefully(t *testing.T) {
+	g, src, dst, _, _, _, _ := plantedGraph()
+	s := New(g, nil)
+	paths := s.TopK(src, dst, Options{K: 3, MaxDepth: 4})
+	if len(paths) == 0 {
+		t.Fatal("no paths without topics")
+	}
+	for _, p := range paths {
+		if p.Coherence != 0 {
+			t.Fatalf("coherence without topics = %v", p.Coherence)
+		}
+	}
+}
+
+func TestUndirectedTraversal(t *testing.T) {
+	// dst→mid edge points backwards; search must still find src→mid→dst.
+	g := graph.New()
+	src := g.AddVertex("X")
+	mid := g.AddVertex("X")
+	dst := g.AddVertex("X")
+	mustEdge(g, src, mid, "r")
+	mustEdge(g, dst, mid, "r")
+	s := New(g, nil)
+	paths := s.TopK(src, dst, Options{K: 1, MaxDepth: 3})
+	if len(paths) != 1 || paths[0].Len() != 2 {
+		t.Fatalf("undirected traversal failed: %+v", paths)
+	}
+}
+
+func equalVerts(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsVert(vs []graph.VertexID, x graph.VertexID) bool {
+	for _, v := range vs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkTopKPaths(b *testing.B) {
+	g, src, dst, _, _, _, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TopK(src, dst, Options{K: 3, MaxDepth: 4})
+	}
+}

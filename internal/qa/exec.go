@@ -1,0 +1,333 @@
+package qa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nous/internal/core"
+	"nous/internal/disambig"
+	"nous/internal/fgm"
+	"nous/internal/graph"
+	"nous/internal/linkpred"
+	"nous/internal/pathsearch"
+	"nous/internal/trends"
+)
+
+// Answer is a structured query result plus a rendered text form.
+type Answer struct {
+	Class Class
+	Text  string
+
+	// Per-class payloads (only the one matching Class is populated).
+	Trends   []trends.Trend
+	Entity   *EntitySummary
+	Paths    []ExplainedPath
+	Patterns []fgm.Pattern
+	Fact     *FactAnswer
+}
+
+// EntitySummary is the payload of "Tell me about X" (Fig 6).
+type EntitySummary struct {
+	Name       string
+	Type       string
+	Importance float64 // PageRank
+	Facts      []core.Fact
+	Activity   []int // recent weekly mention counts
+}
+
+// ExplainedPath is one relationship explanation.
+type ExplainedPath struct {
+	Hops      []string // rendered hops: "DJI -[acquired]-> Aeros"
+	Coherence float64
+}
+
+// FactAnswer answers did/who/what fact queries.
+type FactAnswer struct {
+	Known      bool
+	Plausible  float64 // link-prediction score when not known
+	Matches    []core.ScoredEntity
+	Provenance []string
+}
+
+// Executor runs parsed queries. Any dependency may be nil; the executor
+// degrades gracefully (e.g. no miner → pattern queries report emptiness).
+type Executor struct {
+	KG       *core.KG
+	Trends   *trends.Detector
+	Miner    *fgm.Miner
+	Searcher *pathsearch.Searcher
+	Model    *linkpred.Model
+	Linker   *disambig.Linker
+	// Now supplies the query-time clock (defaults to time.Now).
+	Now func() time.Time
+}
+
+// Ask parses and executes a question.
+func (ex *Executor) Ask(question string) (Answer, error) {
+	q, err := Parse(question)
+	if err != nil {
+		return Answer{}, err
+	}
+	return ex.Run(q)
+}
+
+// Run executes a parsed query.
+func (ex *Executor) Run(q Query) (Answer, error) {
+	switch q.Class {
+	case ClassTrending:
+		return ex.trending(q)
+	case ClassEntity:
+		return ex.entity(q)
+	case ClassRelationship:
+		return ex.relationship(q)
+	case ClassPattern:
+		return ex.patterns(q)
+	case ClassFact:
+		return ex.fact(q)
+	}
+	return Answer{}, fmt.Errorf("qa: unknown query class %q", q.Class)
+}
+
+func (ex *Executor) now() time.Time {
+	if ex.Now != nil {
+		return ex.Now()
+	}
+	return time.Now()
+}
+
+func (ex *Executor) trending(q Query) (Answer, error) {
+	a := Answer{Class: ClassTrending}
+	if ex.Trends == nil {
+		a.Text = "no trend detector attached"
+		return a, nil
+	}
+	a.Trends = ex.Trends.Trending(ex.now(), q.K)
+	var b strings.Builder
+	b.WriteString("Trending now:\n")
+	if len(a.Trends) == 0 {
+		b.WriteString("  (nothing trending)\n")
+	}
+	for i, t := range a.Trends {
+		fmt.Fprintf(&b, "  %2d. %-30s %-9s burst=%.1fx (%d mentions, baseline %.1f)\n",
+			i+1, t.Name, t.Kind, t.Score, t.Current, t.Baseline)
+	}
+	a.Text = b.String()
+	return a, nil
+}
+
+// resolve maps a surface form to a canonical entity name.
+func (ex *Executor) resolve(surface string) (string, bool) {
+	if surface == "" {
+		return "", false
+	}
+	if _, ok := ex.KG.Entity(surface); ok {
+		return surface, true
+	}
+	if ex.Linker != nil {
+		if r := ex.Linker.LinkOne(disambig.Mention{Surface: surface}); r.Entity != "" {
+			return r.Entity, true
+		}
+	}
+	cands := ex.KG.Candidates(surface)
+	if len(cands) > 0 {
+		return cands[0], true
+	}
+	return "", false
+}
+
+func (ex *Executor) entity(q Query) (Answer, error) {
+	a := Answer{Class: ClassEntity}
+	name, ok := ex.resolve(q.Subject)
+	if !ok {
+		a.Text = fmt.Sprintf("I don't know anything about %q.", q.Subject)
+		return a, nil
+	}
+	typ, _ := ex.KG.EntityType(name)
+	sum := &EntitySummary{Name: name, Type: string(typ)}
+	if id, ok := ex.KG.Entity(name); ok {
+		pr := graph.PageRank(ex.KG.Graph(), 0.85, 15)
+		sum.Importance = pr[id]
+	}
+	facts := ex.KG.FactsAbout(name)
+	if q.K > 0 && len(facts) > q.K {
+		facts = facts[:q.K]
+	}
+	sum.Facts = facts
+	if ex.Trends != nil {
+		sum.Activity = ex.Trends.Series(name, ex.now(), 8)
+	}
+	a.Entity = sum
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)  importance=%.4f\n", sum.Name, sum.Type, sum.Importance)
+	if len(sum.Activity) > 0 {
+		fmt.Fprintf(&b, "  recent activity: %v\n", sum.Activity)
+	}
+	for _, f := range sum.Facts {
+		marker := "extracted"
+		if f.Curated {
+			marker = "curated"
+		}
+		fmt.Fprintf(&b, "  %s -[%s]-> %s  (p=%.2f, %s", f.Subject, f.Predicate, f.Object, f.Confidence, marker)
+		if f.Provenance.Source != "" {
+			fmt.Fprintf(&b, ", src=%s", f.Provenance.Source)
+		}
+		b.WriteString(")\n")
+	}
+	a.Text = b.String()
+	return a, nil
+}
+
+func (ex *Executor) relationship(q Query) (Answer, error) {
+	a := Answer{Class: ClassRelationship}
+	sName, ok1 := ex.resolve(q.Subject)
+	tName, ok2 := ex.resolve(q.Object)
+	if !ok1 || !ok2 {
+		a.Text = fmt.Sprintf("cannot resolve %q and/or %q", q.Subject, q.Object)
+		return a, nil
+	}
+	if ex.Searcher == nil {
+		a.Text = "no path searcher attached"
+		return a, nil
+	}
+	src, _ := ex.KG.Entity(sName)
+	dst, _ := ex.KG.Entity(tName)
+	paths := ex.Searcher.TopK(src, dst, pathsearch.Options{K: q.K, MaxDepth: 4, Predicate: q.Predicate})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Paths from %s to %s", sName, tName)
+	if q.Predicate != "" {
+		fmt.Fprintf(&b, " via %s", q.Predicate)
+	}
+	b.WriteString(":\n")
+	if len(paths) == 0 {
+		b.WriteString("  (no connecting path found)\n")
+	}
+	for _, p := range paths {
+		ep := ExplainedPath{Coherence: p.Coherence}
+		for i, e := range p.Edges {
+			u := p.Vertices[i]
+			v := p.Vertices[i+1]
+			un, _ := ex.KG.EntityName(u)
+			vn, _ := ex.KG.EntityName(v)
+			arrow := fmt.Sprintf("%s -[%s]-> %s", un, e.Label, vn)
+			if e.Src == v { // traversed against edge direction
+				arrow = fmt.Sprintf("%s <-[%s]- %s", un, e.Label, vn)
+			}
+			ep.Hops = append(ep.Hops, arrow)
+		}
+		a.Paths = append(a.Paths, ep)
+		fmt.Fprintf(&b, "  coherence=%.4f: %s\n", ep.Coherence, strings.Join(ep.Hops, " ; "))
+	}
+	a.Text = b.String()
+	return a, nil
+}
+
+func (ex *Executor) patterns(q Query) (Answer, error) {
+	a := Answer{Class: ClassPattern}
+	if ex.Miner == nil {
+		a.Text = "no miner attached"
+		return a, nil
+	}
+	ps := ex.Miner.ClosedPatterns()
+	if q.K > 0 && len(ps) > q.K {
+		ps = ps[:q.K]
+	}
+	a.Patterns = ps
+	var b strings.Builder
+	b.WriteString("Closed frequent patterns in the current window:\n")
+	if len(ps) == 0 {
+		b.WriteString("  (none above support threshold)\n")
+	}
+	for _, p := range ps {
+		fmt.Fprintf(&b, "  support=%-4d %s\n", p.Support, p)
+	}
+	a.Text = b.String()
+	return a, nil
+}
+
+func (ex *Executor) fact(q Query) (Answer, error) {
+	a := Answer{Class: ClassFact}
+	fa := &FactAnswer{}
+	a.Fact = fa
+	var b strings.Builder
+
+	switch {
+	case q.Subject != "" && q.Object != "": // did S p O?
+		s, ok1 := ex.resolve(q.Subject)
+		o, ok2 := ex.resolve(q.Object)
+		if !ok1 || !ok2 {
+			a.Text = fmt.Sprintf("cannot resolve %q / %q", q.Subject, q.Object)
+			return a, nil
+		}
+		fa.Known = ex.KG.HasFact(s, q.Predicate, o)
+		if fa.Known {
+			fmt.Fprintf(&b, "Yes: %s %s %s.\n", s, q.Predicate, o)
+			for _, f := range ex.KG.FactsAbout(s) {
+				if f.Predicate == q.Predicate && f.Object == o {
+					src := f.Provenance.Source
+					if f.Provenance.Sentence != "" {
+						src += ": " + f.Provenance.Sentence
+					}
+					fa.Provenance = append(fa.Provenance, src)
+					fmt.Fprintf(&b, "  evidence (p=%.2f): %s\n", f.Confidence, src)
+				}
+			}
+		} else {
+			fa.Plausible = 0.5
+			if ex.Model != nil {
+				fa.Plausible = ex.Model.Score(s, q.Predicate, o)
+			}
+			fmt.Fprintf(&b, "Not in the knowledge graph. Plausibility score: %.2f\n", fa.Plausible)
+		}
+	case q.Subject != "": // what does S p?
+		s, ok := ex.resolve(q.Subject)
+		if !ok {
+			a.Text = fmt.Sprintf("cannot resolve %q", q.Subject)
+			return a, nil
+		}
+		fa.Matches = ex.KG.ObjectsOf(s, q.Predicate)
+		fa.Known = len(fa.Matches) > 0
+		fmt.Fprintf(&b, "%s %s:\n", s, q.Predicate)
+		for _, m := range fa.Matches {
+			fmt.Fprintf(&b, "  %s (p=%.2f)\n", m.Name, m.Score)
+		}
+		if len(fa.Matches) == 0 {
+			b.WriteString("  (no known facts)\n")
+		}
+	case q.Object != "": // who p O?
+		o, ok := ex.resolve(q.Object)
+		if !ok {
+			a.Text = fmt.Sprintf("cannot resolve %q", q.Object)
+			return a, nil
+		}
+		fa.Matches = ex.KG.SubjectsOf(q.Predicate, o)
+		fa.Known = len(fa.Matches) > 0
+		fmt.Fprintf(&b, "%s %s:\n", q.Predicate, o)
+		for _, m := range fa.Matches {
+			fmt.Fprintf(&b, "  %s (p=%.2f)\n", m.Name, m.Score)
+		}
+		if len(fa.Matches) == 0 {
+			b.WriteString("  (no known facts)\n")
+		}
+	default:
+		return a, fmt.Errorf("qa: fact query without arguments")
+	}
+	a.Text = b.String()
+	return a, nil
+}
+
+// Classes returns the five supported query classes with an example each —
+// the content of the paper's Figure 5.
+func Classes() []string {
+	out := []string{
+		string(ClassTrending) + `: "What is trending?"`,
+		string(ClassEntity) + `: "Tell me about DJI"`,
+		string(ClassRelationship) + `: "How is Windermere related to DJI via acquired?"`,
+		string(ClassPattern) + `: "What patterns are emerging?"`,
+		string(ClassFact) + `: "Did Amazon acquire Aeros?"`,
+	}
+	sort.Strings(out)
+	return out
+}

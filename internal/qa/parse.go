@@ -1,0 +1,119 @@
+// Package qa implements NOUS's question-answering front end: the five
+// classes of natural-language-like queries of Figure 5 — trending, entity,
+// relationship (explanatory), pattern and fact queries — parsed from text
+// and executed against the dynamic KG, the trend detector, the streaming
+// miner, the coherence path search and the link-prediction model.
+package qa
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Class is one of the five query classes.
+type Class string
+
+// The five query classes (Fig 5).
+const (
+	ClassTrending     Class = "trending"
+	ClassEntity       Class = "entity"
+	ClassRelationship Class = "relationship"
+	ClassPattern      Class = "pattern"
+	ClassFact         Class = "fact"
+)
+
+// Query is a parsed question.
+type Query struct {
+	Class Class
+	// Entity arguments (surface forms; resolution happens at execution).
+	Subject string
+	Object  string
+	// Predicate constraint for relationship/fact queries (ontology name).
+	Predicate string
+	// K bounds result size where applicable.
+	K int
+}
+
+// verbToPredicate maps question verbs to ontology predicates.
+var verbToPredicate = map[string]string{
+	"acquire": "acquired", "acquired": "acquired", "buy": "acquired", "bought": "acquired",
+	"manufacture": "manufactures", "manufactures": "manufactures", "make": "manufactures", "makes": "manufactures",
+	"develop": "develops", "develops": "develops",
+	"deploy": "deploys", "deploys": "deploys", "use": "deploys", "uses": "deploys", "employ": "deploys",
+	"invest": "invests", "invests": "invests",
+	"partner": "partnersWith", "partners": "partnersWith",
+	"regulate": "regulates", "regulates": "regulates",
+	"ban": "bans", "banned": "bans", "bans": "bans",
+	"approve": "approves", "approved": "approves", "approves": "approves",
+	"cite": "cites", "cites": "cites",
+	"author": "authorOf", "authored": "authorOf", "wrote": "authorOf",
+	"found": "foundedBy", "founded": "foundedBy",
+	"supply": "suppliesTo", "supplies": "suppliesTo",
+	"compete": "competesWith", "competes": "competesWith",
+	"hire": "worksFor", "hired": "worksFor",
+}
+
+var (
+	reTrending = regexp.MustCompile(`(?i)^\s*(?:what(?:'s| is)?\s+)?(?:show\s+(?:me\s+)?)?trending\b|^\s*what\s+is\s+trending`)
+	reEntity   = regexp.MustCompile(`(?i)^\s*(?:tell me about|who is|what is|describe|summarize)\s+(.+?)\s*\??\s*$`)
+	reRelate   = regexp.MustCompile(`(?i)^\s*(?:how|why)\s+(?:is|are|was|were|does|do|did|would|may|might)?\s*(.+?)\s+(?:related|connected|linked|relate|connect)\s*(?:to)?\s+(.+?)(?:\s+via\s+(\w+))?\s*\??\s*$`)
+	reExplain  = regexp.MustCompile(`(?i)^\s*explain\s+(?:the\s+)?(?:relationship|connection|link)\s+between\s+(.+?)\s+and\s+(.+?)(?:\s+via\s+(\w+))?\s*\??\s*$`)
+	rePattern  = regexp.MustCompile(`(?i)\b(patterns?|motifs?)\b`)
+	reDid      = regexp.MustCompile(`(?i)^\s*(?:did|does|has|have|is|was)\s+(.+?)\s+(\w+)\s+(?:the\s+)?(.+?)\s*\??\s*$`)
+	reWho      = regexp.MustCompile(`(?i)^\s*(?:who|what|which\s+\w+)\s+(\w+)\s+(?:the\s+)?(.+?)\s*\??\s*$`)
+	reWhatDoes = regexp.MustCompile(`(?i)^\s*(?:what|whom|who)\s+(?:does|did|do|has|have)\s+(.+?)\s+(\w+)\s*\??\s*$`)
+	reWhere    = regexp.MustCompile(`(?i)^\s*where\s+is\s+(.+?)\s+(?:headquartered|based|located)\s*\??\s*$`)
+)
+
+// Parse classifies a question into one of the five classes. It returns an
+// error for text it cannot classify.
+func Parse(question string) (Query, error) {
+	q := strings.TrimSpace(question)
+	if q == "" {
+		return Query{}, fmt.Errorf("qa: empty question")
+	}
+
+	if reTrending.MatchString(q) {
+		return Query{Class: ClassTrending, K: 10}, nil
+	}
+	if rePattern.MatchString(q) {
+		return Query{Class: ClassPattern, K: 10}, nil
+	}
+	if m := reRelate.FindStringSubmatch(q); m != nil {
+		return Query{Class: ClassRelationship, Subject: cleanArg(m[1]), Object: cleanArg(m[2]), Predicate: strings.TrimSpace(m[3]), K: 3}, nil
+	}
+	if m := reExplain.FindStringSubmatch(q); m != nil {
+		return Query{Class: ClassRelationship, Subject: cleanArg(m[1]), Object: cleanArg(m[2]), Predicate: strings.TrimSpace(m[3]), K: 3}, nil
+	}
+	if m := reWhere.FindStringSubmatch(q); m != nil {
+		return Query{Class: ClassFact, Subject: cleanArg(m[1]), Predicate: "headquarteredIn"}, nil
+	}
+	if m := reDid.FindStringSubmatch(q); m != nil {
+		if pred, ok := verbToPredicate[strings.ToLower(m[2])]; ok {
+			return Query{Class: ClassFact, Subject: cleanArg(m[1]), Predicate: pred, Object: cleanArg(m[3])}, nil
+		}
+	}
+	if m := reWhatDoes.FindStringSubmatch(q); m != nil {
+		if pred, ok := verbToPredicate[strings.ToLower(m[2])]; ok {
+			return Query{Class: ClassFact, Subject: cleanArg(m[1]), Predicate: pred}, nil
+		}
+	}
+	if m := reWho.FindStringSubmatch(q); m != nil {
+		if pred, ok := verbToPredicate[strings.ToLower(m[1])]; ok {
+			return Query{Class: ClassFact, Predicate: pred, Object: cleanArg(m[2])}, nil
+		}
+	}
+	if m := reEntity.FindStringSubmatch(q); m != nil {
+		return Query{Class: ClassEntity, Subject: cleanArg(m[1]), K: 10}, nil
+	}
+	return Query{}, fmt.Errorf("qa: cannot classify question %q", question)
+}
+
+func cleanArg(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.Trim(s, `"'`)
+	s = strings.TrimSuffix(s, "?")
+	s = strings.TrimSuffix(s, ".")
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,223 @@
+// Package server provides the web interface of the demo (§4, Fig 6): a
+// small HTTP API plus a single-page UI over a built pipeline. Endpoints
+// mirror the five query classes and the graph/statistics views the paper
+// demonstrates.
+//
+//	GET /api/ask?q=...            any of the five query classes
+//	GET /api/entity?name=...      entity summary (Fig 6)
+//	GET /api/trending?k=10        trending entities/predicates
+//	GET /api/patterns?k=10        closed frequent patterns (Fig 7)
+//	GET /api/explain?src=&dst=&predicate=&k=   relationship paths
+//	GET /api/stats                KG quality statistics (demo feature 2)
+//	GET /api/graph?entity=A,B     subgraph as JSON
+//	GET /                         minimal HTML console
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"nous"
+)
+
+// Server wraps a pipeline behind HTTP handlers.
+type Server struct {
+	pipeline *nous.Pipeline
+	mux      *http.ServeMux
+}
+
+// New builds a server over an assembled pipeline.
+func New(p *nous.Pipeline) *Server {
+	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/ask", s.handleAsk)
+	s.mux.HandleFunc("GET /api/entity", s.handleEntity)
+	s.mux.HandleFunc("GET /api/trending", s.handleTrending)
+	s.mux.HandleFunc("GET /api/patterns", s.handlePatterns)
+	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/graph", s.handleGraph)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+// askResponse carries a full structured answer.
+type askResponse struct {
+	Class string      `json:"class"`
+	Text  string      `json:"text"`
+	Data  interface{} `json:"data,omitempty"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing q parameter; classes: "+strings.Join(nous.QueryClasses(), " | "))
+		return
+	}
+	a, err := s.pipeline.Ask(q)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	resp := askResponse{Class: string(a.Class), Text: a.Text}
+	switch {
+	case a.Entity != nil:
+		resp.Data = a.Entity
+	case len(a.Trends) > 0:
+		resp.Data = a.Trends
+	case len(a.Paths) > 0:
+		resp.Data = a.Paths
+	case len(a.Patterns) > 0:
+		resp.Data = patternsJSON(a.Patterns)
+	case a.Fact != nil:
+		resp.Data = a.Fact
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		badRequest(w, "missing name parameter")
+		return
+	}
+	a, err := s.pipeline.About(name)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	if a.Entity == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + name})
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Entity)
+}
+
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	k := intParam(r, "k", 10)
+	writeJSON(w, http.StatusOK, s.pipeline.Trending(k))
+}
+
+// patternJSON is the wire form of a mined pattern.
+type patternJSON struct {
+	Pattern string `json:"pattern"`
+	Support int    `json:"support"`
+	Code    string `json:"code"`
+}
+
+func patternsJSON(ps []nous.Pattern) []patternJSON {
+	out := make([]patternJSON, len(ps))
+	for i, p := range ps {
+		out[i] = patternJSON{Pattern: p.String(), Support: p.Support, Code: p.Code}
+	}
+	return out
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	k := intParam(r, "k", 10)
+	writeJSON(w, http.StatusOK, patternsJSON(s.pipeline.Patterns(k)))
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("src")
+	dst := r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		badRequest(w, "missing src/dst parameters")
+		return
+	}
+	a, err := s.pipeline.Explain(src, dst, r.URL.Query().Get("predicate"), intParam(r, "k", 3))
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Paths)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		KG     nous.KGStats     `json:"kg"`
+		Stream nous.StreamStats `json:"stream"`
+	}{s.pipeline.KG().Stats(), s.pipeline.Stats()})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	if e := r.URL.Query().Get("entity"); e != "" {
+		names = strings.Split(e, ",")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.pipeline.KG().ExportJSON(w, names...); err != nil {
+		badRequest(w, err.Error())
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head><meta charset="utf-8"><title>NOUS</title>
+<style>
+ body { font-family: monospace; max-width: 60rem; margin: 2rem auto; }
+ input { width: 40rem; padding: .4rem; }
+ pre { background: #f4f4f4; padding: 1rem; white-space: pre-wrap; }
+</style></head>
+<body>
+<h1>NOUS — dynamic knowledge graph console</h1>
+<p>Five query classes: trending, entity, relationship, pattern, fact.</p>
+<form onsubmit="ask(event)">
+  <input id="q" placeholder='Tell me about DJI' autofocus>
+  <button>Ask</button>
+</form>
+<pre id="out">Try: "What is trending?", "How is Windermere related to DJI?",
+"What patterns are emerging?", "Did Amazon acquire Parrot?"</pre>
+<script>
+async function ask(ev) {
+  ev.preventDefault();
+  const q = document.getElementById('q').value;
+  const res = await fetch('/api/ask?q=' + encodeURIComponent(q));
+  const body = await res.json();
+  document.getElementById('out').textContent = body.text || body.error;
+}
+</script>
+</body>
+</html>
+`

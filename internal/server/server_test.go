@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nous"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies = 10
+	wcfg.People = 10
+	wcfg.Products = 10
+	wcfg.Events = 80
+	w := nous.GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	p.IngestAll(nous.GenerateArticles(w, nous.DefaultArticleConfig(60)))
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, res.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return body
+}
+
+func TestAskEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/ask?q=Tell+me+about+DJI", 200)
+	if body["class"] != "entity" {
+		t.Fatalf("class = %v", body["class"])
+	}
+	if !strings.Contains(body["text"].(string), "DJI") {
+		t.Fatalf("text = %v", body["text"])
+	}
+}
+
+func TestAskRequiresQuery(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/ask", 400)
+	if body["error"] == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestAskRejectsGibberish(t *testing.T) {
+	ts := testServer(t)
+	getJSON(t, ts.URL+"/api/ask?q=flarp+blonk", 400)
+}
+
+func TestEntityEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/entity?name=DJI", 200)
+	if body["Name"] != "DJI" {
+		t.Fatalf("entity = %v", body)
+	}
+	getJSON(t, ts.URL+"/api/entity?name=Zorblatt+Nine", 404)
+	getJSON(t, ts.URL+"/api/entity", 400)
+}
+
+func TestTrendingEndpoint(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/trending?k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var trendsBody []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&trendsBody); err != nil {
+		t.Fatal(err)
+	}
+	if len(trendsBody) > 5 {
+		t.Fatalf("k ignored: %d trends", len(trendsBody))
+	}
+}
+
+func TestPatternsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/patterns?k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var ps []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&ps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) == 0 {
+		t.Fatal("no patterns served")
+	}
+	if ps[0]["pattern"] == "" || ps[0]["support"] == nil {
+		t.Fatalf("pattern body = %v", ps[0])
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/explain?src=DJI&dst=Shenzhen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var paths []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&paths); err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no explanation paths")
+	}
+	getJSON(t, ts.URL+"/api/explain?src=DJI", 400)
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/stats", 200)
+	kg, ok := body["kg"].(map[string]any)
+	if !ok || kg["Facts"] == nil {
+		t.Fatalf("stats body = %v", body)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/graph?entity=DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var facts []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&facts); err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) == 0 {
+		t.Fatal("no facts in DJI subgraph")
+	}
+	for _, f := range facts {
+		if f["subject"] != "DJI" && f["object"] != "DJI" {
+			t.Fatalf("fact outside subgraph: %v", f)
+		}
+	}
+}
+
+func TestIndexServesHTML(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 || !strings.Contains(res.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("index: status=%d type=%s", res.StatusCode, res.Header.Get("Content-Type"))
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 404 {
+		t.Fatalf("status = %d, want 404", res.StatusCode)
+	}
+}

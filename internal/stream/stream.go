@@ -1,0 +1,305 @@
+// Package stream glues NOUS's pipeline stages (Fig 1) into a streaming
+// document processor: text → triple extraction (NER + coref + OpenIE) →
+// predicate mapping (distant supervision) → entity disambiguation →
+// confidence estimation (BPR link prediction blended with extractor
+// confidence) → dynamic-KG update, with a sliding window evicting stale
+// extracted facts. Extraction parallelizes across worker goroutines;
+// knowledge integration stays in document order so results are
+// deterministic.
+package stream
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nous/internal/core"
+	"nous/internal/corpus"
+	"nous/internal/disambig"
+	"nous/internal/extract"
+	"nous/internal/linkpred"
+	"nous/internal/ner"
+	"nous/internal/nlp"
+	"nous/internal/ontology"
+	"nous/internal/predmap"
+	"nous/internal/trust"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// ConfidenceThreshold gates facts out of the KG (quality control).
+	ConfidenceThreshold float64
+	// BlendExtractor weighs extractor confidence against the link
+	// prediction score: final = w*extract + (1-w)*linkpred.
+	BlendExtractor float64
+	// Window evicts extracted facts older than this horizon relative to
+	// the newest document; 0 disables eviction.
+	Window time.Duration
+	// Workers parallelizes extraction. Default GOMAXPROCS.
+	Workers int
+	// LearnEvery runs a distant-supervision expansion round every N
+	// documents. 0 disables learning.
+	LearnEvery int
+	// OnlineUpdate trains the link predictor on accepted facts.
+	OnlineUpdate bool
+}
+
+// DefaultConfig matches the experiments in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		ConfidenceThreshold: 0.35,
+		BlendExtractor:      0.5,
+		Window:              0,
+		LearnEvery:          200,
+		OnlineUpdate:        true,
+	}
+}
+
+// Stats counts pipeline outcomes.
+type Stats struct {
+	Documents     int
+	Sentences     int
+	RawTriples    int
+	Mapped        int
+	Accepted      int
+	Rejected      int // mapped but below the confidence gate
+	RulesLearned  int
+	FactsEvicted  int
+	NewEntities   int
+	CorefResolved int
+}
+
+// Pipeline is the end-to-end processor. Construct with New, then feed
+// documents with Process or Run.
+type Pipeline struct {
+	cfg     Config
+	kg      *core.KG
+	rec     *ner.Recognizer
+	ext     *extract.Extractor
+	mapper  *predmap.Mapper
+	model   *linkpred.Model
+	linker  *disambig.Linker
+	tracker *trust.Tracker
+
+	mu         sync.Mutex
+	stats      Stats
+	learnBuf   []extract.RawTriple
+	latestSeen time.Time
+}
+
+// New builds a pipeline over a KG already loaded with the curated KB. The
+// NER gazetteer, predicate seeds and link-prediction model are initialized
+// from the KG's current contents.
+func New(kg *core.KG, cfg Config) *Pipeline {
+	if cfg.ConfidenceThreshold <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rec := ner.NewRecognizer()
+	kg.ForEachAlias(func(alias, canonical string, typ ontology.EntityType) {
+		rec.AddGazetteer(alias, typ)
+	})
+	mapper := predmap.NewMapper(kg.Ontology(), predmap.DefaultConfig())
+	mapper.AddDefaultSeeds()
+	facts := kg.AllFacts()
+	triples := make([]core.Triple, len(facts))
+	for i, f := range facts {
+		triples[i] = f.Triple
+	}
+	model := linkpred.Train(triples, linkpred.DefaultConfig())
+
+	// Source-level trust (§3.4): curated sources anchor the fixpoint;
+	// stream sources earn trust through corroboration.
+	tracker := trust.NewTracker(kg.Ontology(), trust.DefaultConfig())
+	for _, f := range facts {
+		if f.Curated && f.Provenance.Source != "" {
+			tracker.Pin(f.Provenance.Source, 0.95)
+		}
+		tracker.Observe(trust.Assertion{
+			Source: f.Provenance.Source, Subject: f.Subject,
+			Predicate: f.Predicate, Object: f.Object,
+		})
+	}
+	return &Pipeline{
+		cfg:     cfg,
+		kg:      kg,
+		rec:     rec,
+		ext:     extract.New(rec, kg.Ontology()),
+		mapper:  mapper,
+		model:   model,
+		linker:  disambig.NewLinker(kg, disambig.DefaultConfig()),
+		tracker: tracker,
+	}
+}
+
+// KG returns the pipeline's knowledge graph.
+func (p *Pipeline) KG() *core.KG { return p.kg }
+
+// Model returns the link-prediction model (for QA plausibility scoring).
+func (p *Pipeline) Model() *linkpred.Model { return p.model }
+
+// Mapper returns the predicate mapper (to inspect learned rules).
+func (p *Pipeline) Mapper() *predmap.Mapper { return p.mapper }
+
+// Linker returns the entity disambiguator.
+func (p *Pipeline) Linker() *disambig.Linker { return p.linker }
+
+// Trust returns the source-trust tracker (recomputed on the LearnEvery
+// cadence).
+func (p *Pipeline) Trust() *trust.Tracker { return p.tracker }
+
+// Stats returns a snapshot of pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Process runs one article through the pipeline.
+func (p *Pipeline) Process(a corpus.Article) {
+	raws := p.extractArticle(a)
+	p.integrate(a, raws)
+}
+
+// Run processes articles with parallel extraction and in-order
+// integration, returning the final stats.
+func (p *Pipeline) Run(articles []corpus.Article) Stats {
+	type job struct {
+		idx  int
+		raws []extract.RawTriple
+	}
+	results := make([][]extract.RawTriple, len(articles))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.cfg.Workers)
+	for i := range articles {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = p.extractArticle(articles[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, a := range articles {
+		p.integrate(a, results[i])
+	}
+	return p.Stats()
+}
+
+// extractArticle is the stateless, parallel-safe stage.
+func (p *Pipeline) extractArticle(a corpus.Article) []extract.RawTriple {
+	doc := extract.Document{ID: a.ID, Source: a.Source, Date: a.Date, Text: a.Text}
+	return p.ext.Extract(doc)
+}
+
+// integrate maps, disambiguates, scores and stores one document's raw
+// triples; it must run in document order.
+func (p *Pipeline) integrate(a corpus.Article, raws []extract.RawTriple) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	p.stats.Documents++
+	p.stats.Sentences += len(nlp.SplitSentences(a.Text))
+	p.stats.RawTriples += len(raws)
+	p.learnBuf = append(p.learnBuf, raws...)
+
+	context := contentWordsOf(a.Text)
+	for _, rt := range raws {
+		mapped, ok := p.mapper.Map(rt)
+		if !ok {
+			continue
+		}
+		p.stats.Mapped++
+
+		mapped.Subject = p.resolveEntity(mapped.Subject, context)
+		mapped.Object = p.resolveEntity(mapped.Object, context)
+		if mapped.Subject == "" || mapped.Object == "" || mapped.Subject == mapped.Object {
+			continue
+		}
+		p.tracker.Observe(trust.Assertion{
+			Source: mapped.Provenance.Source, Subject: mapped.Subject,
+			Predicate: mapped.Predicate, Object: mapped.Object,
+		})
+
+		// Confidence: blend the extractor/mapping confidence with the
+		// link-prediction score conditioned on the prior KG state.
+		lp := p.model.Score(mapped.Subject, mapped.Predicate, mapped.Object)
+		w := p.cfg.BlendExtractor
+		score := w*mapped.Confidence + (1-w)*lp
+		if p.kg.HasFact(mapped.Subject, mapped.Predicate, mapped.Object) {
+			// Re-observations reinforce: keep the max-confidence copy out
+			// of the graph but still feed online training.
+			if p.cfg.OnlineUpdate {
+				p.model.Update(mapped, 2)
+			}
+			continue
+		}
+		if score < p.cfg.ConfidenceThreshold {
+			p.stats.Rejected++
+			continue
+		}
+		mapped.Confidence = score
+		before := p.kg.NumEntities()
+		if _, err := p.kg.AddFact(mapped); err != nil {
+			p.stats.Rejected++
+			continue
+		}
+		p.stats.Accepted++
+		p.stats.NewEntities += p.kg.NumEntities() - before
+		if p.cfg.OnlineUpdate {
+			p.model.Update(mapped, 2)
+		}
+	}
+
+	// Sliding window.
+	if !a.Date.IsZero() && a.Date.After(p.latestSeen) {
+		p.latestSeen = a.Date
+	}
+	if p.cfg.Window > 0 && !p.latestSeen.IsZero() {
+		p.stats.FactsEvicted += p.kg.EvictBefore(p.latestSeen.Add(-p.cfg.Window))
+	}
+
+	// Periodic semi-supervised expansion, prior refresh and trust fixpoint.
+	if p.cfg.LearnEvery > 0 && p.stats.Documents%p.cfg.LearnEvery == 0 {
+		p.stats.RulesLearned += p.mapper.Learn(p.learnBuf, p.kg)
+		p.learnBuf = p.learnBuf[:0]
+		p.linker.RefreshPrior()
+		p.tracker.Recompute()
+	}
+}
+
+// resolveEntity maps a surface form onto a canonical KG entity, or keeps
+// the surface as a new entity name when the KB has no candidate (the paper:
+// "or else create a new node").
+func (p *Pipeline) resolveEntity(surface string, context []string) string {
+	surface = strings.TrimSpace(surface)
+	if surface == "" {
+		return ""
+	}
+	cands := p.kg.Candidates(surface)
+	switch len(cands) {
+	case 0:
+		return surface // new entity
+	case 1:
+		return cands[0]
+	}
+	r := p.linker.LinkOne(disambig.Mention{Surface: surface, Context: context})
+	if r.Entity != "" {
+		return r.Entity
+	}
+	return cands[0]
+}
+
+func contentWordsOf(text string) []string {
+	var out []string
+	for _, s := range nlp.Process(text) {
+		out = append(out, nlp.ContentWords(s)...)
+	}
+	sort.Strings(out)
+	return out
+}

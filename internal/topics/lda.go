@@ -1,0 +1,279 @@
+// Package topics implements Latent Dirichlet Allocation via collapsed Gibbs
+// sampling, plus the Jensen–Shannon divergence used to compare topic
+// distributions. NOUS (§3.6) assigns a topic distribution to every entity by
+// running LDA over "document-term" matrices built from per-entity text; the
+// path-search look-ahead then steers toward nodes whose topics diverge least
+// from the target's.
+package topics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls LDA fitting.
+type Config struct {
+	K     int     // number of topics
+	Alpha float64 // document-topic Dirichlet prior
+	Beta  float64 // topic-word Dirichlet prior
+	Iters int     // Gibbs sweeps
+	Seed  int64
+}
+
+// DefaultConfig returns a sensible small-corpus configuration. The sparse
+// document-topic prior (α = 0.2) matters: entity profile documents are
+// short, and the textbook α = 50/K would swamp their counts.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Alpha: 0.2, Beta: 0.01, Iters: 150, Seed: 1}
+}
+
+// Model is a fitted LDA model.
+type Model struct {
+	cfg   Config
+	vocab map[string]int
+	words []string // index -> word
+
+	// counters from the final Gibbs state
+	docTopic  [][]int // d -> k
+	topicWord [][]int // k -> w
+	topicSum  []int   // k
+	docLen    []int
+	assign    [][]int // d -> position -> topic
+	docs      [][]int // d -> position -> word index
+}
+
+// Fit runs collapsed Gibbs sampling over the documents (bags of words).
+// Empty documents are allowed and receive the uniform distribution.
+func Fit(docs [][]string, cfg Config) *Model {
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.2
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 0.01
+	}
+	m := &Model{cfg: cfg, vocab: make(map[string]int)}
+	m.docs = make([][]int, len(docs))
+	for d, doc := range docs {
+		ids := make([]int, 0, len(doc))
+		for _, w := range doc {
+			id, ok := m.vocab[w]
+			if !ok {
+				id = len(m.words)
+				m.vocab[w] = id
+				m.words = append(m.words, w)
+			}
+			ids = append(ids, id)
+		}
+		m.docs[d] = ids
+	}
+	V := len(m.words)
+	K := cfg.K
+	m.docTopic = makeInts(len(docs), K)
+	m.topicWord = makeInts(K, V)
+	m.topicSum = make([]int, K)
+	m.docLen = make([]int, len(docs))
+	m.assign = make([][]int, len(docs))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for d, ids := range m.docs {
+		m.assign[d] = make([]int, len(ids))
+		m.docLen[d] = len(ids)
+		for i, w := range ids {
+			k := rng.Intn(K)
+			m.assign[d][i] = k
+			m.docTopic[d][k]++
+			m.topicWord[k][w]++
+			m.topicSum[k]++
+		}
+	}
+
+	probs := make([]float64, K)
+	for it := 0; it < cfg.Iters; it++ {
+		for d, ids := range m.docs {
+			for i, w := range ids {
+				old := m.assign[d][i]
+				m.docTopic[d][old]--
+				m.topicWord[old][w]--
+				m.topicSum[old]--
+
+				total := 0.0
+				for k := 0; k < K; k++ {
+					p := (float64(m.docTopic[d][k]) + cfg.Alpha) *
+						(float64(m.topicWord[k][w]) + cfg.Beta) /
+						(float64(m.topicSum[k]) + cfg.Beta*float64(V))
+					probs[k] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				next := 0
+				for acc := probs[0]; acc < u && next < K-1; {
+					next++
+					acc += probs[next]
+				}
+				m.assign[d][i] = next
+				m.docTopic[d][next]++
+				m.topicWord[next][w]++
+				m.topicSum[next]++
+			}
+		}
+	}
+	return m
+}
+
+// K returns the topic count.
+func (m *Model) K() int { return m.cfg.K }
+
+// NumDocs returns the number of training documents.
+func (m *Model) NumDocs() int { return len(m.docs) }
+
+// VocabSize returns the vocabulary size.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// DocTopics returns the smoothed topic distribution θ_d of training
+// document d. Empty documents get the uniform distribution.
+func (m *Model) DocTopics(d int) []float64 {
+	K := m.cfg.K
+	out := make([]float64, K)
+	if d < 0 || d >= len(m.docs) {
+		for k := range out {
+			out[k] = 1.0 / float64(K)
+		}
+		return out
+	}
+	denom := float64(m.docLen[d]) + m.cfg.Alpha*float64(K)
+	for k := 0; k < K; k++ {
+		out[k] = (float64(m.docTopic[d][k]) + m.cfg.Alpha) / denom
+	}
+	return out
+}
+
+// TopicWords returns the n highest-probability words of topic k.
+func (m *Model) TopicWords(k, n int) []string {
+	if k < 0 || k >= m.cfg.K {
+		return nil
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(m.words))
+	for w, c := range m.topicWord[k] {
+		if c > 0 {
+			all = append(all, wc{m.words[w], c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// InferDoc folds a new document into the fitted model with a short Gibbs
+// chain over the document's assignments (topic-word counters frozen) and
+// returns its topic distribution.
+func (m *Model) InferDoc(doc []string, iters int, seed int64) []float64 {
+	K := m.cfg.K
+	var ids []int
+	for _, w := range doc {
+		if id, ok := m.vocab[w]; ok {
+			ids = append(ids, id)
+		}
+	}
+	out := make([]float64, K)
+	if len(ids) == 0 {
+		for k := range out {
+			out[k] = 1.0 / float64(K)
+		}
+		return out
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	V := float64(len(m.words))
+	counts := make([]int, K)
+	assign := make([]int, len(ids))
+	for i := range ids {
+		k := rng.Intn(K)
+		assign[i] = k
+		counts[k]++
+	}
+	probs := make([]float64, K)
+	for it := 0; it < iters; it++ {
+		for i, w := range ids {
+			old := assign[i]
+			counts[old]--
+			total := 0.0
+			for k := 0; k < K; k++ {
+				p := (float64(counts[k]) + m.cfg.Alpha) *
+					(float64(m.topicWord[k][w]) + m.cfg.Beta) /
+					(float64(m.topicSum[k]) + m.cfg.Beta*V)
+				probs[k] = p
+				total += p
+			}
+			u := rng.Float64() * total
+			next := 0
+			for acc := probs[0]; acc < u && next < K-1; {
+				next++
+				acc += probs[next]
+			}
+			assign[i] = next
+			counts[next]++
+		}
+	}
+	denom := float64(len(ids)) + m.cfg.Alpha*float64(K)
+	for k := 0; k < K; k++ {
+		out[k] = (float64(counts[k]) + m.cfg.Alpha) / denom
+	}
+	return out
+}
+
+// JSDivergence is the Jensen–Shannon divergence between two distributions
+// (symmetric, bounded by ln 2). Mismatched lengths panic: that is a caller
+// bug, not a data condition.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("topics: JSDivergence length mismatch %d vs %d", len(p), len(q)))
+	}
+	kl := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				s += a[i] * math.Log(a[i]/b[i])
+			}
+		}
+		return s
+	}
+	mid := make([]float64, len(p))
+	for i := range p {
+		mid[i] = (p[i] + q[i]) / 2
+	}
+	return kl(p, mid)/2 + kl(q, mid)/2
+}
+
+func makeInts(a, b int) [][]int {
+	out := make([][]int, a)
+	flat := make([]int, a*b)
+	for i := range out {
+		out[i], flat = flat[:b], flat[b:]
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+// Package trends answers the first of NOUS's two headline query classes
+// (§1.1): discovering trends in streaming data. A detector consumes
+// fact-level events from the dynamic KG, buckets extracted-fact activity
+// per entity and per predicate over time, and scores burstiness as the
+// ratio of current-window activity to the historical per-bucket average.
+package trends
+
+import (
+	"sort"
+	"time"
+
+	"nous/internal/core"
+)
+
+// Kind distinguishes what a trend is about.
+type Kind string
+
+// Trend kinds.
+const (
+	KindEntity    Kind = "entity"
+	KindPredicate Kind = "predicate"
+)
+
+// Trend is one trending item.
+type Trend struct {
+	Name     string
+	Kind     Kind
+	Current  int     // mentions in the current window
+	Baseline float64 // historical mean mentions per window
+	Score    float64 // burst score: (current+s)/(baseline+s)
+}
+
+// Config tunes the detector.
+type Config struct {
+	// Bucket is the histogram resolution (default 7 days).
+	Bucket time.Duration
+	// Smoothing is the additive constant in the burst ratio (default 1).
+	Smoothing float64
+	// MinCurrent suppresses trends with fewer current-window mentions.
+	MinCurrent int
+}
+
+// DefaultConfig buckets by week, the cadence of the paper's WSJ demo.
+func DefaultConfig() Config {
+	return Config{Bucket: 7 * 24 * time.Hour, Smoothing: 1, MinCurrent: 2}
+}
+
+// Detector accumulates activity histograms. Wire it to a KG with
+// kg.Subscribe(d.OnEvent). Methods are not safe for concurrent use with
+// OnEvent; the KG invokes listeners synchronously, which serializes them.
+type Detector struct {
+	cfg Config
+	// counts[kind][name][bucket] = mentions
+	entityCounts map[string]map[int64]int
+	predCounts   map[string]map[int64]int
+}
+
+// NewDetector returns an empty detector.
+func NewDetector(cfg Config) *Detector {
+	if cfg.Bucket <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Smoothing <= 0 {
+		cfg.Smoothing = 1
+	}
+	return &Detector{
+		cfg:          cfg,
+		entityCounts: make(map[string]map[int64]int),
+		predCounts:   make(map[string]map[int64]int),
+	}
+}
+
+// OnEvent consumes a KG fact event. Only extracted (non-curated) additions
+// count toward trends: curated facts are background knowledge, not news.
+func (d *Detector) OnEvent(ev core.Event) {
+	if ev.Kind != core.FactAdded || ev.Fact.Curated {
+		return
+	}
+	t := ev.Fact.Provenance.Time
+	if t.IsZero() {
+		return
+	}
+	b := d.bucketOf(t)
+	bump(d.entityCounts, ev.Fact.Subject, b)
+	bump(d.entityCounts, ev.Fact.Object, b)
+	bump(d.predCounts, ev.Fact.Predicate, b)
+}
+
+func (d *Detector) bucketOf(t time.Time) int64 {
+	return t.Unix() / int64(d.cfg.Bucket.Seconds())
+}
+
+func bump(m map[string]map[int64]int, name string, bucket int64) {
+	byBucket, ok := m[name]
+	if !ok {
+		byBucket = make(map[int64]int)
+		m[name] = byBucket
+	}
+	byBucket[bucket]++
+}
+
+// Trending returns the top-k bursting entities and predicates for the
+// window containing now, ordered by descending burst score. When the
+// current window is quiet (no item reaches MinCurrent — streams are bursty
+// and the last bucket may be nearly empty), it falls back to the most
+// recent window with qualifying activity.
+func (d *Detector) Trending(now time.Time, k int) []Trend {
+	cur := d.bucketOf(now)
+	out := d.trendingAt(cur)
+	if len(out) == 0 {
+		if b, ok := d.latestActiveBucket(cur); ok {
+			out = d.trendingAt(b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Current != out[j].Current {
+			return out[i].Current > out[j].Current
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (d *Detector) trendingAt(cur int64) []Trend {
+	var out []Trend
+	out = append(out, d.scan(d.entityCounts, KindEntity, cur)...)
+	out = append(out, d.scan(d.predCounts, KindPredicate, cur)...)
+	return out
+}
+
+// latestActiveBucket returns the most recent bucket at or before cur in
+// which any entity or predicate reached MinCurrent mentions.
+func (d *Detector) latestActiveBucket(cur int64) (int64, bool) {
+	best := int64(0)
+	found := false
+	scanMap := func(m map[string]map[int64]int) {
+		for _, byBucket := range m {
+			for b, c := range byBucket {
+				if b <= cur && c >= d.cfg.MinCurrent && (!found || b > best) {
+					best = b
+					found = true
+				}
+			}
+		}
+	}
+	scanMap(d.entityCounts)
+	scanMap(d.predCounts)
+	return best, found
+}
+
+// TrendingEntities is Trending filtered to entities.
+func (d *Detector) TrendingEntities(now time.Time, k int) []Trend {
+	var out []Trend
+	for _, t := range d.Trending(now, 0) {
+		if t.Kind == KindEntity {
+			out = append(out, t)
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (d *Detector) scan(m map[string]map[int64]int, kind Kind, cur int64) []Trend {
+	var out []Trend
+	for name, byBucket := range m {
+		current := byBucket[cur]
+		if current < d.cfg.MinCurrent {
+			continue
+		}
+		// historical mean over buckets strictly before cur
+		sum, n := 0, 0
+		for b, c := range byBucket {
+			if b < cur {
+				sum += c
+				n++
+			}
+		}
+		baseline := 0.0
+		if n > 0 {
+			baseline = float64(sum) / float64(n)
+		}
+		s := d.cfg.Smoothing
+		out = append(out, Trend{
+			Name:     name,
+			Kind:     kind,
+			Current:  current,
+			Baseline: baseline,
+			Score:    (float64(current) + s) / (baseline + s),
+		})
+	}
+	return out
+}
+
+// Series returns an entity's (or predicate's) activity counts for the n
+// buckets ending at the one containing now — the sparkline behind Fig 6's
+// entity view.
+func (d *Detector) Series(name string, now time.Time, n int) []int {
+	byBucket := d.entityCounts[name]
+	if byBucket == nil {
+		byBucket = d.predCounts[name]
+	}
+	cur := d.bucketOf(now)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		b := cur - int64(n-1-i)
+		if byBucket != nil {
+			out[i] = byBucket[b]
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+// Package trust implements the source-level trust tracking §3.4 mentions
+// alongside link prediction: every data source carries a trust score that
+// rises when its facts are corroborated (re-asserted by other sources or
+// already present in the curated KB) and falls when they are contradicted
+// (a functional predicate already binds the subject to a different object).
+// The fixpoint iteration is a small TruthFinder-style mutual recursion:
+// fact belief is a trust-weighted vote of its asserting sources; source
+// trust is the mean belief of its asserted facts.
+package trust
+
+import (
+	"math"
+	"sort"
+
+	"nous/internal/ontology"
+)
+
+// Assertion is one (source, triple) observation.
+type Assertion struct {
+	Source    string
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// Config tunes the fixpoint.
+type Config struct {
+	// PriorTrust seeds unseen sources (default 0.5). Curated sources can
+	// be pinned with Pin.
+	PriorTrust float64
+	// Iterations bounds the trust/belief fixpoint (default 10).
+	Iterations int
+	// Damping mixes the new trust estimate with the previous one.
+	Damping float64
+}
+
+// DefaultConfig returns the standard fixpoint parameters.
+func DefaultConfig() Config {
+	return Config{PriorTrust: 0.5, Iterations: 10, Damping: 0.3}
+}
+
+// Tracker maintains source trust scores from streamed assertions.
+type Tracker struct {
+	cfg    Config
+	ont    *ontology.Ontology
+	pinned map[string]float64
+
+	assertions []Assertion
+	// index: fact key -> asserting sources (set)
+	bySources map[string]map[string]bool
+	// functional conflict detection: (subject, functional predicate) -> objects
+	functional map[string]map[string]bool
+
+	trust map[string]float64
+}
+
+// NewTracker returns an empty tracker. A nil ontology gets the default
+// (the ontology supplies which predicates are functional).
+func NewTracker(ont *ontology.Ontology, cfg Config) *Tracker {
+	if cfg.Iterations <= 0 {
+		cfg = DefaultConfig()
+	}
+	if ont == nil {
+		ont = ontology.Default()
+	}
+	return &Tracker{
+		cfg:        cfg,
+		ont:        ont,
+		pinned:     make(map[string]float64),
+		bySources:  make(map[string]map[string]bool),
+		functional: make(map[string]map[string]bool),
+		trust:      make(map[string]float64),
+	}
+}
+
+// Pin fixes a source's trust (e.g. the curated KB at 1.0); pinned sources
+// anchor the fixpoint.
+func (t *Tracker) Pin(source string, trust float64) {
+	t.pinned[source] = clamp01(trust)
+	t.trust[source] = t.pinned[source]
+}
+
+// Observe records one assertion.
+func (t *Tracker) Observe(a Assertion) {
+	if a.Source == "" || a.Subject == "" || a.Object == "" {
+		return
+	}
+	t.assertions = append(t.assertions, a)
+	k := factKey(a)
+	set, ok := t.bySources[k]
+	if !ok {
+		set = make(map[string]bool)
+		t.bySources[k] = set
+	}
+	set[a.Source] = true
+	if p, ok := t.ont.Predicate(a.Predicate); ok && p.Functional {
+		fk := a.Subject + "\x00" + a.Predicate
+		objs, ok := t.functional[fk]
+		if !ok {
+			objs = make(map[string]bool)
+			t.functional[fk] = objs
+		}
+		objs[a.Object] = true
+	}
+	if _, ok := t.trust[a.Source]; !ok {
+		t.trust[a.Source] = t.cfg.PriorTrust
+	}
+}
+
+// Recompute runs the trust/belief fixpoint over everything observed so far
+// and returns the updated source trust map.
+func (t *Tracker) Recompute() map[string]float64 {
+	for it := 0; it < t.cfg.Iterations; it++ {
+		// 1. fact belief = 1 - Π (1 - trust(s)) over asserting sources,
+		//    halved when the fact participates in a functional conflict.
+		belief := make(map[string]float64, len(t.bySources))
+		for k, sources := range t.bySources {
+			disbelief := 1.0
+			for s := range sources {
+				disbelief *= 1 - t.trust[s]
+			}
+			b := 1 - disbelief
+			if t.conflicted(k) {
+				b *= 0.5
+			}
+			belief[k] = b
+		}
+		// 2. source trust = mean belief of asserted facts (damped).
+		sum := make(map[string]float64)
+		cnt := make(map[string]int)
+		for k, sources := range t.bySources {
+			for s := range sources {
+				sum[s] += belief[k]
+				cnt[s]++
+			}
+		}
+		for s := range t.trust {
+			if pin, ok := t.pinned[s]; ok {
+				t.trust[s] = pin
+				continue
+			}
+			if cnt[s] == 0 {
+				continue
+			}
+			next := sum[s] / float64(cnt[s])
+			t.trust[s] = (1-t.cfg.Damping)*next + t.cfg.Damping*t.trust[s]
+		}
+	}
+	out := make(map[string]float64, len(t.trust))
+	for s, v := range t.trust {
+		out[s] = v
+	}
+	return out
+}
+
+// conflicted reports whether the fact's (subject, predicate) binds multiple
+// objects under a functional predicate.
+func (t *Tracker) conflicted(factK string) bool {
+	a := parseKey(factK)
+	p, ok := t.ont.Predicate(a.Predicate)
+	if !ok || !p.Functional {
+		return false
+	}
+	return len(t.functional[a.Subject+"\x00"+a.Predicate]) > 1
+}
+
+// Trust returns a source's current trust (PriorTrust when unseen).
+func (t *Tracker) Trust(source string) float64 {
+	if v, ok := t.trust[source]; ok {
+		return v
+	}
+	return t.cfg.PriorTrust
+}
+
+// Belief returns the current belief in a triple given the sources that
+// asserted it (after the last Recompute's trust values).
+func (t *Tracker) Belief(subject, predicate, object string) float64 {
+	k := factKey(Assertion{Subject: subject, Predicate: predicate, Object: object})
+	sources, ok := t.bySources[k]
+	if !ok {
+		return 0
+	}
+	disbelief := 1.0
+	for s := range sources {
+		disbelief *= 1 - t.trust[s]
+	}
+	b := 1 - disbelief
+	if t.conflicted(k) {
+		b *= 0.5
+	}
+	return b
+}
+
+// Sources returns all known sources with their trust, sorted by descending
+// trust then name.
+func (t *Tracker) Sources() []SourceTrust {
+	out := make([]SourceTrust, 0, len(t.trust))
+	for s, v := range t.trust {
+		out = append(out, SourceTrust{Source: s, Trust: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trust != out[j].Trust {
+			return out[i].Trust > out[j].Trust
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// SourceTrust pairs a source with its trust score.
+type SourceTrust struct {
+	Source string
+	Trust  float64
+}
+
+func factKey(a Assertion) string {
+	return a.Subject + "\x00" + a.Predicate + "\x00" + a.Object
+}
+
+func parseKey(k string) Assertion {
+	var a Assertion
+	parts := [3]string{}
+	idx := 0
+	start := 0
+	for i := 0; i < len(k) && idx < 2; i++ {
+		if k[i] == 0 {
+			parts[idx] = k[start:i]
+			idx++
+			start = i + 1
+		}
+	}
+	parts[2] = k[start:]
+	a.Subject, a.Predicate, a.Object = parts[0], parts[1], parts[2]
+	return a
+}
+
+func clamp01(x float64) float64 {
+	return math.Max(0, math.Min(1, x))
+}

@@ -1,0 +1,118 @@
+package trust
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCorroborationRaisesTrust(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Pin("curated-kb", 1.0)
+
+	// goodwire re-asserts curated facts; tabloid asserts unseen ones alone.
+	for i := 0; i < 10; i++ {
+		fact := Assertion{Subject: fmt.Sprintf("C%d", i), Predicate: "acquired", Object: fmt.Sprintf("D%d", i)}
+		fact.Source = "curated-kb"
+		tr.Observe(fact)
+		fact.Source = "goodwire"
+		tr.Observe(fact)
+		tr.Observe(Assertion{Source: "tabloid", Subject: fmt.Sprintf("X%d", i), Predicate: "acquired", Object: fmt.Sprintf("Y%d", i)})
+	}
+	trusts := tr.Recompute()
+	if trusts["goodwire"] <= trusts["tabloid"] {
+		t.Fatalf("corroborated source not more trusted: goodwire=%.3f tabloid=%.3f",
+			trusts["goodwire"], trusts["tabloid"])
+	}
+	if trusts["curated-kb"] != 1.0 {
+		t.Fatalf("pinned trust drifted: %v", trusts["curated-kb"])
+	}
+}
+
+func TestFunctionalConflictLowersTrust(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Pin("curated-kb", 1.0)
+	// Curated: DJI headquartered in Shenzhen. The conflicting source says
+	// Paris; a clean source repeats curated facts.
+	tr.Observe(Assertion{Source: "curated-kb", Subject: "DJI", Predicate: "headquarteredIn", Object: "Shenzhen"})
+	for i := 0; i < 5; i++ {
+		tr.Observe(Assertion{Source: "clean", Subject: "DJI", Predicate: "headquarteredIn", Object: "Shenzhen"})
+		tr.Observe(Assertion{Source: "conflicting", Subject: "DJI", Predicate: "headquarteredIn", Object: "Paris"})
+	}
+	trusts := tr.Recompute()
+	if trusts["conflicting"] >= trusts["clean"] {
+		t.Fatalf("conflicting source not penalized: clean=%.3f conflicting=%.3f",
+			trusts["clean"], trusts["conflicting"])
+	}
+}
+
+func TestBeliefReflectsSources(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Pin("curated-kb", 0.95)
+	tr.Observe(Assertion{Source: "curated-kb", Subject: "A", Predicate: "acquired", Object: "B"})
+	tr.Observe(Assertion{Source: "random-blog", Subject: "C", Predicate: "acquired", Object: "D"})
+	tr.Recompute()
+	strong := tr.Belief("A", "acquired", "B")
+	weak := tr.Belief("C", "acquired", "D")
+	if strong <= weak {
+		t.Fatalf("belief ordering wrong: strong=%.3f weak=%.3f", strong, weak)
+	}
+	if got := tr.Belief("X", "acquired", "Y"); got != 0 {
+		t.Fatalf("belief in unasserted fact = %v", got)
+	}
+}
+
+func TestMultipleIndependentSourcesIncreaseBelief(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Observe(Assertion{Source: "s1", Subject: "A", Predicate: "acquired", Object: "B"})
+	tr.Recompute()
+	one := tr.Belief("A", "acquired", "B")
+	tr.Observe(Assertion{Source: "s2", Subject: "A", Predicate: "acquired", Object: "B"})
+	tr.Observe(Assertion{Source: "s3", Subject: "A", Predicate: "acquired", Object: "B"})
+	tr.Recompute()
+	many := tr.Belief("A", "acquired", "B")
+	if many <= one {
+		t.Fatalf("corroboration did not raise belief: %v -> %v", one, many)
+	}
+}
+
+func TestUnknownSourceGetsPrior(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	if got := tr.Trust("nobody"); got != 0.5 {
+		t.Fatalf("unknown source trust = %v", got)
+	}
+}
+
+func TestMalformedAssertionsIgnored(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Observe(Assertion{Source: "", Subject: "A", Predicate: "p", Object: "B"})
+	tr.Observe(Assertion{Source: "s", Subject: "", Predicate: "p", Object: "B"})
+	tr.Observe(Assertion{Source: "s", Subject: "A", Predicate: "p", Object: ""})
+	if got := tr.Recompute(); len(got) != 0 {
+		t.Fatalf("malformed assertions tracked: %v", got)
+	}
+}
+
+func TestSourcesSorted(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Pin("a", 0.9)
+	tr.Pin("b", 0.2)
+	tr.Pin("c", 0.9)
+	ss := tr.Sources()
+	if len(ss) != 3 || ss[0].Source != "a" || ss[1].Source != "c" || ss[2].Source != "b" {
+		t.Fatalf("sources = %+v", ss)
+	}
+}
+
+func TestTrustStaysInUnitInterval(t *testing.T) {
+	tr := NewTracker(nil, DefaultConfig())
+	tr.Pin("kb", 1.0)
+	for i := 0; i < 50; i++ {
+		tr.Observe(Assertion{Source: "kb", Subject: fmt.Sprintf("S%d", i), Predicate: "acquired", Object: "T"})
+		tr.Observe(Assertion{Source: "echo", Subject: fmt.Sprintf("S%d", i), Predicate: "acquired", Object: "T"})
+	}
+	for s, v := range tr.Recompute() {
+		if v < 0 || v > 1 {
+			t.Fatalf("trust(%s) = %v out of [0,1]", s, v)
+		}
+	}
+}

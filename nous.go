@@ -1,0 +1,353 @@
+// Package nous is a from-scratch Go reproduction of NOUS (Choudhury et al.,
+// ICDE 2017): construction and querying of dynamic knowledge graphs. It
+// fuses a curated knowledge base with knowledge continuously extracted from
+// streaming text, estimates per-fact confidence with BPR link prediction,
+// mines closed frequent graph patterns over a sliding window, and answers
+// five classes of questions — trending, entity, relationship (explanatory),
+// pattern and fact queries — over the fused, dynamic graph.
+//
+// Quickstart:
+//
+//	world := nous.GenerateWorld(nous.DefaultWorldConfig())
+//	kg, _ := world.LoadKG()
+//	p := nous.NewPipeline(kg, nous.DefaultConfig())
+//	p.IngestAll(nous.GenerateArticles(world, nous.DefaultArticleConfig(500)))
+//	p.BuildTopics()
+//	ans, _ := p.Ask("Tell me about DJI")
+//	fmt.Println(ans.Text)
+package nous
+
+import (
+	"math"
+	"time"
+
+	"nous/internal/core"
+	"nous/internal/corpus"
+	"nous/internal/disambig"
+	"nous/internal/fgm"
+	"nous/internal/graph"
+	"nous/internal/linkpred"
+	"nous/internal/nlp"
+	"nous/internal/ontology"
+	"nous/internal/pathsearch"
+	"nous/internal/qa"
+	"nous/internal/stream"
+	"nous/internal/topics"
+	"nous/internal/trends"
+	"nous/internal/trust"
+)
+
+// Re-exported core types: the public API surface for building and querying
+// dynamic knowledge graphs.
+type (
+	// Triple is one (subject, predicate, object) fact with provenance.
+	Triple = core.Triple
+	// Fact is a stored triple.
+	Fact = core.Fact
+	// Provenance records a fact's origin.
+	Provenance = core.Provenance
+	// KG is the dynamic knowledge graph.
+	KG = core.KG
+	// Ontology is the typed predicate vocabulary.
+	Ontology = ontology.Ontology
+	// EntityType names a node type.
+	EntityType = ontology.EntityType
+	// Pattern is a mined graph pattern.
+	Pattern = fgm.Pattern
+	// Trend is a burst-scored trending item.
+	Trend = trends.Trend
+	// Answer is a structured query answer.
+	Answer = qa.Answer
+	// Query is a parsed question.
+	Query = qa.Query
+	// Article is one input document.
+	Article = corpus.Article
+	// World is a generated evaluation domain.
+	World = corpus.World
+	// WorldConfig controls world generation.
+	WorldConfig = corpus.Config
+	// ArticleConfig controls article generation.
+	ArticleConfig = corpus.ArticleConfig
+	// StreamStats counts pipeline outcomes.
+	StreamStats = stream.Stats
+	// KGStats summarises knowledge-graph quality statistics.
+	KGStats = core.Stats
+)
+
+// NewKG returns an empty dynamic KG over the given ontology (nil for the
+// default news/business ontology).
+func NewKG(ont *Ontology) *KG { return core.NewKG(ont) }
+
+// DefaultOntology returns the built-in ontology covering the paper's three
+// domains (news, citations, insider threat).
+func DefaultOntology() *Ontology { return ontology.Default() }
+
+// GenerateWorld builds a deterministic synthetic drone-domain world (the
+// YAGO2 + WSJ stand-in).
+func GenerateWorld(cfg WorldConfig) *World { return corpus.Generate(cfg) }
+
+// DefaultWorldConfig is a medium world.
+func DefaultWorldConfig() WorldConfig { return corpus.DefaultConfig() }
+
+// GenerateArticles renders n dated articles from a world's event stream.
+func GenerateArticles(w *World, cfg ArticleConfig) []Article {
+	return corpus.GenerateArticles(w, cfg)
+}
+
+// DefaultArticleConfig generates n articles with default noise levels.
+func DefaultArticleConfig(n int) ArticleConfig { return corpus.DefaultArticleConfig(n) }
+
+// Config tunes the full pipeline.
+type Config struct {
+	// Stream configures extraction → mapping → confidence → KG.
+	Stream stream.Config
+	// Miner configures the streaming frequent-graph miner.
+	Miner fgm.Config
+	// Trends configures burst detection.
+	Trends trends.Config
+	// TopicCount is the LDA topic count for path-search coherence.
+	TopicCount int
+	// LDAIters is the Gibbs sweep count for BuildTopics.
+	LDAIters int
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// DefaultConfig mirrors the experiment setup in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Stream:     stream.DefaultConfig(),
+		Miner:      fgm.DefaultConfig(),
+		Trends:     trends.DefaultConfig(),
+		TopicCount: 8,
+		LDAIters:   100,
+		Seed:       1,
+	}
+}
+
+// Pipeline is the end-to-end NOUS system: ingestion, mining, trends,
+// topics, search and question answering over one dynamic KG.
+type Pipeline struct {
+	cfg      Config
+	kg       *core.KG
+	stream   *stream.Pipeline
+	miner    *fgm.Miner
+	detector *trends.Detector
+	model    *topics.Model
+	topicOf  map[graph.VertexID][]float64
+	searcher *pathsearch.Searcher
+	exec     *qa.Executor
+	clock    time.Time
+}
+
+// NewPipeline assembles the system over a KG pre-loaded with curated
+// knowledge. The miner is seeded with the existing curated facts, so mined
+// patterns span both curated and extracted structure.
+func NewPipeline(kg *KG, cfg Config) *Pipeline {
+	if cfg.TopicCount <= 0 {
+		cfg = DefaultConfig()
+	}
+	p := &Pipeline{cfg: cfg, kg: kg}
+	p.miner = fgm.NewMiner(cfg.Miner)
+	p.detector = trends.NewDetector(cfg.Trends)
+
+	// Seed the miner with pre-existing (curated) facts, then subscribe to
+	// live updates. Curated facts get an infinite timestamp so windowed
+	// eviction never removes them — the curated substrate persists.
+	var seed []fgm.Edge
+	for _, f := range kg.AllFacts() {
+		seed = append(seed, p.minerEdge(f))
+	}
+	p.miner.AddBatch(seed)
+	kg.Subscribe(func(ev core.Event) {
+		p.detector.OnEvent(ev)
+		if ev.Kind == core.FactAdded {
+			p.miner.Add(p.minerEdge(ev.Fact))
+		}
+	})
+
+	p.stream = stream.New(kg, cfg.Stream)
+	p.searcher = pathsearch.New(kg.Graph(), nil)
+	p.exec = &qa.Executor{
+		KG:       kg,
+		Trends:   p.detector,
+		Miner:    p.miner,
+		Searcher: p.searcher,
+		Model:    p.stream.Model(),
+		Linker:   p.stream.Linker(),
+		Now:      p.now,
+	}
+	return p
+}
+
+func (p *Pipeline) minerEdge(f Fact) fgm.Edge {
+	ts := int64(math.MaxInt64) // curated: never evict
+	if !f.Curated {
+		ts = f.Provenance.Time.Unix()
+	}
+	return fgm.Edge{
+		Src: int64(f.Src), Dst: int64(f.Dst),
+		SrcLabel: string(f.SubjectType), DstLabel: string(f.ObjectType),
+		Label: f.Predicate, Time: ts,
+	}
+}
+
+func (p *Pipeline) now() time.Time {
+	if p.clock.IsZero() {
+		return time.Now()
+	}
+	return p.clock
+}
+
+// Ingest processes one article through extraction, mapping, confidence
+// estimation and KG update.
+func (p *Pipeline) Ingest(a Article) {
+	p.stream.Process(a)
+	p.advance(a.Date)
+}
+
+// IngestAll processes a batch with parallel extraction and returns the
+// cumulative stream statistics.
+func (p *Pipeline) IngestAll(articles []Article) StreamStats {
+	st := p.stream.Run(articles)
+	var latest time.Time
+	for _, a := range articles {
+		if a.Date.After(latest) {
+			latest = a.Date
+		}
+	}
+	p.advance(latest)
+	return st
+}
+
+// advance moves the pipeline clock and synchronizes the miner's window
+// with the KG's.
+func (p *Pipeline) advance(t time.Time) {
+	if t.After(p.clock) {
+		p.clock = t
+	}
+	if w := p.cfg.Stream.Window; w > 0 && !p.clock.IsZero() {
+		p.miner.EvictBefore(p.clock.Add(-w).Unix())
+	}
+}
+
+// BuildTopics fits the LDA model over per-entity profile documents (name,
+// neighborhood, supporting sentences) and attaches topic vectors to the
+// path searcher. Call after ingestion (and again after large updates).
+func (p *Pipeline) BuildTopics() {
+	names := p.kg.Entities()
+	docs := make([][]string, len(names))
+	for i, n := range names {
+		docs[i] = p.entityDoc(n)
+	}
+	cfg := topics.DefaultConfig(p.cfg.TopicCount)
+	cfg.Iters = p.cfg.LDAIters
+	cfg.Seed = p.cfg.Seed
+	p.model = topics.Fit(docs, cfg)
+	p.topicOf = make(map[graph.VertexID][]float64, len(names))
+	for i, n := range names {
+		if id, ok := p.kg.Entity(n); ok {
+			p.topicOf[id] = p.model.DocTopics(i)
+		}
+	}
+	p.searcher = pathsearch.New(p.kg.Graph(), p.topicOf)
+	p.exec.Searcher = p.searcher
+}
+
+// entityDoc builds the "document" of an entity for LDA: its name, its
+// type, the predicates and neighbor names around it, and the content words
+// of supporting sentences.
+func (p *Pipeline) entityDoc(name string) []string {
+	var words []string
+	add := func(text string) {
+		for _, s := range nlp.Process(text) {
+			words = append(words, nlp.ContentWords(s)...)
+		}
+	}
+	add(name)
+	for _, f := range p.kg.FactsAbout(name) {
+		words = append(words, f.Predicate)
+		if f.Subject == name {
+			add(f.Object)
+		} else {
+			add(f.Subject)
+		}
+		if f.Provenance.Sentence != "" {
+			add(f.Provenance.Sentence)
+		}
+	}
+	return words
+}
+
+// Ask parses and answers a natural-language-like question (the five query
+// classes of the paper's Fig 5).
+func (p *Pipeline) Ask(question string) (Answer, error) {
+	return p.exec.Ask(question)
+}
+
+// Run executes a pre-parsed query.
+func (p *Pipeline) Run(q Query) (Answer, error) {
+	return p.exec.Run(q)
+}
+
+// Trending returns the top-k bursting entities and predicates at the
+// pipeline clock.
+func (p *Pipeline) Trending(k int) []Trend {
+	return p.detector.Trending(p.now(), k)
+}
+
+// Patterns returns the top-k closed frequent patterns in the current
+// window.
+func (p *Pipeline) Patterns(k int) []Pattern {
+	ps := p.miner.ClosedPatterns()
+	if k > 0 && len(ps) > k {
+		ps = ps[:k]
+	}
+	return ps
+}
+
+// PatternTransitions reports patterns entering and leaving the frequent
+// set since the last call.
+func (p *Pipeline) PatternTransitions() (entered, left []Pattern) {
+	return p.miner.Transitions()
+}
+
+// Explain returns up to k coherence-ranked paths between two entities,
+// optionally constrained to traverse a predicate.
+func (p *Pipeline) Explain(src, dst, predicate string, k int) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassRelationship, Subject: src, Object: dst, Predicate: predicate, K: k})
+}
+
+// About returns the entity summary answer for a name (Fig 6).
+func (p *Pipeline) About(name string) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassEntity, Subject: name, K: 10})
+}
+
+// Score returns the link-prediction confidence of a candidate triple.
+func (p *Pipeline) Score(subject, predicate, object string) float64 {
+	return p.stream.Model().Score(subject, predicate, object)
+}
+
+// KG exposes the underlying dynamic knowledge graph.
+func (p *Pipeline) KG() *KG { return p.kg }
+
+// Stats returns the stream statistics so far.
+func (p *Pipeline) Stats() StreamStats { return p.stream.Stats() }
+
+// Linker exposes the entity disambiguator (AIDA variant).
+func (p *Pipeline) Linker() *disambig.Linker { return p.stream.Linker() }
+
+// SourceTrust returns the current per-source trust scores (§3.4's source-
+// level trust tracking), sorted by descending trust.
+func (p *Pipeline) SourceTrust() []trust.SourceTrust {
+	return p.stream.Trust().Sources()
+}
+
+// LinkPredictor exposes the BPR confidence model.
+func (p *Pipeline) LinkPredictor() *linkpred.Model { return p.stream.Model() }
+
+// Miner exposes the streaming frequent-graph miner.
+func (p *Pipeline) Miner() *fgm.Miner { return p.miner }
+
+// QueryClasses lists the five supported query classes with examples.
+func QueryClasses() []string { return qa.Classes() }

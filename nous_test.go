@@ -1,0 +1,138 @@
+package nous
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildSystem(t testing.TB, nArticles int) (*Pipeline, *World) {
+	wcfg := DefaultWorldConfig()
+	wcfg.Companies = 15
+	wcfg.People = 15
+	wcfg.Products = 15
+	wcfg.Events = 100
+	w := GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(kg, DefaultConfig())
+	p.IngestAll(GenerateArticles(w, DefaultArticleConfig(nArticles)))
+	return p, w
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p, _ := buildSystem(t, 100)
+	st := p.Stats()
+	if st.Accepted == 0 {
+		t.Fatalf("no facts accepted: %+v", st)
+	}
+	kgStats := p.KG().Stats()
+	if kgStats.ExtractedFacts == 0 || kgStats.CuratedFacts == 0 {
+		t.Fatalf("fused KG missing a layer: %+v", kgStats)
+	}
+}
+
+func TestAllFiveQueryClasses(t *testing.T) {
+	p, _ := buildSystem(t, 120)
+	p.BuildTopics()
+
+	questions := []string{
+		"What is trending?",
+		"Tell me about DJI",
+		"How is DJI related to Shenzhen?",
+		"What patterns are emerging?",
+		"What does DJI manufacture?",
+	}
+	for _, q := range questions {
+		a, err := p.Ask(q)
+		if err != nil {
+			t.Fatalf("Ask(%q): %v", q, err)
+		}
+		if strings.TrimSpace(a.Text) == "" {
+			t.Fatalf("Ask(%q) returned empty text", q)
+		}
+	}
+	if len(QueryClasses()) != 5 {
+		t.Fatal("query class listing broken")
+	}
+}
+
+func TestEntityQueryFig6(t *testing.T) {
+	p, _ := buildSystem(t, 100)
+	a, err := p.About("DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entity == nil || a.Entity.Name != "DJI" || len(a.Entity.Facts) == 0 {
+		t.Fatalf("About(DJI) = %+v", a)
+	}
+	if !strings.Contains(a.Text, "Shenzhen") {
+		t.Fatalf("DJI summary lacks curated anchor: %s", a.Text)
+	}
+}
+
+func TestExplainWithTopics(t *testing.T) {
+	p, _ := buildSystem(t, 100)
+	p.BuildTopics()
+	a, err := p.Explain("DJI", "Shenzhen", "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Paths) == 0 {
+		t.Fatalf("no explanation paths: %s", a.Text)
+	}
+}
+
+func TestPatternsSpanCuratedAndExtracted(t *testing.T) {
+	p, _ := buildSystem(t, 150)
+	ps := p.Patterns(10)
+	if len(ps) == 0 {
+		t.Fatal("no closed patterns over fused graph")
+	}
+}
+
+func TestScoreIsProbability(t *testing.T) {
+	p, _ := buildSystem(t, 60)
+	s := p.Score("DJI", "acquired", "Parrot")
+	if s <= 0 || s >= 1 {
+		t.Fatalf("score = %v", s)
+	}
+}
+
+func TestWindowedPipelineKeepsCurated(t *testing.T) {
+	wcfg := DefaultWorldConfig()
+	wcfg.Companies = 10
+	wcfg.People = 10
+	wcfg.Products = 10
+	wcfg.Events = 80
+	w := GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Stream.Window = 60 * 24 * time.Hour
+	p := NewPipeline(kg, cfg)
+	st := p.IngestAll(GenerateArticles(w, DefaultArticleConfig(120)))
+	if st.FactsEvicted == 0 {
+		t.Fatalf("windowed run evicted nothing: %+v", st)
+	}
+	if got := p.KG().Stats().CuratedFacts; got != len(w.Curated) {
+		t.Fatalf("curated facts = %d, want %d", got, len(w.Curated))
+	}
+}
+
+func TestPatternTransitions(t *testing.T) {
+	p, _ := buildSystem(t, 100)
+	entered, _ := p.PatternTransitions()
+	if len(entered) == 0 {
+		t.Fatal("no patterns entered the frequent set after ingestion")
+	}
+	// second call without changes: no transitions
+	entered, left := p.PatternTransitions()
+	if len(entered) != 0 || len(left) != 0 {
+		t.Fatalf("spurious transitions: %d entered, %d left", len(entered), len(left))
+	}
+}
