@@ -79,6 +79,7 @@ type buildFlags struct {
 	kbPath   string
 	corpus   string
 	window   time.Duration
+	workers  int
 }
 
 func addCommonFlags(fs *flag.FlagSet) *buildFlags {
@@ -89,6 +90,7 @@ func addCommonFlags(fs *flag.FlagSet) *buildFlags {
 	fs.StringVar(&bf.kbPath, "kb", "", "curated KB TSV file (overrides synthetic KB)")
 	fs.StringVar(&bf.corpus, "corpus", "", "articles JSON file (overrides synthetic corpus)")
 	fs.DurationVar(&bf.window, "window", 0, "sliding window for extracted facts (0 = keep all)")
+	fs.IntVar(&bf.workers, "workers", 0, "extraction worker goroutines (0 = GOMAXPROCS)")
 	return bf
 }
 
@@ -126,6 +128,7 @@ func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
 
 	cfg := nous.DefaultConfig()
 	cfg.Stream.Window = bf.window
+	cfg.Stream.Workers = bf.workers
 	p := nous.NewPipeline(kg, cfg)
 
 	var articles []nous.Article

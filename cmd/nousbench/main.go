@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -433,28 +434,44 @@ func claimAIDA(n int, seed int64) {
 	fmt.Println("\nshape target: AIDA variant above prior-only")
 }
 
-// claimScale — ingest throughput toward the paper's 342,411-article corpus.
+// claimScale — ingest throughput toward the paper's 342,411-article corpus,
+// swept over extraction worker-pool sizes to show the parallel scaling of
+// the sharded ingestion path.
 func claimScale(n int, seed int64) {
 	header("Claim C6 — ingest throughput (paper corpus: 342,411 WSJ articles)")
 	wcfg := nous.DefaultWorldConfig()
 	wcfg.Seed = seed
 	wcfg.Events = 2000
 	w := nous.GenerateWorld(wcfg)
-	kg, err := w.LoadKG()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return
-	}
-	p := nous.NewPipeline(kg, nous.DefaultConfig())
 	arts := nous.GenerateArticles(w, nous.DefaultArticleConfig(n))
-	start := time.Now()
-	st := p.IngestAll(arts)
-	dur := time.Since(start)
-	rate := float64(n) / dur.Seconds()
-	fmt.Printf("articles: %d   wall: %s   rate: %.0f articles/s\n", n, dur.Round(time.Millisecond), rate)
-	fmt.Printf("raw triples: %d   accepted facts: %d\n", st.RawTriples, st.Accepted)
-	fmt.Printf("projected time for full 342,411-article corpus: %s\n",
-		(time.Duration(float64(342411)/rate) * time.Second).Round(time.Second))
+
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerSweep := []int{1}
+	for wk := 2; wk < maxWorkers; wk *= 2 {
+		workerSweep = append(workerSweep, wk)
+	}
+	if maxWorkers > 1 {
+		workerSweep = append(workerSweep, maxWorkers)
+	}
+	fmt.Printf("%-9s %-10s %-14s %s\n", "workers", "wall", "articles/s", "projected 342,411-article corpus")
+	for _, wk := range workerSweep {
+		kg, err := w.LoadKG()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		cfg := nous.DefaultConfig()
+		cfg.Stream.Workers = wk
+		p := nous.NewPipeline(kg, cfg)
+		start := time.Now()
+		st := p.IngestAll(arts)
+		dur := time.Since(start)
+		rate := float64(n) / dur.Seconds()
+		fmt.Printf("%-9d %-10s %-14.0f %s   (raw %d, accepted %d)\n",
+			wk, dur.Round(time.Millisecond), rate,
+			(time.Duration(float64(342411)/rate)*time.Second).Round(time.Second),
+			st.RawTriples, st.Accepted)
+	}
 }
 
 // eventEdges converts a seeded world's event stream to typed miner edges.

@@ -1,0 +1,3 @@
+module nous
+
+go 1.22

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAddFactsBatch(t *testing.T) {
+	kg := NewKG(nil)
+	var events []Event
+	kg.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	ts := []Triple{
+		curated("DJI", "manufactures", "Phantom 3"),
+		curated("A", "notapred", "B"), // invalid: unknown predicate
+		extracted("DJI", "acquired", "Parrot", 0.8, day(1)),
+		curated("", "acquired", "X"), // invalid: empty subject
+	}
+	ids, errs := kg.AddFacts(ts)
+	if len(ids) != 4 || len(errs) != 4 {
+		t.Fatalf("parallel slices sized %d/%d, want 4/4", len(ids), len(errs))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid triples rejected: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || errs[3] == nil {
+		t.Fatal("invalid triples accepted")
+	}
+	if kg.NumFacts() != 2 {
+		t.Fatalf("NumFacts = %d, want 2", kg.NumFacts())
+	}
+	f, ok := kg.Fact(ids[2])
+	if !ok || f.Subject != "DJI" || f.Object != "Parrot" || f.Curated {
+		t.Fatalf("Fact(ids[2]) = %+v, %v", f, ok)
+	}
+	// Events fire per stored fact, in batch order.
+	if len(events) != 2 || events[0].Fact.Object != "Phantom 3" || events[1].Fact.Object != "Parrot" {
+		t.Fatalf("events = %+v", events)
+	}
+	// Only the extracted fact is evictable.
+	if n := kg.EvictBefore(day(10)); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+}
+
+func TestAddFactsEmpty(t *testing.T) {
+	kg := NewKG(nil)
+	ids, errs := kg.AddFacts(nil)
+	if len(ids) != 0 || len(errs) != 0 {
+		t.Fatalf("nil batch returned %d ids, %d errs", len(ids), len(errs))
+	}
+}
+
+func TestNormalizeTripleMatchesAddFact(t *testing.T) {
+	kg := NewKG(nil)
+	cases := []Triple{
+		curated("DJI", "manufactures", "Phantom 3"),
+		curated("A", "notapred", "B"),
+		curated("", "acquired", "X"),
+	}
+	for i, tr := range cases {
+		_, checkErr := kg.NormalizeTriple(tr)
+		_, addErr := NewKG(nil).AddFact(tr)
+		if (checkErr == nil) != (addErr == nil) {
+			t.Errorf("case %d: NormalizeTriple=%v but AddFact=%v", i, checkErr, addErr)
+		}
+	}
+}
+
+// TestKGConcurrentBatchAndEvict drives the dynamic-KG workload —
+// batch fact writes, windowed eviction and the read API — from many
+// goroutines at once. Under -race this is the concurrency gate for the KG
+// layer over the sharded graph store.
+func TestKGConcurrentBatchAndEvict(t *testing.T) {
+	kg := NewKG(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				batch := make([]Triple, 0, 5)
+				for j := 0; j < 5; j++ {
+					batch = append(batch, extracted(
+						fmt.Sprintf("Co%d-%d", w, i), "acquired", fmt.Sprintf("Co%d-%d-t%d", w, i, j),
+						0.9, day(i)))
+				}
+				if _, errs := kg.AddFacts(batch); errs[0] != nil {
+					t.Error(errs[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			kg.EvictBefore(day(i - 20))
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				kg.NumFacts()
+				kg.NumEntities()
+				kg.FactsAbout(fmt.Sprintf("Co%d-%d", w, i))
+				kg.HasFact(fmt.Sprintf("Co%d-%d", w, i), "acquired", fmt.Sprintf("Co%d-%d-t0", w, i))
+				kg.Candidates(fmt.Sprintf("co%d-%d", w, i))
+				kg.AllFacts()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiesced: every surviving fact postdates the final eviction horizon.
+	if n := kg.EvictBefore(day(19)); n < 0 {
+		t.Fatalf("final eviction returned %d", n)
+	}
+	for _, f := range kg.AllFacts() {
+		if !f.Curated && f.Provenance.Time.Before(day(19)) {
+			t.Fatalf("stale fact survived eviction: %+v", f)
+		}
+	}
+}

@@ -265,19 +265,17 @@ func (kg *KG) Entities() []string {
 	return out
 }
 
-// AddFact stores a triple, creating entities as needed, and returns the fact
-// ID. Unknown predicates are rejected; type-incompatible triples are
-// rejected. Confidence is clamped to [0,1].
-func (kg *KG) AddFact(t Triple) (FactID, error) {
-	kg.mu.Lock()
-	defer kg.mu.Unlock()
-
+// NormalizeTriple validates a triple against the ontology, fills default
+// endpoint types from the predicate signature and clamps confidence — the
+// exact admission rule AddFact applies. It does not touch KG state beyond
+// the (immutable) ontology, so it is safe without the KG lock.
+func (kg *KG) NormalizeTriple(t Triple) (Triple, error) {
 	if t.Subject == "" || t.Object == "" {
-		return 0, fmt.Errorf("core: fact with empty subject or object: %+v", t)
+		return t, fmt.Errorf("core: fact with empty subject or object: %+v", t)
 	}
 	p, ok := kg.ont.Predicate(t.Predicate)
 	if !ok {
-		return 0, fmt.Errorf("core: unknown predicate %q", t.Predicate)
+		return t, fmt.Errorf("core: unknown predicate %q", t.Predicate)
 	}
 	if t.SubjectType == "" {
 		t.SubjectType = p.Domain
@@ -286,7 +284,7 @@ func (kg *KG) AddFact(t Triple) (FactID, error) {
 		t.ObjectType = p.Range
 	}
 	if !kg.ont.Compatible(t.Predicate, t.SubjectType, t.ObjectType) {
-		return 0, fmt.Errorf("core: triple (%s %s %s) violates %s(%s,%s)",
+		return t, fmt.Errorf("core: triple (%s %s %s) violates %s(%s,%s)",
 			t.Subject, t.Predicate, t.Object, t.Predicate, p.Domain, p.Range)
 	}
 	if t.Confidence < 0 {
@@ -295,31 +293,85 @@ func (kg *KG) AddFact(t Triple) (FactID, error) {
 	if t.Confidence > 1 {
 		t.Confidence = 1
 	}
+	return t, nil
+}
 
-	src := kg.addEntityLocked(t.Subject, t.SubjectType)
-	dst := kg.addEntityLocked(t.Object, t.ObjectType)
+// AddFact stores a triple, creating entities as needed, and returns the fact
+// ID. Unknown predicates are rejected; type-incompatible triples are
+// rejected. Confidence is clamped to [0,1].
+func (kg *KG) AddFact(t Triple) (FactID, error) {
+	ids, errs := kg.AddFacts([]Triple{t})
+	if errs[0] != nil {
+		return 0, errs[0]
+	}
+	return ids[0], nil
+}
 
-	props := map[string]string{
-		"source": t.Provenance.Source,
-		"doc":    t.Provenance.DocID,
+// AddFacts stores a batch of triples under one KG lock acquisition and one
+// bulk write to the sharded graph (each shard lock taken once per batch
+// rather than once per fact). It returns parallel slices: ids[i] is valid
+// iff errs[i] is nil. Facts are stored, and change events emitted, in batch
+// order.
+func (kg *KG) AddFacts(ts []Triple) ([]FactID, []error) {
+	ids := make([]FactID, len(ts))
+	errs := make([]error, len(ts))
+	if len(ts) == 0 {
+		return ids, errs
 	}
-	if t.Curated {
-		props["curated"] = "true"
+
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+
+	valid := make([]int, 0, len(ts)) // indexes into ts that passed validation
+	norm := make([]Triple, 0, len(ts))
+	specs := make([]graph.EdgeSpec, 0, len(ts))
+	endpoints := make([][2]graph.VertexID, 0, len(ts))
+	for i := range ts {
+		t, err := kg.NormalizeTriple(ts[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		src := kg.addEntityLocked(t.Subject, t.SubjectType)
+		dst := kg.addEntityLocked(t.Object, t.ObjectType)
+		props := map[string]string{
+			"source": t.Provenance.Source,
+			"doc":    t.Provenance.DocID,
+		}
+		if t.Curated {
+			props["curated"] = "true"
+		}
+		if t.Provenance.Sentence != "" {
+			props["sentence"] = t.Provenance.Sentence
+		}
+		valid = append(valid, i)
+		norm = append(norm, t)
+		specs = append(specs, graph.EdgeSpec{
+			Src: src, Dst: dst, Label: t.Predicate,
+			Weight: t.Confidence, Timestamp: t.Provenance.Time.Unix(), Props: props,
+		})
+		endpoints = append(endpoints, [2]graph.VertexID{src, dst})
 	}
-	if t.Provenance.Sentence != "" {
-		props["sentence"] = t.Provenance.Sentence
-	}
-	id, err := kg.g.AddEdgeFull(src, dst, t.Predicate, t.Confidence, t.Provenance.Time.Unix(), props)
+
+	eids, err := kg.g.AddEdges(specs)
 	if err != nil {
-		return 0, err
+		// Unreachable in practice: the entities were just created above and
+		// vertices are never removed. Surface it per-triple regardless.
+		for _, i := range valid {
+			errs[i] = err
+		}
+		return ids, errs
 	}
-	f := &Fact{ID: id, Src: src, Dst: dst, Triple: t}
-	kg.facts[id] = f
-	if !t.Curated {
-		kg.timeline = append(kg.timeline, id)
+	for j, i := range valid {
+		f := &Fact{ID: eids[j], Src: endpoints[j][0], Dst: endpoints[j][1], Triple: norm[j]}
+		kg.facts[f.ID] = f
+		if !f.Curated {
+			kg.timeline = append(kg.timeline, f.ID)
+		}
+		ids[i] = f.ID
+		kg.notifyLocked(Event{Kind: FactAdded, Fact: *f})
 	}
-	kg.notifyLocked(Event{Kind: FactAdded, Fact: *f})
-	return id, nil
+	return ids, errs
 }
 
 // PredicatesBetween returns the distinct predicates of facts from subject to

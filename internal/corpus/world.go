@@ -440,8 +440,9 @@ func (w *World) LoadKG() (*core.KG, error) {
 	for _, e := range w.Entities {
 		kg.AddEntity(e.Name, e.Type, e.Aliases...)
 	}
-	for _, t := range w.Curated {
-		if _, err := kg.AddFact(t); err != nil {
+	_, errs := kg.AddFacts(w.Curated)
+	for _, err := range errs {
+		if err != nil {
 			return nil, fmt.Errorf("corpus: loading curated fact: %w", err)
 		}
 	}

@@ -1,0 +1,76 @@
+package graph
+
+import "fmt"
+
+// EdgeSpec describes one edge for batch insertion via AddEdges.
+type EdgeSpec struct {
+	Src, Dst  VertexID
+	Label     string
+	Weight    float64
+	Timestamp int64
+	Props     map[string]string
+}
+
+// AddEdges inserts a batch of edges, acquiring each involved shard lock once
+// for the whole batch instead of once per edge — the bulk-write path for
+// streaming ingestion. Edge IDs are assigned contiguously in batch order.
+//
+// The batch is atomic with respect to validation: if any endpoint is
+// missing, an error is returned and no edge is inserted.
+func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	// Vertices are never removed, so validating up front holds for the rest
+	// of the insertion. Endpoints are grouped by shard and each shard is
+	// read-locked once, not twice per spec.
+	byShard := make(map[int][]VertexID)
+	for i := range specs {
+		byShard[shardIdx(uint64(specs[i].Src))] = append(byShard[shardIdx(uint64(specs[i].Src))], specs[i].Src)
+		byShard[shardIdx(uint64(specs[i].Dst))] = append(byShard[shardIdx(uint64(specs[i].Dst))], specs[i].Dst)
+	}
+	for si, vs := range byShard {
+		s := &g.shards[si]
+		s.mu.RLock()
+		for _, v := range vs {
+			if _, ok := s.vertices[v]; !ok {
+				s.mu.RUnlock()
+				return nil, fmt.Errorf("graph: add edges: endpoint vertex %d does not exist", v)
+			}
+		}
+		s.mu.RUnlock()
+	}
+
+	n := int64(len(specs))
+	base := g.nextEdge.Add(n) - n
+	ids := make([]EdgeID, len(specs))
+	edges := make([]*Edge, len(specs))
+	var need [numShards]bool
+	for i := range specs {
+		sp := &specs[i]
+		id := EdgeID(base + int64(i))
+		ids[i] = id
+		edges[i] = &Edge{ID: id, Src: sp.Src, Dst: sp.Dst, Label: sp.Label,
+			Weight: sp.Weight, Timestamp: sp.Timestamp, Props: copyProps(sp.Props)}
+		need[shardIdx(uint64(sp.Src))] = true
+		need[shardIdx(uint64(sp.Dst))] = true
+		need[shardIdx(uint64(id))] = true
+	}
+
+	// One pass over the shards in ascending order — the same deadlock-free
+	// total order single-edge writers use.
+	for si := range need {
+		if need[si] {
+			g.shards[si].mu.Lock()
+		}
+	}
+	for _, e := range edges {
+		g.insertEdgeLocked(e)
+	}
+	for si := numShards - 1; si >= 0; si-- {
+		if need[si] {
+			g.shards[si].mu.Unlock()
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestAddEdgesBatch covers the bulk write path: contiguous IDs, index
+// wiring and full-field round trips.
+func TestAddEdgesBatch(t *testing.T) {
+	g := New()
+	var vids []VertexID
+	for i := 0; i < 40; i++ {
+		vids = append(vids, g.AddVertex("V"))
+	}
+	specs := make([]EdgeSpec, 0, 100)
+	for i := 0; i < 100; i++ {
+		specs = append(specs, EdgeSpec{
+			Src: vids[i%len(vids)], Dst: vids[(i*7+3)%len(vids)],
+			Label: fmt.Sprintf("rel%d", i%3), Weight: float64(i) / 100,
+			Timestamp: int64(i), Props: map[string]string{"i": fmt.Sprint(i)},
+		})
+	}
+	ids, err := g.AddEdges(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(specs) {
+		t.Fatalf("got %d ids for %d specs", len(ids), len(specs))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Fatalf("ids not contiguous: %v then %v", ids[i-1], ids[i])
+		}
+	}
+	if g.NumEdges() != 100 {
+		t.Fatalf("NumEdges = %d, want 100", g.NumEdges())
+	}
+	for i, id := range ids {
+		e, ok := g.Edge(id)
+		if !ok {
+			t.Fatalf("edge %d missing", id)
+		}
+		if e.Src != specs[i].Src || e.Dst != specs[i].Dst || e.Label != specs[i].Label ||
+			e.Weight != specs[i].Weight || e.Timestamp != specs[i].Timestamp || e.Props["i"] != fmt.Sprint(i) {
+			t.Fatalf("edge %d fields lost: %+v vs spec %+v", id, e, specs[i])
+		}
+	}
+	if got := len(g.EdgesByLabel("rel0")); got != 34 {
+		t.Fatalf("EdgesByLabel(rel0) = %d, want 34", got)
+	}
+	sumOut := 0
+	for _, v := range vids {
+		sumOut += g.OutDegree(v)
+	}
+	if sumOut != 100 {
+		t.Fatalf("sum of out-degrees = %d, want 100", sumOut)
+	}
+}
+
+func TestAddEdgesValidatesAtomically(t *testing.T) {
+	g := New()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	_, err := g.AddEdges([]EdgeSpec{
+		{Src: a, Dst: b, Label: "ok"},
+		{Src: a, Dst: 999, Label: "bad"},
+	})
+	if err == nil {
+		t.Fatal("expected error for missing endpoint")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("batch with invalid spec inserted %d edges, want 0", g.NumEdges())
+	}
+}
+
+// TestAddVertexWithPropsAtomic verifies the insert-then-attach-props race
+// is gone: no reader may observe a vertex created by AddVertexWithProps
+// without its properties.
+func TestAddVertexWithPropsAtomic(t *testing.T) {
+	g := New()
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; i < 2000; i++ {
+			g.AddVertexWithProps("P", map[string]string{"name": "x"})
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, id := range g.VertexIDs() {
+					v, ok := g.Vertex(id)
+					if !ok {
+						continue
+					}
+					if v.Label == "P" && v.Props["name"] != "x" {
+						t.Error("observed vertex without its props")
+						return
+					}
+				}
+			}
+		}()
+	}
+	writer.Wait()
+	close(done)
+	readers.Wait()
+}
+
+// TestConcurrentMutationStress hammers the sharded store from many
+// goroutines — vertex inserts, single and batch edge inserts, removals,
+// edge mutations and a full set of readers — then checks the cross-shard
+// index invariants. Run under -race this doubles as the data-race gate for
+// the stripe-locking protocol.
+func TestConcurrentMutationStress(t *testing.T) {
+	g := New()
+	const nVerts = 64
+	var vids []VertexID
+	for i := 0; i < nVerts; i++ {
+		vids = append(vids, g.AddVertex("V"))
+	}
+
+	var (
+		wg      sync.WaitGroup
+		idMu    sync.Mutex
+		edgeIDs []EdgeID
+	)
+	record := func(ids ...EdgeID) {
+		idMu.Lock()
+		edgeIDs = append(edgeIDs, ids...)
+		idMu.Unlock()
+	}
+	randomKnownEdge := func(rng *rand.Rand) (EdgeID, bool) {
+		idMu.Lock()
+		defer idMu.Unlock()
+		if len(edgeIDs) == 0 {
+			return 0, false
+		}
+		return edgeIDs[rng.Intn(len(edgeIDs))], true
+	}
+
+	// Single-edge writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				id, err := g.AddEdge(vids[rng.Intn(nVerts)], vids[rng.Intn(nVerts)], "r")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				record(id)
+			}
+		}(int64(w))
+	}
+	// Batch writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < 30; i++ {
+				specs := make([]EdgeSpec, 10)
+				for j := range specs {
+					specs[j] = EdgeSpec{Src: vids[rng.Intn(nVerts)], Dst: vids[rng.Intn(nVerts)], Label: "b", Weight: 1}
+				}
+				ids, err := g.AddEdges(specs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				record(ids...)
+			}
+		}(int64(w))
+	}
+	// Removers and edge mutators.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for i := 0; i < 400; i++ {
+				if id, ok := randomKnownEdge(rng); ok {
+					switch i % 3 {
+					case 0:
+						g.RemoveEdge(id)
+					case 1:
+						g.SetEdgeWeight(id, rng.Float64())
+					case 2:
+						g.SetEdgeProp(id, "k", "v")
+					}
+				}
+			}
+		}(int64(w))
+	}
+	// Vertex writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := g.AddVertexWithProps("W", map[string]string{"n": fmt.Sprint(i)})
+			g.SetVertexProp(id, "extra", "e")
+		}
+	}()
+	// Readers over every access path.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(300 + seed))
+			for i := 0; i < 200; i++ {
+				v := vids[rng.Intn(nVerts)]
+				g.OutEdges(v)
+				g.InEdges(v)
+				g.Edges(v)
+				g.Neighbors(v)
+				g.Degree(v)
+				g.FindEdges(v, vids[rng.Intn(nVerts)], "")
+				g.EdgesByLabel("r")
+				g.EdgeLabels()
+				g.NumEdges()
+				g.NumVertices()
+				g.ForEachOutEdge(v, func(e Edge) bool { return true })
+				if id, ok := randomKnownEdge(rng); ok {
+					g.Edge(id)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	// Quiesced invariants: adjacency, edge map and label indexes agree.
+	sumOut, sumIn := 0, 0
+	for _, id := range g.VertexIDs() {
+		sumOut += g.OutDegree(id)
+		sumIn += g.InDegree(id)
+	}
+	if n := g.NumEdges(); sumOut != n || sumIn != n {
+		t.Fatalf("degree sums (out=%d in=%d) disagree with NumEdges=%d", sumOut, sumIn, n)
+	}
+	byLabel := 0
+	for _, l := range g.EdgeLabels() {
+		byLabel += len(g.EdgesByLabel(l))
+	}
+	if n := g.NumEdges(); byLabel != n {
+		t.Fatalf("label index holds %d edges, NumEdges=%d", byLabel, n)
+	}
+	for _, id := range g.EdgeIDs() {
+		e, ok := g.Edge(id)
+		if !ok {
+			t.Fatalf("EdgeIDs lists %d but Edge misses it", id)
+		}
+		if !g.HasVertex(e.Src) || !g.HasVertex(e.Dst) {
+			t.Fatalf("edge %d has dangling endpoint", id)
+		}
+	}
+}
+
+// TestConcurrentReadersDuringPregel runs PageRank concurrently with writers
+// to confirm the compute engine's read paths tolerate live mutation.
+func TestConcurrentReadersDuringPregel(t *testing.T) {
+	g := New()
+	var vids []VertexID
+	for i := 0; i < 50; i++ {
+		vids = append(vids, g.AddVertex("V"))
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		g.AddEdge(vids[rng.Intn(len(vids))], vids[rng.Intn(len(vids))], "r")
+	}
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		rng := rand.New(rand.NewSource(10))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				g.AddEdge(vids[rng.Intn(len(vids))], vids[rng.Intn(len(vids))], "r")
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		pr := PageRank(g, 0.85, 5)
+		if len(pr) == 0 {
+			t.Fatal("empty PageRank on populated graph")
+		}
+		ConnectedComponents(g)
+	}
+	close(stop)
+	writer.Wait()
+}

@@ -4,12 +4,22 @@
 // GraphX; this implementation preserves the same API surface — vertices and
 // edges carrying arbitrary properties, neighborhood iteration, and
 // message-passing supersteps over hash partitions — at single-process scale.
+//
+// Storage is partitioned across lock-striped shards so unrelated mutations
+// do not contend on one global mutex: a vertex, its adjacency lists and its
+// degree counters live in the shard owning the vertex ID, while an edge
+// record and its label-index entry live in the shard owning the edge ID.
+// Operations spanning several shards (edge insertion touches the source's
+// shard, the destination's shard and the edge's shard) acquire the distinct
+// shards in ascending index order, which makes multi-shard writers
+// deadlock-free.
 package graph
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex. IDs are assigned densely by the graph and
@@ -41,59 +51,118 @@ type Edge struct {
 	Props     map[string]string
 }
 
+// numShards is the lock-stripe count. A power of two so ID → shard is a
+// mask; 16 stripes keep contention low well past the core counts this
+// process-local store targets.
+const numShards = 16
+
+// shard is one lock stripe. Vertices (with their adjacency lists) are owned
+// by the shard of their VertexID; edge records and the per-label index
+// entries are owned by the shard of their EdgeID.
+//
+// Invariant: an *Edge is reachable from three shards — its own (edges,
+// byLabel), its source's (out) and its destination's (in). Any write to an
+// edge record or to the lists referencing it holds all three shard locks,
+// so a reader holding any one of them observes a consistent record.
+type shard struct {
+	mu       sync.RWMutex
+	vertices map[VertexID]*Vertex
+	out      map[VertexID][]*Edge
+	in       map[VertexID][]*Edge
+	edges    map[EdgeID]*Edge
+	byLabel  map[string]map[EdgeID]*Edge // edge label -> edges owned here
+}
+
 // Graph is a mutable directed multigraph. All exported methods are safe for
 // concurrent use.
 type Graph struct {
-	mu sync.RWMutex
+	shards [numShards]shard
 
-	vertices map[VertexID]*Vertex
-	edges    map[EdgeID]*Edge
-	out      map[VertexID][]*Edge
-	in       map[VertexID][]*Edge
-	byLabel  map[string]map[EdgeID]*Edge // edge label -> edges
-
-	nextVertex VertexID
-	nextEdge   EdgeID
+	nextVertex atomic.Int64
+	nextEdge   atomic.Int64
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		vertices: make(map[VertexID]*Vertex),
-		edges:    make(map[EdgeID]*Edge),
-		out:      make(map[VertexID][]*Edge),
-		in:       make(map[VertexID][]*Edge),
-		byLabel:  make(map[string]map[EdgeID]*Edge),
+	g := &Graph{}
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.vertices = make(map[VertexID]*Vertex)
+		s.out = make(map[VertexID][]*Edge)
+		s.in = make(map[VertexID][]*Edge)
+		s.edges = make(map[EdgeID]*Edge)
+		s.byLabel = make(map[string]map[EdgeID]*Edge)
 	}
+	return g
+}
+
+func shardIdx(id uint64) int { return int(id & (numShards - 1)) }
+
+func (g *Graph) vshard(id VertexID) *shard { return &g.shards[shardIdx(uint64(id))] }
+func (g *Graph) eshard(id EdgeID) *shard   { return &g.shards[shardIdx(uint64(id))] }
+
+// sorted3 orders three shard indexes ascending.
+func sorted3(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// lockEdgeShards write-locks the distinct shards an edge write touches, in
+// ascending index order.
+func (g *Graph) lockEdgeShards(src, dst VertexID, id EdgeID) {
+	a, b, c := sorted3(shardIdx(uint64(src)), shardIdx(uint64(dst)), shardIdx(uint64(id)))
+	g.shards[a].mu.Lock()
+	if b != a {
+		g.shards[b].mu.Lock()
+	}
+	if c != b {
+		g.shards[c].mu.Lock()
+	}
+}
+
+func (g *Graph) unlockEdgeShards(src, dst VertexID, id EdgeID) {
+	a, b, c := sorted3(shardIdx(uint64(src)), shardIdx(uint64(dst)), shardIdx(uint64(id)))
+	if c != b {
+		g.shards[c].mu.Unlock()
+	}
+	if b != a {
+		g.shards[b].mu.Unlock()
+	}
+	g.shards[a].mu.Unlock()
 }
 
 // AddVertex inserts a vertex with the given label and returns its ID.
 func (g *Graph) AddVertex(label string) VertexID {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	id := g.nextVertex
-	g.nextVertex++
-	g.vertices[id] = &Vertex{ID: id, Label: label}
-	return id
+	return g.AddVertexWithProps(label, nil)
 }
 
 // AddVertexWithProps inserts a vertex carrying the given properties.
-// The props map is copied.
+// The props map is copied. The vertex and its properties become visible
+// atomically: no reader can observe the vertex without them.
 func (g *Graph) AddVertexWithProps(label string, props map[string]string) VertexID {
-	id := g.AddVertex(label)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	v := g.vertices[id]
-	v.Props = copyProps(props)
+	id := VertexID(g.nextVertex.Add(1) - 1)
+	s := g.vshard(id)
+	s.mu.Lock()
+	s.vertices[id] = &Vertex{ID: id, Label: label, Props: copyProps(props)}
+	s.mu.Unlock()
 	return id
 }
 
 // SetVertexProp sets one property on a vertex. It reports whether the vertex
 // exists.
 func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	v, ok := g.vertices[id]
+	s := g.vshard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vertices[id]
 	if !ok {
 		return false
 	}
@@ -106,9 +175,10 @@ func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
 
 // VertexProp returns a property of a vertex.
 func (g *Graph) VertexProp(id VertexID, key string) (string, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	v, ok := g.vertices[id]
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vertices[id]
 	if !ok || v.Props == nil {
 		return "", false
 	}
@@ -118,9 +188,10 @@ func (g *Graph) VertexProp(id VertexID, key string) (string, bool) {
 
 // Vertex returns a copy of the vertex with the given ID.
 func (g *Graph) Vertex(id VertexID) (Vertex, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	v, ok := g.vertices[id]
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vertices[id]
 	if !ok {
 		return Vertex{}, false
 	}
@@ -131,9 +202,10 @@ func (g *Graph) Vertex(id VertexID) (Vertex, bool) {
 
 // HasVertex reports whether the vertex exists.
 func (g *Graph) HasVertex(id VertexID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	_, ok := g.vertices[id]
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.vertices[id]
 	return ok
 }
 
@@ -145,44 +217,71 @@ func (g *Graph) AddEdge(src, dst VertexID, label string) (EdgeID, error) {
 
 // AddEdgeFull inserts a directed edge with weight, timestamp and properties.
 func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts int64, props map[string]string) (EdgeID, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.vertices[src]; !ok {
+	// Vertices are never removed, so existence checked here holds for the
+	// rest of the insertion.
+	if !g.HasVertex(src) {
 		return 0, fmt.Errorf("graph: add edge %q: source vertex %d does not exist", label, src)
 	}
-	if _, ok := g.vertices[dst]; !ok {
+	if !g.HasVertex(dst) {
 		return 0, fmt.Errorf("graph: add edge %q: destination vertex %d does not exist", label, dst)
 	}
-	id := g.nextEdge
-	g.nextEdge++
+	id := EdgeID(g.nextEdge.Add(1) - 1)
 	e := &Edge{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)}
-	g.edges[id] = e
-	g.out[src] = append(g.out[src], e)
-	g.in[dst] = append(g.in[dst], e)
-	idx, ok := g.byLabel[label]
+	g.lockEdgeShards(src, dst, id)
+	g.insertEdgeLocked(e)
+	g.unlockEdgeShards(src, dst, id)
+	return id, nil
+}
+
+// insertEdgeLocked wires an edge into all indexes. The caller holds the
+// write locks of the source's, destination's and edge's shards.
+func (g *Graph) insertEdgeLocked(e *Edge) {
+	es := g.eshard(e.ID)
+	es.edges[e.ID] = e
+	g.vshard(e.Src).out[e.Src] = append(g.vshard(e.Src).out[e.Src], e)
+	g.vshard(e.Dst).in[e.Dst] = append(g.vshard(e.Dst).in[e.Dst], e)
+	idx, ok := es.byLabel[e.Label]
 	if !ok {
 		idx = make(map[EdgeID]*Edge)
-		g.byLabel[label] = idx
+		es.byLabel[e.Label] = idx
 	}
-	idx[id] = e
-	return id, nil
+	idx[e.ID] = e
+}
+
+// edgeEndpoints resolves an edge's immutable endpoints so the caller can
+// take the full shard lock set for a mutation.
+func (g *Graph) edgeEndpoints(id EdgeID) (src, dst VertexID, ok bool) {
+	es := g.eshard(id)
+	es.mu.RLock()
+	defer es.mu.RUnlock()
+	e, ok := es.edges[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.Src, e.Dst, true
 }
 
 // RemoveEdge deletes an edge. It reports whether the edge existed.
 func (g *Graph) RemoveEdge(id EdgeID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	e, ok := g.edges[id]
+	src, dst, ok := g.edgeEndpoints(id)
 	if !ok {
 		return false
 	}
-	delete(g.edges, id)
-	g.out[e.Src] = removeEdgeFrom(g.out[e.Src], id)
-	g.in[e.Dst] = removeEdgeFrom(g.in[e.Dst], id)
-	if idx := g.byLabel[e.Label]; idx != nil {
+	g.lockEdgeShards(src, dst, id)
+	defer g.unlockEdgeShards(src, dst, id)
+	es := g.eshard(id)
+	e, ok := es.edges[id] // may have raced with another remover
+	if !ok {
+		return false
+	}
+	delete(es.edges, id)
+	ss, ds := g.vshard(e.Src), g.vshard(e.Dst)
+	ss.out[e.Src] = removeEdgeFrom(ss.out[e.Src], id)
+	ds.in[e.Dst] = removeEdgeFrom(ds.in[e.Dst], id)
+	if idx := es.byLabel[e.Label]; idx != nil {
 		delete(idx, id)
 		if len(idx) == 0 {
-			delete(g.byLabel, e.Label)
+			delete(es.byLabel, e.Label)
 		}
 	}
 	return true
@@ -190,9 +289,10 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 
 // Edge returns a copy of the edge with the given ID.
 func (g *Graph) Edge(id EdgeID) (Edge, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	e, ok := g.edges[id]
+	es := g.eshard(id)
+	es.mu.RLock()
+	defer es.mu.RUnlock()
+	e, ok := es.edges[id]
 	if !ok {
 		return Edge{}, false
 	}
@@ -204,90 +304,112 @@ func (g *Graph) Edge(id EdgeID) (Edge, bool) {
 // SetEdgeProp sets one property on an edge. It reports whether the edge
 // exists.
 func (g *Graph) SetEdgeProp(id EdgeID, key, value string) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	e, ok := g.edges[id]
-	if !ok {
-		return false
-	}
-	if e.Props == nil {
-		e.Props = make(map[string]string)
-	}
-	e.Props[key] = value
-	return true
+	return g.mutateEdge(id, func(e *Edge) {
+		if e.Props == nil {
+			e.Props = make(map[string]string)
+		}
+		e.Props[key] = value
+	})
 }
 
 // SetEdgeWeight updates an edge's weight. It reports whether the edge exists.
 func (g *Graph) SetEdgeWeight(id EdgeID, w float64) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	e, ok := g.edges[id]
+	return g.mutateEdge(id, func(e *Edge) { e.Weight = w })
+}
+
+// mutateEdge applies fn to an edge record under every shard lock through
+// which the record is reachable, so no concurrent reader can observe a
+// half-applied mutation.
+func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge)) bool {
+	src, dst, ok := g.edgeEndpoints(id)
 	if !ok {
 		return false
 	}
-	e.Weight = w
+	g.lockEdgeShards(src, dst, id)
+	defer g.unlockEdgeShards(src, dst, id)
+	e, ok := g.eshard(id).edges[id]
+	if !ok {
+		return false
+	}
+	fn(e)
 	return true
 }
 
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.vertices)
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += len(s.vertices)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.edges)
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += len(s.edges)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // OutDegree returns the number of outgoing edges of a vertex.
 func (g *Graph) OutDegree(id VertexID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.out[id])
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.out[id])
 }
 
 // InDegree returns the number of incoming edges of a vertex.
 func (g *Graph) InDegree(id VertexID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.in[id])
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.in[id])
 }
 
 // Degree returns in-degree + out-degree.
 func (g *Graph) Degree(id VertexID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.out[id]) + len(g.in[id])
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.out[id]) + len(s.in[id])
 }
 
 // OutEdges returns copies of the outgoing edges of a vertex.
 func (g *Graph) OutEdges(id VertexID) []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return copyEdges(g.out[id])
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return copyEdges(s.out[id])
 }
 
 // InEdges returns copies of the incoming edges of a vertex.
 func (g *Graph) InEdges(id VertexID) []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return copyEdges(g.in[id])
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return copyEdges(s.in[id])
 }
 
 // Edges returns copies of all edges incident to the vertex (both directions).
 func (g *Graph) Edges(id VertexID) []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	all := make([]Edge, 0, len(g.out[id])+len(g.in[id]))
-	for _, e := range g.out[id] {
-		all = append(all, *e)
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	all := make([]Edge, 0, len(s.out[id])+len(s.in[id]))
+	for _, e := range s.out[id] {
+		all = append(all, copyEdge(e))
 	}
-	for _, e := range g.in[id] {
-		all = append(all, *e)
+	for _, e := range s.in[id] {
+		all = append(all, copyEdge(e))
 	}
 	return all
 }
@@ -295,15 +417,16 @@ func (g *Graph) Edges(id VertexID) []Edge {
 // Neighbors returns the distinct vertices adjacent to id in either direction,
 // in ascending order.
 func (g *Graph) Neighbors(id VertexID) []VertexID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	s := g.vshard(id)
+	s.mu.RLock()
 	seen := make(map[VertexID]struct{})
-	for _, e := range g.out[id] {
+	for _, e := range s.out[id] {
 		seen[e.Dst] = struct{}{}
 	}
-	for _, e := range g.in[id] {
+	for _, e := range s.in[id] {
 		seen[e.Src] = struct{}{}
 	}
+	s.mu.RUnlock()
 	delete(seen, id)
 	ids := make([]VertexID, 0, len(seen))
 	for v := range seen {
@@ -315,12 +438,14 @@ func (g *Graph) Neighbors(id VertexID) []VertexID {
 
 // EdgesByLabel returns copies of all edges carrying the given label.
 func (g *Graph) EdgesByLabel(label string) []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	idx := g.byLabel[label]
-	es := make([]Edge, 0, len(idx))
-	for _, e := range idx {
-		es = append(es, *e)
+	var es []Edge
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for _, e := range s.byLabel[label] {
+			es = append(es, copyEdge(e))
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
 	return es
@@ -328,10 +453,17 @@ func (g *Graph) EdgesByLabel(label string) []Edge {
 
 // EdgeLabels returns the distinct edge labels present in the graph, sorted.
 func (g *Graph) EdgeLabels() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	labels := make([]string, 0, len(g.byLabel))
-	for l := range g.byLabel {
+	seen := make(map[string]struct{})
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for l := range s.byLabel {
+			seen[l] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	labels := make([]string, 0, len(seen))
+	for l := range seen {
 		labels = append(labels, l)
 	}
 	sort.Strings(labels)
@@ -340,11 +472,14 @@ func (g *Graph) EdgeLabels() []string {
 
 // VertexIDs returns all vertex IDs in ascending order.
 func (g *Graph) VertexIDs() []VertexID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	ids := make([]VertexID, 0, len(g.vertices))
-	for id := range g.vertices {
-		ids = append(ids, id)
+	var ids []VertexID
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for id := range s.vertices {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -352,11 +487,14 @@ func (g *Graph) VertexIDs() []VertexID {
 
 // EdgeIDs returns all edge IDs in ascending order.
 func (g *Graph) EdgeIDs() []EdgeID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	ids := make([]EdgeID, 0, len(g.edges))
-	for id := range g.edges {
-		ids = append(ids, id)
+	var ids []EdgeID
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for id := range s.edges {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -365,12 +503,13 @@ func (g *Graph) EdgeIDs() []EdgeID {
 // FindEdges returns copies of edges from src to dst with the given label.
 // An empty label matches any label.
 func (g *Graph) FindEdges(src, dst VertexID, label string) []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	s := g.vshard(src)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Edge
-	for _, e := range g.out[src] {
+	for _, e := range s.out[src] {
 		if e.Dst == dst && (label == "" || e.Label == label) {
-			out = append(out, *e)
+			out = append(out, copyEdge(e))
 		}
 	}
 	return out
@@ -379,10 +518,11 @@ func (g *Graph) FindEdges(src, dst VertexID, label string) []Edge {
 // ForEachOutEdge calls fn for each outgoing edge of id while fn returns true.
 // fn must not mutate the graph.
 func (g *Graph) ForEachOutEdge(id VertexID, fn func(Edge) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, e := range g.out[id] {
-		if !fn(*e) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.out[id] {
+		if !fn(copyEdge(e)) {
 			return
 		}
 	}
@@ -391,10 +531,11 @@ func (g *Graph) ForEachOutEdge(id VertexID, fn func(Edge) bool) {
 // ForEachInEdge calls fn for each incoming edge of id while fn returns true.
 // fn must not mutate the graph.
 func (g *Graph) ForEachInEdge(id VertexID, fn func(Edge) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, e := range g.in[id] {
-		if !fn(*e) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.in[id] {
+		if !fn(copyEdge(e)) {
 			return
 		}
 	}
@@ -413,10 +554,17 @@ func removeEdgeFrom(list []*Edge, id EdgeID) []*Edge {
 func copyEdges(list []*Edge) []Edge {
 	out := make([]Edge, len(list))
 	for i, e := range list {
-		out[i] = *e
-		out[i].Props = copyProps(e.Props)
+		out[i] = copyEdge(e)
 	}
 	return out
+}
+
+// copyEdge snapshots an edge record, including its props map, so callers
+// can use the copy outside the shard lock.
+func copyEdge(e *Edge) Edge {
+	cp := *e
+	cp.Props = copyProps(e.Props)
+	return cp
 }
 
 func copyProps(p map[string]string) map[string]string {

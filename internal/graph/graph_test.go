@@ -371,6 +371,26 @@ func BenchmarkAddEdge(b *testing.B) {
 	}
 }
 
+func BenchmarkAddEdgesBatch(b *testing.B) {
+	g := New()
+	var ids []VertexID
+	for i := 0; i < 1000; i++ {
+		ids = append(ids, g.AddVertex("V"))
+	}
+	rng := rand.New(rand.NewSource(1))
+	const batch = 64
+	specs := make([]EdgeSpec, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range specs {
+			specs[j] = EdgeSpec{Src: ids[rng.Intn(len(ids))], Dst: ids[rng.Intn(len(ids))], Label: "r", Weight: 1}
+		}
+		if _, err := g.AddEdges(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPageRank1k(b *testing.B) {
 	g := New()
 	var ids []VertexID

@@ -16,6 +16,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -58,7 +59,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already written; all we can do is make the
+		// truncated response visible in the server log.
+		log.Printf("server: encoding %d response: %v", status, err)
+	}
 }
 
 func badRequest(w http.ResponseWriter, msg string) {

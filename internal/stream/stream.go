@@ -165,28 +165,53 @@ func (p *Pipeline) Process(a corpus.Article) {
 	p.integrate(a, raws)
 }
 
-// Run processes articles with parallel extraction and in-order
-// integration, returning the final stats.
+// Run processes articles through a bounded worker pool: the embarrassingly
+// parallel extraction stage (NLP chunking, NER, triple extraction) fans out
+// across Workers goroutines while the order-sensitive integration stage
+// (disambiguation, confidence gating, KG writes) consumes completed
+// extractions in document order on the calling goroutine. Integration of
+// article i starts as soon as its extraction lands — it does not wait for
+// the whole batch — so extraction and integration overlap.
 func (p *Pipeline) Run(articles []corpus.Article) Stats {
-	type job struct {
-		idx  int
-		raws []extract.RawTriple
+	n := len(articles)
+	if n == 0 {
+		return p.Stats()
 	}
-	results := make([][]extract.RawTriple, len(articles))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.cfg.Workers)
-	for i := range articles {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = p.extractArticle(articles[i])
-		}(i)
+	workers := p.cfg.Workers
+	if workers > n {
+		workers = n
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for _, a := range articles {
+			p.Process(a)
+		}
+		return p.Stats()
+	}
+
+	// Receiving every per-article result below is what joins the workers:
+	// once results[n-1] arrives, all extractions have completed.
+	jobs := make(chan int)
+	results := make([]chan []extract.RawTriple, n)
+	for i := range results {
+		results[i] = make(chan []extract.RawTriple, 1)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				results[i] <- p.extractArticle(articles[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	// In-order integration, pipelined against extraction.
 	for i, a := range articles {
-		p.integrate(a, results[i])
+		p.integrate(a, <-results[i])
 	}
 	return p.Stats()
 }
@@ -208,7 +233,16 @@ func (p *Pipeline) integrate(a corpus.Article, raws []extract.RawTriple) {
 	p.stats.RawTriples += len(raws)
 	p.learnBuf = append(p.learnBuf, raws...)
 
+	// Edge writes for facts accepted from this document are deferred into
+	// one batch (each graph shard locked once) after the per-triple
+	// decisions. To keep per-fact semantics, the rest happens eagerly at
+	// accept time: entities register immediately (so later mentions in the
+	// same document resolve against them) and `pending` stands in for the
+	// not-yet-written edges in the duplicate check.
 	context := contentWordsOf(a.Text)
+	var batch []core.Triple
+	pending := make(map[[3]string]bool)
+	entitiesBefore := p.kg.NumEntities()
 	for _, rt := range raws {
 		mapped, ok := p.mapper.Map(rt)
 		if !ok {
@@ -231,7 +265,8 @@ func (p *Pipeline) integrate(a corpus.Article, raws []extract.RawTriple) {
 		lp := p.model.Score(mapped.Subject, mapped.Predicate, mapped.Object)
 		w := p.cfg.BlendExtractor
 		score := w*mapped.Confidence + (1-w)*lp
-		if p.kg.HasFact(mapped.Subject, mapped.Predicate, mapped.Object) {
+		key := [3]string{mapped.Subject, mapped.Predicate, mapped.Object}
+		if pending[key] || p.kg.HasFact(mapped.Subject, mapped.Predicate, mapped.Object) {
 			// Re-observations reinforce: keep the max-confidence copy out
 			// of the graph but still feed online training.
 			if p.cfg.OnlineUpdate {
@@ -244,17 +279,30 @@ func (p *Pipeline) integrate(a corpus.Article, raws []extract.RawTriple) {
 			continue
 		}
 		mapped.Confidence = score
-		before := p.kg.NumEntities()
-		if _, err := p.kg.AddFact(mapped); err != nil {
+		norm, err := p.kg.NormalizeTriple(mapped)
+		if err != nil {
+			p.stats.Rejected++
+			continue
+		}
+		p.kg.AddEntity(norm.Subject, norm.SubjectType)
+		p.kg.AddEntity(norm.Object, norm.ObjectType)
+		batch = append(batch, norm)
+		pending[key] = true
+		if p.cfg.OnlineUpdate {
+			p.model.Update(norm, 2)
+		}
+	}
+	_, errs := p.kg.AddFacts(batch)
+	for _, err := range errs {
+		if err != nil {
 			p.stats.Rejected++
 			continue
 		}
 		p.stats.Accepted++
-		p.stats.NewEntities += p.kg.NumEntities() - before
-		if p.cfg.OnlineUpdate {
-			p.model.Update(mapped, 2)
-		}
 	}
+	// Entities on this path are created only by the AddEntity calls above,
+	// so one per-document bracket equals the old per-fact accounting.
+	p.stats.NewEntities += p.kg.NumEntities() - entitiesBefore
 
 	// Sliding window.
 	if !a.Date.IsZero() && a.Date.After(p.latestSeen) {

@@ -173,6 +173,34 @@ func TestDistantSupervisionLearnsRules(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance: the fan-out/in-order-integrate pipeline must
+// produce byte-identical outcomes no matter how many extraction workers
+// run. Under -race this is also the concurrency gate for Pipeline.Run.
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) (Stats, int) {
+		w := smallWorld()
+		kg, err := w.LoadKG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		p := New(kg, cfg)
+		st := p.Run(corpus.GenerateArticles(w, corpus.DefaultArticleConfig(80)))
+		return st, kg.NumFacts()
+	}
+	serialStats, serialFacts := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		st, facts := run(workers)
+		if st != serialStats {
+			t.Fatalf("workers=%d stats diverged from serial:\n%+v\n%+v", workers, st, serialStats)
+		}
+		if facts != serialFacts {
+			t.Fatalf("workers=%d facts=%d, serial=%d", workers, facts, serialFacts)
+		}
+	}
+}
+
 func TestDeterministicRun(t *testing.T) {
 	run := func() Stats {
 		w := smallWorld()
