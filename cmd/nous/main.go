@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"net/http"
 	"nous"
 
 	"nous/internal/corpus"
@@ -284,13 +288,40 @@ func cmdServe(args []string) {
 	bf := addCommonFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
+	reqTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler timeout (0 disables)")
 	fs.Parse(args)
 	p, _ := assemble(bf)
 	if *topicsOn {
 		p.BuildTopics()
 	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewWithTimeout(p, *reqTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("nous: serving web console on http://localhost%s\n", *addr)
-	fatalIf(http.ListenAndServe(*addr, server.New(p)))
+
+	select {
+	case err := <-errc:
+		fatalIf(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nous: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatalIf(err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalIf(err)
+		}
+	}
 }
 
 func splitComma(s string) []string {

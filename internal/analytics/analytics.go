@@ -1,0 +1,282 @@
+// Package analytics is the epoch-versioned read layer between the dynamic
+// knowledge graph and its query-time consumers. NOUS's premise is querying
+// *while the graph changes*: whole-graph artifacts (PageRank importance, the
+// disambiguation popularity prior, per-entity topic vectors) are too
+// expensive to recompute per query and too stale to compute once. The cache
+// resolves the materialization-vs-recomputation tradeoff by keying every
+// artifact on the graph's mutation epoch (see graph.Epoch): a query at an
+// unchanged epoch is a lock-cheap map read, the first query after a write
+// recomputes, and N concurrent queries at a new epoch trigger exactly one
+// recomputation — the rest wait on the in-flight result (singleflight).
+package analytics
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nous/internal/core"
+	"nous/internal/graph"
+)
+
+// Stats is a snapshot of cache behaviour for /api/stats and QueryStats.
+type Stats struct {
+	// Epoch is the graph's current mutation epoch.
+	Epoch uint64 `json:"epoch"`
+	// Hits counts artifact reads served from a fresh cached value.
+	Hits uint64 `json:"hits"`
+	// Misses counts reads that found no fresh value (the artifact was never
+	// built or the epoch moved). Coalesced waiters count as misses too.
+	Misses uint64 `json:"misses"`
+	// Computes counts actual recomputations — with singleflight dedup this
+	// can be far below Misses under concurrent load.
+	Computes uint64 `json:"computes"`
+	// TopicsEpoch is the epoch at which topic vectors were last built (0
+	// when never built).
+	TopicsEpoch uint64 `json:"topics_epoch"`
+	// TopicsLag is Epoch - TopicsEpoch: how many mutations the topic model
+	// is behind the live graph.
+	TopicsLag uint64 `json:"topics_lag"`
+}
+
+// memo is one epoch-keyed artifact with singleflight recomputation.
+type memo[T any] struct {
+	mu     sync.Mutex
+	gen    uint64 // bumped by invalidate; an in-flight compute started under an older gen must not store
+	epoch  uint64
+	valid  bool
+	value  T
+	flight chan struct{} // non-nil while one goroutine computes
+}
+
+// get returns the artifact for epoch now, computing it at most once per
+// epoch change no matter how many goroutines ask concurrently. A cached
+// value within maxLag mutations of now counts as fresh, so heavy write
+// phases amortize recomputation instead of thrashing. hit reports whether a
+// cached value was served; computed reports whether this call ran compute
+// itself (vs waiting on another goroutine's flight).
+func (m *memo[T]) get(now, maxLag uint64, compute func() T) (v T, hit, computed bool) {
+	m.mu.Lock()
+	for {
+		// m.epoch > now happens when another flight stored a newer value
+		// while we waited — newer than requested is always fresh enough.
+		if m.valid && (m.epoch >= now || now-m.epoch <= maxLag) {
+			v = m.value
+			m.mu.Unlock()
+			return v, true, false
+		}
+		if m.flight == nil {
+			break
+		}
+		// Someone is already computing; wait and re-check — their result
+		// may be for our epoch, or the epoch may have moved again.
+		ch := m.flight
+		m.mu.Unlock()
+		<-ch
+		m.mu.Lock()
+	}
+	ch := make(chan struct{})
+	m.flight = ch
+	startGen := m.gen
+	m.mu.Unlock()
+
+	ok := false
+	defer func() {
+		// Release waiters even if compute panicked. Store only on success
+		// and only if no invalidate() landed while we computed — otherwise
+		// a forced refresh (RefreshTopics/RefreshPrior) would be silently
+		// satisfied by the stale in-flight build; the waiter re-checks,
+		// finds nothing cached, and recomputes fresh.
+		m.mu.Lock()
+		if ok && m.gen == startGen {
+			m.value = v
+			m.epoch = now
+			m.valid = true
+		}
+		m.flight = nil
+		close(ch)
+		m.mu.Unlock()
+	}()
+	v = compute()
+	ok = true
+	return v, false, true
+}
+
+// peek returns the cached value regardless of freshness.
+func (m *memo[T]) peek() (v T, epoch uint64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.value, m.epoch, m.valid
+}
+
+// invalidate drops the cached value so the next get recomputes even at an
+// unchanged epoch, and prevents any compute already in flight from storing
+// its (pre-invalidation) result.
+func (m *memo[T]) invalidate() {
+	m.mu.Lock()
+	m.valid = false
+	m.gen++
+	m.mu.Unlock()
+}
+
+// Cache memoizes derived artifacts over one dynamic KG. All methods are
+// safe for concurrent use; returned maps are shared snapshots and must be
+// treated as read-only by callers.
+type Cache struct {
+	kg *core.KG
+
+	// PageRank parameters. The seed's query paths used damping 0.85 with 15
+	// iterations (entity summaries) and 20 (disambiguation prior); the
+	// shared artifact uses the stricter 20.
+	Damping float64
+	Iters   int
+
+	// MaxLag is the staleness budget in mutation epochs: a cached PageRank
+	// or prior within MaxLag completed mutations of the current epoch is
+	// served as-is. 0 means strictly fresh (recompute on any change). At an
+	// unchanged epoch reads always hit regardless of MaxLag.
+	MaxLag uint64
+
+	pagerank memo[map[graph.VertexID]float64]
+	prior    memo[map[string]float64]
+	topics   memo[map[graph.VertexID][]float64]
+
+	// topicsFn builds per-entity topic vectors (an LDA fit — expensive).
+	// Unlike pagerank/prior, topics do NOT recompute on every epoch bump:
+	// they are built lazily once, stay sticky across mutations, and refresh
+	// only through RefreshTopics. Stats reports the resulting epoch lag.
+	topicsFn atomic.Pointer[func() map[graph.VertexID][]float64]
+
+	hits, misses, computes atomic.Uint64
+}
+
+// New returns a cache over kg with the standard PageRank schedule and a
+// default staleness budget of 256 mutations — roughly the write volume of a
+// few documents, so importance scores stay visibly current while bulk
+// ingestion amortizes recomputation.
+func New(kg *core.KG) *Cache {
+	return &Cache{kg: kg, Damping: 0.85, Iters: 20, MaxLag: 256}
+}
+
+// Epoch returns the underlying graph's mutation epoch (lock-free).
+func (c *Cache) Epoch() uint64 { return c.kg.Graph().Epoch() }
+
+func (c *Cache) account(hit, computed bool) {
+	if hit {
+		c.hits.Add(1)
+		return
+	}
+	c.misses.Add(1)
+	if computed {
+		c.computes.Add(1)
+	}
+}
+
+// PageRank returns the memoized PageRank vector for the current epoch. The
+// returned map is shared; callers must not mutate it.
+func (c *Cache) PageRank() map[graph.VertexID]float64 {
+	now := c.Epoch()
+	v, hit, computed := c.pagerank.get(now, c.MaxLag, func() map[graph.VertexID]float64 {
+		return graph.PageRank(c.kg.Graph(), c.Damping, c.Iters)
+	})
+	c.account(hit, computed)
+	return v
+}
+
+// Importance returns one vertex's PageRank score at the current epoch.
+func (c *Cache) Importance(id graph.VertexID) float64 {
+	return c.PageRank()[id]
+}
+
+// PopularityPrior returns the disambiguation popularity prior: per entity
+// name, PageRank normalized by the maximum rank (so the most central entity
+// scores 1). The returned map is shared; callers must not mutate it.
+func (c *Cache) PopularityPrior() map[string]float64 {
+	now := c.Epoch()
+	v, hit, computed := c.prior.get(now, c.MaxLag, func() map[string]float64 {
+		pr := c.PageRank()
+		maxRank := 0.0
+		for _, r := range pr {
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		prior := make(map[string]float64, len(pr))
+		for id, r := range pr {
+			if name, ok := c.kg.EntityName(id); ok {
+				if maxRank > 0 {
+					prior[name] = r / maxRank
+				} else {
+					prior[name] = 0
+				}
+			}
+		}
+		return prior
+	})
+	c.account(hit, computed)
+	return v
+}
+
+// InvalidatePrior drops the memoized PageRank and popularity prior so the
+// next read recomputes against the live graph regardless of MaxLag.
+func (c *Cache) InvalidatePrior() {
+	c.pagerank.invalidate()
+	c.prior.invalidate()
+}
+
+// SetTopicsFn registers the (expensive) topic-vector builder. The pipeline
+// installs its LDA fit here; Topics and RefreshTopics run it under
+// singleflight.
+func (c *Cache) SetTopicsFn(fn func() map[graph.VertexID][]float64) {
+	c.topicsFn.Store(&fn)
+}
+
+// Topics returns the per-entity topic vectors, building them on first use.
+// Built vectors are sticky: mutations do not invalidate them (an LDA refit
+// per write would dwarf the write); call RefreshTopics to rebuild. Returns
+// nil when no builder is registered.
+func (c *Cache) Topics() map[graph.VertexID][]float64 {
+	fnp := c.topicsFn.Load()
+	if fnp == nil {
+		return nil
+	}
+	if v, _, ok := c.topics.peek(); ok {
+		c.hits.Add(1)
+		return v
+	}
+	now := c.Epoch()
+	v, hit, computed := c.topics.get(now, ^uint64(0), *fnp)
+	c.account(hit, computed)
+	return v
+}
+
+// RefreshTopics rebuilds the topic vectors against the current graph state.
+// Concurrent refreshes coalesce into one build.
+func (c *Cache) RefreshTopics() map[graph.VertexID][]float64 {
+	fnp := c.topicsFn.Load()
+	if fnp == nil {
+		return nil
+	}
+	c.topics.invalidate()
+	now := c.Epoch()
+	v, hit, computed := c.topics.get(now, ^uint64(0), *fnp)
+	c.account(hit, computed)
+	return v
+}
+
+// Stats snapshots cache counters. Safe to call concurrently with queries.
+func (c *Cache) Stats() Stats {
+	epoch := c.Epoch()
+	st := Stats{
+		Epoch:    epoch,
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Computes: c.computes.Load(),
+	}
+	if _, te, ok := c.topics.peek(); ok {
+		st.TopicsEpoch = te
+		if epoch > te {
+			st.TopicsLag = epoch - te
+		}
+	}
+	return st
+}

@@ -16,9 +16,10 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
+	"nous/internal/analytics"
 	"nous/internal/core"
-	"nous/internal/graph"
 	"nous/internal/nlp"
 )
 
@@ -54,57 +55,76 @@ func DefaultConfig() Config {
 	return Config{PriorWeight: 0.15, ContextWeight: 0.5, CoherenceWeight: 0.6, MaxCandidates: 8}
 }
 
-// Linker resolves mentions against a dynamic KG.
-type Linker struct {
-	kg  *core.KG
-	cfg Config
-
-	prior    map[string]float64  // entity name -> normalized popularity
-	profiles map[string][]string // entity name -> context profile words
+// PriorSource supplies the popularity prior (per entity name, normalized to
+// [0,1]). internal/analytics.Cache implements it with an epoch-memoized
+// PageRank, so N concurrent linking calls share one computation.
+type PriorSource interface {
+	PopularityPrior() map[string]float64
 }
 
-// NewLinker builds a linker over the KG. RefreshPrior must be called after
-// bulk KG updates to recompute popularity and profiles.
+// Linker resolves mentions against a dynamic KG. All methods are safe for
+// concurrent use (queries disambiguate while ingestion links new mentions).
+type Linker struct {
+	kg     *core.KG
+	cfg    Config
+	priors PriorSource
+
+	// profiles caches entity context documents. It is keyed by the graph
+	// mutation epoch at which it was filled: any KG write invalidates it,
+	// since profiles are built from the entity's live neighborhood.
+	mu            sync.Mutex
+	profiles      map[string][]string
+	profilesEpoch uint64
+}
+
+// NewLinker builds a linker over the KG with a private analytics cache
+// supplying the popularity prior. Use NewLinkerWith to share one cache
+// across the whole query engine.
 func NewLinker(kg *core.KG, cfg Config) *Linker {
+	return NewLinkerWith(kg, cfg, analytics.New(kg))
+}
+
+// NewLinkerWith builds a linker whose popularity prior comes from the given
+// source (typically the pipeline-wide analytics cache).
+func NewLinkerWith(kg *core.KG, cfg Config, priors PriorSource) *Linker {
 	if cfg.MaxCandidates <= 0 {
 		cfg = DefaultConfig()
 	}
-	l := &Linker{kg: kg, cfg: cfg}
-	l.RefreshPrior()
-	return l
+	return &Linker{kg: kg, cfg: cfg, priors: priors, profiles: make(map[string][]string)}
 }
 
-// RefreshPrior recomputes the PageRank popularity prior and clears cached
-// entity profiles.
+// RefreshPrior forces the popularity prior to recompute on next use,
+// bypassing the analytics cache's staleness budget. Under normal operation
+// it is unnecessary: the prior is epoch-versioned and refreshes itself
+// lazily after KG mutations.
 func (l *Linker) RefreshPrior() {
-	g := l.kg.Graph()
-	pr := graph.PageRank(g, 0.85, 20)
-	maxRank := 0.0
-	for _, r := range pr {
-		if r > maxRank {
-			maxRank = r
-		}
+	if inv, ok := l.priors.(interface{ InvalidatePrior() }); ok {
+		inv.InvalidatePrior()
 	}
-	l.prior = make(map[string]float64, len(pr))
-	for id, r := range pr {
-		if name, ok := l.kg.EntityName(id); ok {
-			if maxRank > 0 {
-				l.prior[name] = r / maxRank
-			} else {
-				l.prior[name] = 0
-			}
-		}
-	}
-	l.profiles = make(map[string][]string)
+}
+
+// prior returns the current popularity prior map (shared, read-only).
+func (l *Linker) prior() map[string]float64 {
+	return l.priors.PopularityPrior()
 }
 
 // profile returns (building lazily) the KG-neighborhood context document of
 // an entity: its own name tokens, the names and types of its neighbors and
-// the predicates on its edges.
+// the predicates on its edges. Cached profiles are dropped whenever the
+// graph's mutation epoch moves, since any write may have changed a
+// neighborhood.
 func (l *Linker) profile(name string) []string {
+	now := l.kg.Graph().Epoch()
+	l.mu.Lock()
+	if l.profilesEpoch != now {
+		l.profiles = make(map[string][]string)
+		l.profilesEpoch = now
+	}
 	if p, ok := l.profiles[name]; ok {
+		l.mu.Unlock()
 		return p
 	}
+	l.mu.Unlock()
 	var words []string
 	addText := func(s string) {
 		for _, w := range strings.Fields(strings.ToLower(s)) {
@@ -131,7 +151,14 @@ func (l *Linker) profile(name string) []string {
 			addText(f.Provenance.Sentence)
 		}
 	}
-	l.profiles[name] = words
+	l.mu.Lock()
+	// Don't cache a profile built across a write: the neighborhood walk
+	// must have seen a quiescent graph (live epoch unchanged) and the map
+	// must still belong to that epoch.
+	if l.profilesEpoch == now && l.kg.Graph().Epoch() == now {
+		l.profiles[name] = words
+	}
+	l.mu.Unlock()
 	return words
 }
 
@@ -180,6 +207,7 @@ func (l *Linker) Link(mentions []Mention) []Result {
 	var cands []candidate
 	perMention := make([][]int, len(mentions))
 
+	prior := l.prior() // one epoch-fresh snapshot for the whole document
 	for i, m := range mentions {
 		results[i] = Result{Surface: m.Surface}
 		names := l.kg.Candidates(m.Surface)
@@ -188,7 +216,7 @@ func (l *Linker) Link(mentions []Mention) []Result {
 		}
 		results[i].Ambiguous = len(names) > 1
 		for _, name := range names {
-			me := l.cfg.PriorWeight*l.prior[name] +
+			me := l.cfg.PriorWeight*prior[name] +
 				l.cfg.ContextWeight*l.contextSimilarity(m.Context, name)
 			cands = append(cands, candidate{mention: i, entity: name, meScore: me, alive: true})
 			perMention[i] = append(perMention[i], len(cands)-1)
@@ -300,9 +328,10 @@ func (l *Linker) LinkOne(m Mention) Result {
 func (l *Linker) LinkPriorOnly(surface string) Result {
 	names := l.kg.Candidates(surface)
 	r := Result{Surface: surface, Ambiguous: len(names) > 1}
+	prior := l.prior()
 	best := math.Inf(-1)
 	for _, n := range names {
-		if p := l.prior[n]; p > best {
+		if p := prior[n]; p > best {
 			best = p
 			r.Entity = n
 			r.Score = p

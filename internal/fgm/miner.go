@@ -49,10 +49,12 @@ type windowEdge struct {
 	Edge
 }
 
-// Miner is the streaming closed-frequent-pattern miner. Methods are not
-// safe for concurrent use with each other; AddBatch parallelizes
-// internally.
+// Miner is the streaming closed-frequent-pattern miner. All exported
+// methods are safe for concurrent use (pattern queries run while the
+// ingestion path feeds the window); AddBatch additionally parallelizes its
+// own enumeration internally.
 type Miner struct {
+	mu  sync.RWMutex
 	cfg Config
 
 	nextID int64
@@ -87,15 +89,25 @@ func NewMiner(cfg Config) *Miner {
 }
 
 // WindowLen returns the number of edges currently in the window.
-func (m *Miner) WindowLen() int { return len(m.queue) }
+func (m *Miner) WindowLen() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.queue)
+}
 
 // EmbeddingsTouched returns the cumulative number of embeddings enumerated —
 // the work metric compared against the from-scratch baseline.
-func (m *Miner) EmbeddingsTouched() int64 { return m.embeddingsTouched }
+func (m *Miner) EmbeddingsTouched() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.embeddingsTouched
+}
 
 // Add inserts one stream edge, incrementally updating pattern counts, and
 // evicts the oldest edges if the count-based window overflows.
 func (m *Miner) Add(e Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	we := &windowEdge{id: m.nextID, Edge: e}
 	m.nextID++
 	m.insert(we)
@@ -110,6 +122,8 @@ func (m *Miner) AddBatch(es []Edge) {
 	if len(es) == 0 {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	batch := make([]*windowEdge, len(es))
 	for i, e := range es {
 		we := &windowEdge{id: m.nextID, Edge: e}
@@ -154,6 +168,8 @@ func (m *Miner) AddBatch(es []Edge) {
 // sliding window), decrementing affected pattern counts. It returns the
 // number of evicted edges.
 func (m *Miner) EvictBefore(cutoff int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	kept := m.queue[:0]
 	// Evict one at a time: symmetric enumeration keeps counts exact.
@@ -368,6 +384,12 @@ func (m *Miner) applyDelta(d *delta, sign int) {
 
 // Support returns the current support of a pattern code.
 func (m *Miner) Support(code string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.supportLocked(code)
+}
+
+func (m *Miner) supportLocked(code string) int {
 	if m.cfg.TrackMNI {
 		imgs, ok := m.images[code]
 		if !ok || len(imgs) == 0 {
@@ -387,9 +409,15 @@ func (m *Miner) Support(code string) int {
 // FrequentPatterns returns all patterns at or above MinSupport, largest
 // support first.
 func (m *Miner) FrequentPatterns() []Pattern {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.frequentLocked()
+}
+
+func (m *Miner) frequentLocked() []Pattern {
 	var out []Pattern
 	for code := range m.counts {
-		if s := m.Support(code); s >= m.cfg.MinSupport {
+		if s := m.supportLocked(code); s >= m.cfg.MinSupport {
 			p := m.patterns[code]
 			p.Support = s
 			out = append(out, p)
@@ -403,16 +431,19 @@ func (m *Miner) FrequentPatterns() []Pattern {
 // super-pattern of equal support — the miner's reporting unit per the
 // paper.
 func (m *Miner) ClosedPatterns() []Pattern {
-	freq := m.FrequentPatterns()
-	return closedOf(freq)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return closedOf(m.frequentLocked())
 }
 
 // Transitions reports which patterns entered and left the frequent set
 // since the previous call — the signal used to "reconstruct smaller
 // patterns from larger patterns that just turned infrequent".
 func (m *Miner) Transitions() (entered, left []Pattern) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cur := map[string]bool{}
-	for _, p := range m.FrequentPatterns() {
+	for _, p := range m.frequentLocked() {
 		cur[p.Code] = true
 		if !m.prevFrequent[p.Code] {
 			entered = append(entered, p)
@@ -421,7 +452,7 @@ func (m *Miner) Transitions() (entered, left []Pattern) {
 	for code := range m.prevFrequent {
 		if !cur[code] {
 			p := m.patterns[code]
-			p.Support = m.Support(code)
+			p.Support = m.supportLocked(code)
 			left = append(left, p)
 		}
 	}

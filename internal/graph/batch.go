@@ -72,5 +72,6 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 			g.shards[si].mu.Unlock()
 		}
 	}
+	g.bump()
 	return ids, nil
 }

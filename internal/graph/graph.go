@@ -80,7 +80,24 @@ type Graph struct {
 
 	nextVertex atomic.Int64
 	nextEdge   atomic.Int64
+
+	// epoch counts completed mutations. It is bumped after every write
+	// finishes, so a derived artifact computed against the epoch observed
+	// before the computation started is invalidated by any write that lands
+	// during or after it.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the graph's monotonic mutation counter. It is read
+// lock-free; two equal Epoch values bracket a window in which no mutation
+// completed, which callers (see internal/analytics) use to memoize derived
+// artifacts such as PageRank.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// bump records one completed mutation. Called after the write's shard locks
+// are released so no artifact can be tagged with an epoch newer than the
+// state it was computed from.
+func (g *Graph) bump() { g.epoch.Add(1) }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -153,6 +170,7 @@ func (g *Graph) AddVertexWithProps(label string, props map[string]string) Vertex
 	s.mu.Lock()
 	s.vertices[id] = &Vertex{ID: id, Label: label, Props: copyProps(props)}
 	s.mu.Unlock()
+	g.bump()
 	return id
 }
 
@@ -161,15 +179,17 @@ func (g *Graph) AddVertexWithProps(label string, props map[string]string) Vertex
 func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
 	s := g.vshard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	v, ok := s.vertices[id]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	if v.Props == nil {
 		v.Props = make(map[string]string)
 	}
 	v.Props[key] = value
+	s.mu.Unlock()
+	g.bump()
 	return true
 }
 
@@ -230,6 +250,7 @@ func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts 
 	g.lockEdgeShards(src, dst, id)
 	g.insertEdgeLocked(e)
 	g.unlockEdgeShards(src, dst, id)
+	g.bump()
 	return id, nil
 }
 
@@ -284,6 +305,7 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 			delete(es.byLabel, e.Label)
 		}
 	}
+	g.bump()
 	return true
 }
 
@@ -332,6 +354,7 @@ func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge)) bool {
 		return false
 	}
 	fn(e)
+	g.bump()
 	return true
 }
 
@@ -522,6 +545,25 @@ func (g *Graph) ForEachOutEdge(id VertexID, fn func(Edge) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, e := range s.out[id] {
+		if !fn(copyEdge(e)) {
+			return
+		}
+	}
+}
+
+// ForEachIncidentEdge calls fn for each edge incident to id — outgoing
+// edges first, then incoming, each in insertion order (the same order
+// Edges returns) — while fn returns true. fn must not mutate the graph.
+func (g *Graph) ForEachIncidentEdge(id VertexID, fn func(Edge) bool) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.out[id] {
+		if !fn(copyEdge(e)) {
+			return
+		}
+	}
+	for _, e := range s.in[id] {
 		if !fn(copyEdge(e)) {
 			return
 		}

@@ -6,10 +6,18 @@
 // distribution and the target's — and every complete path is scored by its
 // topic coherence (mean divergence along the path, lower is better). A
 // breadth-first shortest-path baseline is provided for the evaluation.
+//
+// The beam state is allocation-light: partial paths are immutable linked
+// nodes sharing their prefixes (extending a path is one small allocation,
+// not an O(depth) copy of vertex/edge slices), and the per-path visited set
+// is a pooled bitset repopulated from the node chain — O(depth) marks per
+// expansion instead of an O(depth) map copy per candidate.
 package pathsearch
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nous/internal/graph"
 	"nous/internal/topics"
@@ -50,35 +58,222 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Searcher runs coherence-guided path queries over a property graph.
+// Searcher runs coherence-guided path queries over a property graph. It is
+// safe for concurrent use, including against a graph under mutation and
+// across SetTopics swaps.
 type Searcher struct {
-	g       *graph.Graph
-	topicOf map[graph.VertexID][]float64
+	g *graph.Graph
+
+	// topics holds the current topic map. Swapped atomically by SetTopics
+	// so a topic refit never races in-flight queries; each map is read-only
+	// once stored.
+	topics atomic.Pointer[map[graph.VertexID][]float64]
+
+	// visitedPool recycles per-query bitsets across queries.
+	visitedPool sync.Pool
 }
 
 // New returns a searcher. topicOf maps vertices to LDA topic distributions;
 // it may be nil, in which case the search degrades to an uninformed beam.
+// The map must not be mutated after being handed over.
 func New(g *graph.Graph, topicOf map[graph.VertexID][]float64) *Searcher {
-	return &Searcher{g: g, topicOf: topicOf}
+	s := &Searcher{g: g}
+	s.visitedPool.New = func() any { return &bitset{} }
+	s.SetTopics(topicOf)
+	return s
+}
+
+// SetTopics atomically replaces the topic map. In-flight queries keep the
+// map they started with; new queries see the new one.
+func (s *Searcher) SetTopics(topicOf map[graph.VertexID][]float64) {
+	s.topics.Store(&topicOf)
+}
+
+// topicsMap snapshots the current topic map; a query captures it once so a
+// concurrent SetTopics cannot change scoring mid-search.
+func (s *Searcher) topicsMap() map[graph.VertexID][]float64 {
+	return *s.topics.Load()
 }
 
 // divergence returns the topic JS divergence between two vertices, or 0
 // when either lacks a topic vector.
-func (s *Searcher) divergence(a, b graph.VertexID) float64 {
-	ta, ok1 := s.topicOf[a]
-	tb, ok2 := s.topicOf[b]
+func divergence(topicOf map[graph.VertexID][]float64, a, b graph.VertexID) float64 {
+	ta, ok1 := topicOf[a]
+	tb, ok2 := topicOf[b]
 	if !ok1 || !ok2 || len(ta) != len(tb) {
 		return 0
 	}
 	return topics.JSDivergence(ta, tb)
 }
 
-// partial is a path under construction.
-type partial struct {
-	verts   []graph.VertexID
-	edges   []graph.Edge
-	visited map[graph.VertexID]bool
-	divSum  float64
+// pathNode is an immutable node in a prefix-sharing tree of partial paths.
+// Extending a path allocates exactly one node; the tail shares every
+// ancestor with its siblings.
+type pathNode struct {
+	parent *pathNode
+	vert   graph.VertexID
+	edge   graph.Edge // edge connecting parent.vert to vert (zero at the root)
+	depth  int        // hops from the root
+	divSum float64
+}
+
+// materialize renders the node chain as a Path (without coherence).
+func (n *pathNode) materialize() Path {
+	verts := make([]graph.VertexID, n.depth+1)
+	edges := make([]graph.Edge, n.depth)
+	for m := n; m != nil; m = m.parent {
+		verts[m.depth] = m.vert
+		if m.depth > 0 {
+			edges[m.depth-1] = m.edge
+		}
+	}
+	return Path{Vertices: verts, Edges: edges}
+}
+
+// fillVerts writes the chain's vertex sequence into buf, which must have
+// length n.depth+1.
+func (n *pathNode) fillVerts(buf []graph.VertexID) {
+	for m := n; m != nil; m = m.parent {
+		buf[m.depth] = m.vert
+	}
+}
+
+// hasLabel reports whether any edge on the chain carries the label.
+func (n *pathNode) hasLabel(label string) bool {
+	for m := n; m.parent != nil; m = m.parent {
+		if m.edge.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// bitset is a growable visited set indexed by VertexID. Vertex IDs are
+// assigned densely, so the backing array stays proportional to the graph.
+type bitset struct {
+	words []uint64
+}
+
+func (b *bitset) has(id graph.VertexID) bool {
+	w := int(id >> 6)
+	return w < len(b.words) && b.words[w]&(1<<(uint(id)&63)) != 0
+}
+
+func (b *bitset) set(id graph.VertexID) {
+	w := int(id >> 6)
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (uint(id) & 63)
+}
+
+func (b *bitset) clear(id graph.VertexID) {
+	w := int(id >> 6)
+	if w < len(b.words) {
+		b.words[w] &^= 1 << (uint(id) & 63)
+	}
+}
+
+// mark sets every vertex on the chain; unmark clears them. Together they
+// let one pooled bitset serve every frontier node in turn.
+func (b *bitset) mark(n *pathNode) {
+	for m := n; m != nil; m = m.parent {
+		b.set(m.vert)
+	}
+}
+
+func (b *bitset) unmark(n *pathNode) {
+	for m := n; m != nil; m = m.parent {
+		b.clear(m.vert)
+	}
+}
+
+// scored is one beam candidate with its materialized vertex sequence (for
+// deterministic ordering) and look-ahead score.
+type scored struct {
+	n         *pathNode
+	verts     []graph.VertexID
+	lookahead float64
+}
+
+// expand grows every frontier node by one hop. Completed paths (reaching
+// dst) are handed to complete; open extensions are returned as candidates
+// with lookahead = divSum + divergence(tail, dst) when wantLookahead is set
+// (TopK orders by it; BFS does not and skips the extra divergence per
+// candidate). The visited bitset is repopulated per frontier node from its
+// chain. Incident edges are snapshotted into a scratch buffer so the
+// vertex's shard lock is held only for the copy, not for the per-edge
+// divergence math — a long expansion must not stall concurrent writers.
+func (s *Searcher) expand(frontier []*pathNode, dst graph.VertexID, topicOf map[graph.VertexID][]float64, visited *bitset, wantLookahead bool, complete func(*pathNode)) []scored {
+	var next []scored
+	var edgeBuf []graph.Edge
+	for _, p := range frontier {
+		cur := p.vert
+		visited.mark(p)
+		edgeBuf = edgeBuf[:0]
+		s.g.ForEachIncidentEdge(cur, func(e graph.Edge) bool {
+			edgeBuf = append(edgeBuf, e)
+			return true
+		})
+		for _, e := range edgeBuf {
+			nb := e.Dst
+			if nb == cur {
+				nb = e.Src
+			}
+			if visited.has(nb) {
+				continue
+			}
+			np := &pathNode{
+				parent: p,
+				vert:   nb,
+				edge:   e,
+				depth:  p.depth + 1,
+				divSum: p.divSum + divergence(topicOf, cur, nb),
+			}
+			if nb == dst {
+				complete(np)
+				continue
+			}
+			sc := scored{n: np}
+			if wantLookahead {
+				sc.lookahead = np.divSum + divergence(topicOf, nb, dst)
+			}
+			next = append(next, sc)
+		}
+		visited.unmark(p)
+	}
+	// Materialize vertex sequences for ordering out of one arena — a single
+	// allocation per depth rather than one per candidate.
+	if len(next) > 0 {
+		total := 0
+		for i := range next {
+			total += next[i].n.depth + 1
+		}
+		arena := make([]graph.VertexID, total)
+		off := 0
+		for i := range next {
+			end := off + next[i].n.depth + 1
+			next[i].verts = arena[off:end]
+			next[i].n.fillVerts(next[i].verts)
+			off = end
+		}
+	}
+	return next
+}
+
+// finish turns a completed chain into a deduplicated Path, honoring the
+// predicate constraint.
+func finish(np *pathNode, predicate string, seen map[string]bool, found *[]Path) {
+	if predicate != "" && !np.hasLabel(predicate) {
+		return
+	}
+	path := np.materialize()
+	path.Coherence = np.divSum / float64(len(path.Edges))
+	k := pathKey(path)
+	if !seen[k] {
+		seen[k] = true
+		*found = append(*found, path)
+	}
 }
 
 // TopK returns up to K paths from src to dst ordered by ascending coherence
@@ -89,75 +284,32 @@ func (s *Searcher) TopK(src, dst graph.VertexID, opt Options) []Path {
 		return nil
 	}
 
-	start := partial{
-		verts:   []graph.VertexID{src},
-		edges:   nil,
-		visited: map[graph.VertexID]bool{src: true},
-	}
-	frontier := []partial{start}
+	visited := s.visitedPool.Get().(*bitset)
+	defer s.visitedPool.Put(visited)
+
+	topicOf := s.topicsMap()
+	frontier := []*pathNode{{vert: src}}
 	var found []Path
 	seen := map[string]bool{}
 
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
-		type scored struct {
-			p         partial
-			lookahead float64
-		}
-		var next []scored
-		for _, p := range frontier {
-			cur := p.verts[len(p.verts)-1]
-			for _, e := range s.g.Edges(cur) {
-				nb := e.Dst
-				if nb == cur {
-					nb = e.Src
-				}
-				if p.visited[nb] {
-					continue
-				}
-				step := s.divergence(cur, nb)
-				np := partial{
-					verts:   append(append([]graph.VertexID{}, p.verts...), nb),
-					edges:   append(append([]graph.Edge{}, p.edges...), e),
-					visited: map[graph.VertexID]bool{},
-					divSum:  p.divSum + step,
-				}
-				for v := range p.visited {
-					np.visited[v] = true
-				}
-				np.visited[nb] = true
-
-				if nb == dst {
-					if opt.Predicate == "" || hasLabel(np.edges, opt.Predicate) {
-						path := Path{
-							Vertices:  np.verts,
-							Edges:     np.edges,
-							Coherence: np.divSum / float64(len(np.edges)),
-						}
-						k := pathKey(path)
-						if !seen[k] {
-							seen[k] = true
-							found = append(found, path)
-						}
-					}
-					continue
-				}
-				next = append(next, scored{p: np, lookahead: np.divSum + s.divergence(nb, dst)})
-			}
-		}
+		next := s.expand(frontier, dst, topicOf, visited, true, func(np *pathNode) {
+			finish(np, opt.Predicate, seen, &found)
+		})
 		// Look-ahead pruning: keep the Beam candidates closest (in topic
 		// space) to the target.
 		sort.SliceStable(next, func(i, j int) bool {
 			if next[i].lookahead != next[j].lookahead {
 				return next[i].lookahead < next[j].lookahead
 			}
-			return lessVerts(next[i].p.verts, next[j].p.verts)
+			return lessVerts(next[i].verts, next[j].verts)
 		})
 		if len(next) > opt.Beam {
 			next = next[:opt.Beam]
 		}
 		frontier = frontier[:0]
 		for _, sc := range next {
-			frontier = append(frontier, sc.p)
+			frontier = append(frontier, sc.n)
 		}
 	}
 
@@ -185,49 +337,19 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 	if !s.g.HasVertex(src) || !s.g.HasVertex(dst) || src == dst {
 		return nil
 	}
+
+	visited := s.visitedPool.Get().(*bitset)
+	defer s.visitedPool.Put(visited)
+
+	topicOf := s.topicsMap()
+	frontier := []*pathNode{{vert: src}}
 	var found []Path
 	seen := map[string]bool{}
-	frontier := []partial{{
-		verts:   []graph.VertexID{src},
-		visited: map[graph.VertexID]bool{src: true},
-	}}
+
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
-		var next []partial
-		for _, p := range frontier {
-			cur := p.verts[len(p.verts)-1]
-			for _, e := range s.g.Edges(cur) {
-				nb := e.Dst
-				if nb == cur {
-					nb = e.Src
-				}
-				if p.visited[nb] {
-					continue
-				}
-				np := partial{
-					verts:   append(append([]graph.VertexID{}, p.verts...), nb),
-					edges:   append(append([]graph.Edge{}, p.edges...), e),
-					visited: map[graph.VertexID]bool{},
-					divSum:  p.divSum + s.divergence(cur, nb),
-				}
-				for v := range p.visited {
-					np.visited[v] = true
-				}
-				np.visited[nb] = true
-				if nb == dst {
-					if opt.Predicate == "" || hasLabel(np.edges, opt.Predicate) {
-						path := Path{Vertices: np.verts, Edges: np.edges,
-							Coherence: np.divSum / float64(len(np.edges))}
-						k := pathKey(path)
-						if !seen[k] {
-							seen[k] = true
-							found = append(found, path)
-						}
-					}
-					continue
-				}
-				next = append(next, np)
-			}
-		}
+		next := s.expand(frontier, dst, topicOf, visited, false, func(np *pathNode) {
+			finish(np, opt.Predicate, seen, &found)
+		})
 		// Unbounded BFS fan-out explodes on dense graphs; cap like GraphX
 		// jobs cap their frontier, but without topic guidance (by vertex
 		// order, which is insertion order — a neutral choice).
@@ -235,7 +357,10 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 		if len(next) > opt.Beam*4 {
 			next = next[:opt.Beam*4]
 		}
-		frontier = next
+		frontier = frontier[:0]
+		for _, sc := range next {
+			frontier = append(frontier, sc.n)
+		}
 		if len(found) >= opt.K {
 			break
 		}
@@ -250,15 +375,6 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 		found = found[:opt.K]
 	}
 	return found
-}
-
-func hasLabel(edges []graph.Edge, label string) bool {
-	for _, e := range edges {
-		if e.Label == label {
-			return true
-		}
-	}
-	return false
 }
 
 func pathKey(p Path) string {

@@ -223,3 +223,34 @@ func BenchmarkTopKPaths(b *testing.B) {
 		s.TopK(src, dst, Options{K: 3, MaxDepth: 4})
 	}
 }
+
+// TestSetTopicsDuringQueries exercises a topic refit racing live path
+// queries (the Pipeline.BuildTopics-while-serving scenario); run under
+// -race it pins the atomic map swap. Each query must use one consistent
+// map: results always match a serial run against either the old or the new
+// vectors.
+func TestSetTopicsDuringQueries(t *testing.T) {
+	g, src, dst, _, _, _, topicOf := plantedGraph()
+	s := New(g, topicOf)
+	swapped := map[graph.VertexID][]float64{}
+	for id, v := range topicOf {
+		swapped[id] = []float64{v[1], v[0]} // invert topics for a visible change
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.SetTopics(topicOf)
+			s.SetTopics(swapped)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if got := s.TopK(src, dst, Options{K: 3}); len(got) == 0 {
+			t.Fatal("no paths during topic swaps")
+		}
+		if got := s.BFSPaths(src, dst, Options{K: 3}); len(got) == 0 {
+			t.Fatal("no BFS paths during topic swaps")
+		}
+	}
+	<-done
+}

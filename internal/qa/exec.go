@@ -6,10 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"nous/internal/analytics"
 	"nous/internal/core"
 	"nous/internal/disambig"
 	"nous/internal/fgm"
-	"nous/internal/graph"
 	"nous/internal/linkpred"
 	"nous/internal/pathsearch"
 	"nous/internal/trends"
@@ -60,6 +60,10 @@ type Executor struct {
 	Searcher *pathsearch.Searcher
 	Model    *linkpred.Model
 	Linker   *disambig.Linker
+	// Analytics supplies epoch-memoized whole-graph artifacts (PageRank
+	// importance). When nil, entity summaries report zero importance rather
+	// than recomputing PageRank per request.
+	Analytics *analytics.Cache
 	// Now supplies the query-time clock (defaults to time.Now).
 	Now func() time.Time
 }
@@ -146,9 +150,8 @@ func (ex *Executor) entity(q Query) (Answer, error) {
 	}
 	typ, _ := ex.KG.EntityType(name)
 	sum := &EntitySummary{Name: name, Type: string(typ)}
-	if id, ok := ex.KG.Entity(name); ok {
-		pr := graph.PageRank(ex.KG.Graph(), 0.85, 15)
-		sum.Importance = pr[id]
+	if id, ok := ex.KG.Entity(name); ok && ex.Analytics != nil {
+		sum.Importance = ex.Analytics.Importance(id)
 	}
 	facts := ex.KG.FactsAbout(name)
 	if q.K > 0 && len(facts) > q.K {

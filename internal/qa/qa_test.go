@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"nous/internal/analytics"
 	"nous/internal/core"
 	"nous/internal/disambig"
 	"nous/internal/fgm"
@@ -131,13 +132,14 @@ func buildExecutor(t *testing.T) *Executor {
 	}
 	model := linkpred.Train(nil, linkpred.DefaultConfig())
 	return &Executor{
-		KG:       kg,
-		Trends:   det,
-		Miner:    miner,
-		Searcher: pathsearch.New(kg.Graph(), nil),
-		Model:    model,
-		Linker:   disambig.NewLinker(kg, disambig.DefaultConfig()),
-		Now:      func() time.Time { return day },
+		KG:        kg,
+		Trends:    det,
+		Miner:     miner,
+		Searcher:  pathsearch.New(kg.Graph(), nil),
+		Model:     model,
+		Linker:    disambig.NewLinker(kg, disambig.DefaultConfig()),
+		Analytics: analytics.New(kg),
+		Now:       func() time.Time { return day },
 	}
 }
 
@@ -271,5 +273,33 @@ func TestExecDegradesWithoutDeps(t *testing.T) {
 func TestClassesListsFive(t *testing.T) {
 	if got := Classes(); len(got) != 5 {
 		t.Fatalf("Classes() = %v", got)
+	}
+}
+
+// TestEntityImportanceFromAnalytics pins the entity summary's importance to
+// the shared epoch-memoized PageRank: with a cache attached the score is
+// the cached rank; without one the executor degrades to zero instead of
+// recomputing PageRank inline.
+func TestEntityImportanceFromAnalytics(t *testing.T) {
+	ex := buildExecutor(t)
+	a, err := ex.Ask("Tell me about DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entity == nil || a.Entity.Importance <= 0 {
+		t.Fatalf("importance not served from analytics: %+v", a.Entity)
+	}
+	id, _ := ex.KG.Entity("DJI")
+	if want := ex.Analytics.Importance(id); a.Entity.Importance != want {
+		t.Fatalf("importance = %v, want cached rank %v", a.Entity.Importance, want)
+	}
+
+	ex.Analytics = nil
+	a, err = ex.Ask("Tell me about DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entity == nil || a.Entity.Importance != 0 {
+		t.Fatalf("without analytics, importance = %+v, want 0", a.Entity)
 	}
 }

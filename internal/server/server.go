@@ -1,52 +1,80 @@
 // Package server provides the web interface of the demo (§4, Fig 6): a
 // small HTTP API plus a single-page UI over a built pipeline. Endpoints
 // mirror the five query classes and the graph/statistics views the paper
-// demonstrates.
+// demonstrates. The server is built for concurrent serving against a live
+// (mutating) pipeline: every handler is safe to run while ingestion writes
+// to the KG, and each request is bounded by a per-request timeout.
 //
 //	GET /api/ask?q=...            any of the five query classes
 //	GET /api/entity?name=...      entity summary (Fig 6)
 //	GET /api/trending?k=10        trending entities/predicates
 //	GET /api/patterns?k=10        closed frequent patterns (Fig 7)
 //	GET /api/explain?src=&dst=&predicate=&k=   relationship paths
-//	GET /api/stats                KG quality statistics (demo feature 2)
+//	GET /api/stats                KG + stream + query-cache statistics
 //	GET /api/graph?entity=A,B     subgraph as JSON
 //	GET /                         minimal HTML console
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"nous"
 )
 
+// DefaultRequestTimeout bounds each request's handler run time.
+const DefaultRequestTimeout = 15 * time.Second
+
 // Server wraps a pipeline behind HTTP handlers.
 type Server struct {
 	pipeline *nous.Pipeline
-	mux      *http.ServeMux
+	handler  http.Handler
 }
 
-// New builds a server over an assembled pipeline.
+// New builds a server over an assembled pipeline with the default
+// per-request timeout.
 func New(p *nous.Pipeline) *Server {
-	s := &Server{pipeline: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/ask", s.handleAsk)
-	s.mux.HandleFunc("GET /api/entity", s.handleEntity)
-	s.mux.HandleFunc("GET /api/trending", s.handleTrending)
-	s.mux.HandleFunc("GET /api/patterns", s.handlePatterns)
-	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/graph", s.handleGraph)
-	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return NewWithTimeout(p, DefaultRequestTimeout)
+}
+
+// NewWithTimeout builds a server whose handlers are cut off after timeout
+// (<= 0 disables the limit). Timed-out requests get a 503 JSON error.
+func NewWithTimeout(p *nous.Pipeline, timeout time.Duration) *Server {
+	s := &Server{pipeline: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/ask", s.handleAsk)
+	mux.HandleFunc("GET /api/entity", s.handleEntity)
+	mux.HandleFunc("GET /api/trending", s.handleTrending)
+	mux.HandleFunc("GET /api/patterns", s.handlePatterns)
+	mux.HandleFunc("GET /api/explain", s.handleExplain)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/graph", s.handleGraph)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.handler = mux
+	if timeout > 0 {
+		th := http.TimeoutHandler(mux, timeout, `{"error":"request timed out"}`)
+		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// http.TimeoutHandler writes its 503 body without a
+			// Content-Type, which gets sniffed as text/plain. Pre-set JSON
+			// on the real writer so a timeout matches the API's uniform
+			// error contract; on the normal path every handler sets its own
+			// Content-Type, which TimeoutHandler copies over this one.
+			w.Header().Set("Content-Type", "application/json")
+			th.ServeHTTP(w, r)
+		})
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // errorResponse is the uniform error body.
@@ -123,7 +151,11 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
-	k := intParam(r, "k", 10)
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.pipeline.Trending(k))
 }
 
@@ -143,7 +175,11 @@ func patternsJSON(ps []nous.Pattern) []patternJSON {
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
-	k := intParam(r, "k", 10)
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, patternsJSON(s.pipeline.Patterns(k)))
 }
 
@@ -154,7 +190,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing src/dst parameters")
 		return
 	}
-	a, err := s.pipeline.Explain(src, dst, r.URL.Query().Get("predicate"), intParam(r, "k", 3))
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	a, err := s.pipeline.Explain(src, dst, r.URL.Query().Get("predicate"), k)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
@@ -162,21 +203,44 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.Paths)
 }
 
+// statsResponse is the /api/stats body: KG quality, stream counters and the
+// epoch-versioned query cache state.
+type statsResponse struct {
+	KG     nous.KGStats     `json:"kg"`
+	Stream nous.StreamStats `json:"stream"`
+	Query  nous.QueryStats  `json:"query"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		KG     nous.KGStats     `json:"kg"`
-		Stream nous.StreamStats `json:"stream"`
-	}{s.pipeline.KG().Stats(), s.pipeline.Stats()})
+	writeJSON(w, http.StatusOK, statsResponse{
+		KG:     s.pipeline.KG().Stats(),
+		Stream: s.pipeline.Stats(),
+		Query:  s.pipeline.QueryStats(),
+	})
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	// Validate the export target fully before writing any output, so an
+	// error can still change the status code: once ExportJSON starts
+	// streaming, a late failure would corrupt a 200 response.
 	var names []string
 	if e := r.URL.Query().Get("entity"); e != "" {
 		names = strings.Split(e, ",")
+		for _, n := range names {
+			if _, ok := s.pipeline.KG().Entity(n); !ok {
+				writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + n})
+				return
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.pipeline.KG().ExportJSON(&buf, names...); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.pipeline.KG().ExportJSON(w, names...); err != nil {
-		badRequest(w, err.Error())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("server: writing graph export: %v", err)
 	}
 }
 
@@ -185,16 +249,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, indexHTML)
 }
 
-func intParam(r *http.Request, name string, def int) int {
+// intParam parses a positive integer query parameter, returning def when
+// absent and an error when malformed or non-positive.
+func intParam(r *http.Request, name string, def int) (int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil || n <= 0 {
-		return def
+		return 0, fmt.Errorf("parameter %q must be a positive integer, got %q", name, v)
 	}
-	return n
+	return n, nil
 }
 
 const indexHTML = `<!DOCTYPE html>

@@ -2,10 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"nous"
 )
@@ -174,6 +177,179 @@ func TestIndexServesHTML(t *testing.T) {
 	defer res.Body.Close()
 	if res.StatusCode != 200 || !strings.Contains(res.Header.Get("Content-Type"), "text/html") {
 		t.Fatalf("index: status=%d type=%s", res.StatusCode, res.Header.Get("Content-Type"))
+	}
+}
+
+func TestMalformedKParamIs400(t *testing.T) {
+	ts := testServer(t)
+	for _, url := range []string{
+		"/api/trending?k=abc",
+		"/api/trending?k=-3",
+		"/api/trending?k=0",
+		"/api/patterns?k=x",
+		"/api/patterns?k=-1",
+		"/api/explain?src=DJI&dst=Shenzhen&k=nope",
+	} {
+		body := getJSON(t, ts.URL+url, 400)
+		if body["error"] == "" {
+			t.Fatalf("%s: missing error message", url)
+		}
+	}
+}
+
+func TestGraphUnknownEntityIs404(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/graph?entity=Zorblatt+Nine", 404)
+	if !strings.Contains(body["error"].(string), "Zorblatt Nine") {
+		t.Fatalf("error body = %v", body)
+	}
+	// Mixed known+unknown must fail wholesale, before any bytes stream.
+	getJSON(t, ts.URL+"/api/graph?entity=DJI,Zorblatt+Nine", 404)
+}
+
+func TestStatsReportsQueryCache(t *testing.T) {
+	ts := testServer(t)
+	// Prime the cache through an entity query, then read stats.
+	getJSON(t, ts.URL+"/api/ask?q=Tell+me+about+DJI", 200)
+	body := getJSON(t, ts.URL+"/api/stats", 200)
+	q, ok := body["query"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats body missing query section: %v", body)
+	}
+	if q["epoch"] == nil || q["hits"] == nil || q["misses"] == nil {
+		t.Fatalf("query cache stats incomplete: %v", q)
+	}
+	if q["epoch"].(float64) == 0 {
+		t.Fatal("epoch = 0 after ingestion")
+	}
+}
+
+func TestRepeatedEntityQueriesHitCache(t *testing.T) {
+	ts := testServer(t)
+	readQuery := func() map[string]any {
+		t.Helper()
+		return getJSON(t, ts.URL+"/api/stats", 200)["query"].(map[string]any)
+	}
+	getJSON(t, ts.URL+"/api/entity?name=DJI", 200) // warm the artifacts
+	warm := readQuery()
+	for i := 0; i < 5; i++ {
+		getJSON(t, ts.URL+"/api/entity?name=DJI", 200)
+	}
+	after := readQuery()
+	if warm["computes"] != after["computes"] {
+		t.Fatalf("recomputed at an unchanged epoch: %v -> %v", warm["computes"], after["computes"])
+	}
+	if after["hits"].(float64) <= warm["hits"].(float64) {
+		t.Fatalf("hits did not grow: %v -> %v", warm["hits"], after["hits"])
+	}
+}
+
+func TestRequestTimeoutReturns503(t *testing.T) {
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies, wcfg.People, wcfg.Products, wcfg.Events = 10, 10, 10, 80
+	w := nous.GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	p.IngestAll(nous.GenerateArticles(w, nous.DefaultArticleConfig(30)))
+	ts := httptest.NewServer(NewWithTimeout(p, time.Nanosecond))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/api/ask?q=Tell+me+about+DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 on timeout", res.StatusCode)
+	}
+	// The timeout body must honor the API's JSON error contract, not be
+	// content-sniffed to text/plain.
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("timeout Content-Type = %q, want application/json", ct)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Fatal("timeout body is not the JSON error")
+	}
+}
+
+// TestConcurrentAskDuringIngest serves mixed-class queries while IngestAll
+// mutates the graph — the paper's core "query while it changes" scenario.
+// Run under -race this exercises the whole read layer: epoch cache, linker,
+// path search, miner and trends.
+func TestConcurrentAskDuringIngest(t *testing.T) {
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies, wcfg.People, wcfg.Products, wcfg.Events = 12, 12, 12, 160
+	w := nous.GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	arts := nous.GenerateArticles(w, nous.DefaultArticleConfig(120))
+	p.IngestAll(arts[:20]) // warm start so queries have something to chew on
+	ts := httptest.NewServer(New(p))
+	defer ts.Close()
+
+	queries := []string{
+		"/api/ask?q=Tell+me+about+DJI",
+		"/api/ask?q=What+is+trending%3F",
+		"/api/ask?q=What+patterns+are+emerging%3F",
+		"/api/ask?q=What+does+DJI+manufacture%3F",
+		"/api/ask?q=How+is+Windermere+related+to+DJI%3F",
+		"/api/stats",
+		"/api/trending?k=5",
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.IngestAll(arts[20:])
+	}()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				url := ts.URL + queries[(wkr+i)%len(queries)]
+				res, err := http.Get(url)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.StatusCode != 200 {
+					errc <- fmt.Errorf("GET %s = %d during ingest", url, res.StatusCode)
+					res.Body.Close()
+					return
+				}
+				res.Body.Close()
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	<-done
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// The pipeline must still answer correctly after the storm.
+	body := getJSON(t, ts.URL+"/api/ask?q=Tell+me+about+DJI", 200)
+	if body["class"] != "entity" {
+		t.Fatalf("post-ingest ask class = %v", body["class"])
 	}
 }
 

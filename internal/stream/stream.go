@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"nous/internal/analytics"
 	"nous/internal/core"
 	"nous/internal/corpus"
 	"nous/internal/disambig"
@@ -91,8 +92,19 @@ type Pipeline struct {
 
 // New builds a pipeline over a KG already loaded with the curated KB. The
 // NER gazetteer, predicate seeds and link-prediction model are initialized
-// from the KG's current contents.
+// from the KG's current contents. A private analytics cache backs the
+// disambiguation prior; use NewWith to share one cache with the query
+// engine.
 func New(kg *core.KG, cfg Config) *Pipeline {
+	return NewWith(kg, cfg, nil)
+}
+
+// NewWith builds a pipeline whose disambiguation popularity prior is served
+// by the given analytics cache (nil constructs a private one).
+func NewWith(kg *core.KG, cfg Config, ac *analytics.Cache) *Pipeline {
+	if ac == nil {
+		ac = analytics.New(kg)
+	}
 	if cfg.ConfidenceThreshold <= 0 {
 		cfg = DefaultConfig()
 	}
@@ -131,7 +143,7 @@ func New(kg *core.KG, cfg Config) *Pipeline {
 		ext:     extract.New(rec, kg.Ontology()),
 		mapper:  mapper,
 		model:   model,
-		linker:  disambig.NewLinker(kg, disambig.DefaultConfig()),
+		linker:  disambig.NewLinkerWith(kg, disambig.DefaultConfig(), ac),
 		tracker: tracker,
 	}
 }
@@ -312,11 +324,12 @@ func (p *Pipeline) integrate(a corpus.Article, raws []extract.RawTriple) {
 		p.stats.FactsEvicted += p.kg.EvictBefore(p.latestSeen.Add(-p.cfg.Window))
 	}
 
-	// Periodic semi-supervised expansion, prior refresh and trust fixpoint.
+	// Periodic semi-supervised expansion and trust fixpoint. The
+	// disambiguation prior no longer needs an explicit refresh: it is
+	// epoch-versioned and recomputes lazily after any KG write.
 	if p.cfg.LearnEvery > 0 && p.stats.Documents%p.cfg.LearnEvery == 0 {
 		p.stats.RulesLearned += p.mapper.Learn(p.learnBuf, p.kg)
 		p.learnBuf = p.learnBuf[:0]
-		p.linker.RefreshPrior()
 		p.tracker.Recompute()
 	}
 }

@@ -7,6 +7,7 @@ package trends
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"nous/internal/core"
@@ -46,9 +47,10 @@ func DefaultConfig() Config {
 }
 
 // Detector accumulates activity histograms. Wire it to a KG with
-// kg.Subscribe(d.OnEvent). Methods are not safe for concurrent use with
-// OnEvent; the KG invokes listeners synchronously, which serializes them.
+// kg.Subscribe(d.OnEvent). All methods are safe for concurrent use, so
+// trend queries can run while ingestion streams events in.
 type Detector struct {
+	mu  sync.RWMutex
 	cfg Config
 	// counts[kind][name][bucket] = mentions
 	entityCounts map[string]map[int64]int
@@ -81,9 +83,11 @@ func (d *Detector) OnEvent(ev core.Event) {
 		return
 	}
 	b := d.bucketOf(t)
+	d.mu.Lock()
 	bump(d.entityCounts, ev.Fact.Subject, b)
 	bump(d.entityCounts, ev.Fact.Object, b)
 	bump(d.predCounts, ev.Fact.Predicate, b)
+	d.mu.Unlock()
 }
 
 func (d *Detector) bucketOf(t time.Time) int64 {
@@ -106,12 +110,14 @@ func bump(m map[string]map[int64]int, name string, bucket int64) {
 // recent window with qualifying activity.
 func (d *Detector) Trending(now time.Time, k int) []Trend {
 	cur := d.bucketOf(now)
+	d.mu.RLock()
 	out := d.trendingAt(cur)
 	if len(out) == 0 {
 		if b, ok := d.latestActiveBucket(cur); ok {
 			out = d.trendingAt(b)
 		}
 	}
+	d.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -203,6 +209,8 @@ func (d *Detector) scan(m map[string]map[int64]int, kind Kind, cur int64) []Tren
 // buckets ending at the one containing now — the sparkline behind Fig 6's
 // entity view.
 func (d *Detector) Series(name string, now time.Time, n int) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	byBucket := d.entityCounts[name]
 	if byBucket == nil {
 		byBucket = d.predCounts[name]

@@ -24,8 +24,10 @@ package nous
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
+	"nous/internal/analytics"
 	"nous/internal/core"
 	"nous/internal/corpus"
 	"nous/internal/disambig"
@@ -77,6 +79,9 @@ type (
 	StreamStats = stream.Stats
 	// KGStats summarises knowledge-graph quality statistics.
 	KGStats = core.Stats
+	// QueryStats reports the epoch-versioned read layer's cache behaviour:
+	// mutation epoch, artifact hits/misses/recomputes and topic-model lag.
+	QueryStats = analytics.Stats
 )
 
 // NewKG returns an empty dynamic KG over the given ontology (nil for the
@@ -133,16 +138,19 @@ func DefaultConfig() Config {
 // Pipeline is the end-to-end NOUS system: ingestion, mining, trends,
 // topics, search and question answering over one dynamic KG.
 type Pipeline struct {
-	cfg      Config
-	kg       *core.KG
-	stream   *stream.Pipeline
-	miner    *fgm.Miner
-	detector *trends.Detector
-	model    *topics.Model
-	topicOf  map[graph.VertexID][]float64
-	searcher *pathsearch.Searcher
-	exec     *qa.Executor
-	clock    time.Time
+	cfg       Config
+	kg        *core.KG
+	stream    *stream.Pipeline
+	miner     *fgm.Miner
+	detector  *trends.Detector
+	analytics *analytics.Cache
+	searcher  *pathsearch.Searcher
+	exec      *qa.Executor
+
+	// clock is the pipeline clock in unix nanoseconds (0 = unset, fall back
+	// to the wall clock). Atomic because ingestion advances it while query
+	// handlers read it.
+	clock atomic.Int64
 }
 
 // NewPipeline assembles the system over a KG pre-loaded with curated
@@ -155,6 +163,12 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 	p := &Pipeline{cfg: cfg, kg: kg}
 	p.miner = fgm.NewMiner(cfg.Miner)
 	p.detector = trends.NewDetector(cfg.Trends)
+
+	// The epoch-versioned read layer: one cache memoizes PageRank
+	// importance, the disambiguation prior and topic vectors for every
+	// consumer — the QA executor, the linker and the path searcher.
+	p.analytics = analytics.New(kg)
+	p.analytics.SetTopicsFn(p.computeTopics)
 
 	// Seed the miner with pre-existing (curated) facts, then subscribe to
 	// live updates. Curated facts get an infinite timestamp so windowed
@@ -171,16 +185,17 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 		}
 	})
 
-	p.stream = stream.New(kg, cfg.Stream)
+	p.stream = stream.NewWith(kg, cfg.Stream, p.analytics)
 	p.searcher = pathsearch.New(kg.Graph(), nil)
 	p.exec = &qa.Executor{
-		KG:       kg,
-		Trends:   p.detector,
-		Miner:    p.miner,
-		Searcher: p.searcher,
-		Model:    p.stream.Model(),
-		Linker:   p.stream.Linker(),
-		Now:      p.now,
+		KG:        kg,
+		Trends:    p.detector,
+		Miner:     p.miner,
+		Searcher:  p.searcher,
+		Model:     p.stream.Model(),
+		Linker:    p.stream.Linker(),
+		Analytics: p.analytics,
+		Now:       p.now,
 	}
 	return p
 }
@@ -198,10 +213,10 @@ func (p *Pipeline) minerEdge(f Fact) fgm.Edge {
 }
 
 func (p *Pipeline) now() time.Time {
-	if p.clock.IsZero() {
-		return time.Now()
+	if ns := p.clock.Load(); ns != 0 {
+		return time.Unix(0, ns)
 	}
-	return p.clock
+	return time.Now()
 }
 
 // Ingest processes one article through extraction, mapping, confidence
@@ -229,21 +244,41 @@ func (p *Pipeline) IngestAll(articles []Article) StreamStats {
 	return st
 }
 
-// advance moves the pipeline clock and synchronizes the miner's window
-// with the KG's.
+// advance moves the pipeline clock forward (never back) and synchronizes
+// the miner's window with the KG's. Safe to call while queries read the
+// clock.
 func (p *Pipeline) advance(t time.Time) {
-	if t.After(p.clock) {
-		p.clock = t
+	ns := t.UnixNano()
+	for {
+		cur := p.clock.Load()
+		if ns <= cur || t.IsZero() {
+			break
+		}
+		if p.clock.CompareAndSwap(cur, ns) {
+			break
+		}
 	}
-	if w := p.cfg.Stream.Window; w > 0 && !p.clock.IsZero() {
-		p.miner.EvictBefore(p.clock.Add(-w).Unix())
+	if w := p.cfg.Stream.Window; w > 0 {
+		if cur := p.clock.Load(); cur != 0 {
+			p.miner.EvictBefore(time.Unix(0, cur).Add(-w).Unix())
+		}
 	}
 }
 
 // BuildTopics fits the LDA model over per-entity profile documents (name,
 // neighborhood, supporting sentences) and attaches topic vectors to the
 // path searcher. Call after ingestion (and again after large updates).
+// Concurrent calls coalesce into one fit through the analytics cache; the
+// built vectors stay memoized (with their epoch reported in QueryStats)
+// until the next call. Safe to call while queries are being served: the
+// searcher swaps its topic map atomically, so in-flight path queries keep
+// the vectors they started with.
 func (p *Pipeline) BuildTopics() {
+	p.searcher.SetTopics(p.analytics.RefreshTopics())
+}
+
+// computeTopics is the LDA fit the analytics cache memoizes.
+func (p *Pipeline) computeTopics() map[graph.VertexID][]float64 {
 	names := p.kg.Entities()
 	docs := make([][]string, len(names))
 	for i, n := range names {
@@ -252,16 +287,23 @@ func (p *Pipeline) BuildTopics() {
 	cfg := topics.DefaultConfig(p.cfg.TopicCount)
 	cfg.Iters = p.cfg.LDAIters
 	cfg.Seed = p.cfg.Seed
-	p.model = topics.Fit(docs, cfg)
-	p.topicOf = make(map[graph.VertexID][]float64, len(names))
+	model := topics.Fit(docs, cfg)
+	topicOf := make(map[graph.VertexID][]float64, len(names))
 	for i, n := range names {
 		if id, ok := p.kg.Entity(n); ok {
-			p.topicOf[id] = p.model.DocTopics(i)
+			topicOf[id] = model.DocTopics(i)
 		}
 	}
-	p.searcher = pathsearch.New(p.kg.Graph(), p.topicOf)
-	p.exec.Searcher = p.searcher
+	return topicOf
 }
+
+// Analytics exposes the epoch-versioned artifact cache shared by the query
+// engine (for benchmarks and diagnostics).
+func (p *Pipeline) Analytics() *analytics.Cache { return p.analytics }
+
+// QueryStats reports the read layer's cache behaviour: current mutation
+// epoch, artifact hits/misses/recomputes and the topic model's epoch lag.
+func (p *Pipeline) QueryStats() QueryStats { return p.analytics.Stats() }
 
 // entityDoc builds the "document" of an entity for LDA: its name, its
 // type, the predicates and neighbor names around it, and the content words
