@@ -1,0 +1,113 @@
+// Command benchdiff gates benchmark regressions in CI. It compares a
+// freshly-generated BENCH_<artifact>.json (from `nousbench -artifact X
+// -json`) against the committed baseline and exits non-zero when any metric
+// regressed beyond the allowed fraction.
+//
+// Every metric is higher-is-better by convention (throughputs, speedups), so
+// a regression is current < baseline * (1 - threshold). Improvements never
+// fail the gate — refresh the committed baseline when they should become the
+// new floor.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/BENCH_query.json -current BENCH_query.json [-threshold 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Artifact string             `json:"artifact"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (benchFile, error) {
+	var bf benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Metrics) == 0 {
+		return bf, fmt.Errorf("%s: no metrics", path)
+	}
+	return bf, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_<artifact>.json (required)")
+	currentPath := flag.String("current", "", "freshly generated BENCH_<artifact>.json (required)")
+	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction: fail when current < baseline*(1-threshold)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold < 0 || *threshold >= 1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: threshold %v outside [0,1)\n", *threshold)
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	fatalIf(err)
+	cur, err := load(*currentPath)
+	fatalIf(err)
+	if base.Artifact != cur.Artifact {
+		fatalIf(fmt.Errorf("artifact mismatch: baseline %q vs current %q", base.Artifact, cur.Artifact))
+	}
+
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("artifact %q, regression threshold %.0f%%\n", base.Artifact, *threshold*100)
+	fmt.Printf("%-36s %14s %14s %8s  %s\n", "metric", "baseline", "current", "ratio", "verdict")
+	failed := false
+	for _, name := range names {
+		b := base.Metrics[name]
+		c, ok := cur.Metrics[name]
+		if !ok {
+			fmt.Printf("%-36s %14.1f %14s %8s  MISSING\n", name, b, "-", "-")
+			failed = true
+			continue
+		}
+		ratio := 0.0
+		if b != 0 {
+			ratio = c / b
+		}
+		verdict := "ok"
+		if c < b*(1-*threshold) {
+			verdict = "REGRESSED"
+			failed = true
+		} else if ratio > 1 {
+			verdict = "improved"
+		}
+		fmt.Printf("%-36s %14.1f %14.1f %7.2fx  %s\n", name, b, c, ratio, verdict)
+	}
+	for name := range cur.Metrics {
+		if _, ok := base.Metrics[name]; !ok {
+			fmt.Printf("%-36s %14s %14.1f %8s  new (not gated; add to baseline)\n", name, "-", cur.Metrics[name], "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs %s\n", *threshold*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within budget")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -36,20 +36,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One signal context for every command: ingestion checkpoints partial
+	// progress on SIGINT/SIGTERM (when a -data-dir is attached) and serve
+	// drains in-flight requests before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
 	case "build":
-		cmdBuild(args)
+		cmdBuild(ctx, args)
 	case "query":
-		cmdQuery(args)
+		cmdQuery(ctx, args)
 	case "mine":
-		cmdMine(args)
+		cmdMine(ctx, args)
 	case "trends":
-		cmdTrends(args)
+		cmdTrends(ctx, args)
 	case "export":
-		cmdExport(args)
+		cmdExport(ctx, args)
 	case "serve":
-		cmdServe(args)
+		cmdServe(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -71,7 +76,8 @@ commands:
   serve    start the web console + JSON API (the demo's web interface)
 
 common flags: -world drone|citations|insider, -articles N, -seed S,
-              -kb triples.tsv, -corpus articles.json
+              -kb triples.tsv, -corpus articles.json,
+              -data-dir DIR (durable graph: resume from disk, persist as you go)
 `)
 }
 
@@ -84,6 +90,7 @@ type buildFlags struct {
 	corpus   string
 	window   time.Duration
 	workers  int
+	dataDir  string
 }
 
 func addCommonFlags(fs *flag.FlagSet) *buildFlags {
@@ -95,11 +102,17 @@ func addCommonFlags(fs *flag.FlagSet) *buildFlags {
 	fs.StringVar(&bf.corpus, "corpus", "", "articles JSON file (overrides synthetic corpus)")
 	fs.DurationVar(&bf.window, "window", 0, "sliding window for extracted facts (0 = keep all)")
 	fs.IntVar(&bf.workers, "workers", 0, "extraction worker goroutines (0 = GOMAXPROCS)")
+	fs.StringVar(&bf.dataDir, "data-dir", "", "durable graph directory: resume from its snapshot+WAL if present, persist every mutation while running")
 	return bf
 }
 
-// assemble builds the pipeline per flags.
-func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
+// assemble builds the pipeline per flags. With -data-dir it opens the
+// durable store first: a non-empty store resumes from disk and skips
+// seeding/ingest entirely; an empty one seeds and ingests through the
+// store so every write is persisted as it happens, then checkpoints.
+// Ingestion watches ctx and stops at a chunk boundary when a shutdown
+// signal arrives, so partial progress still reaches the final checkpoint.
+func assemble(ctx context.Context, bf *buildFlags) (*nous.Pipeline, *nous.World) {
 	var w *nous.World
 	switch bf.world {
 	case "drone":
@@ -114,8 +127,30 @@ func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
 		fatal(fmt.Errorf("unknown world %q", bf.world))
 	}
 
-	kg, err := w.LoadKG()
-	fatalIf(err)
+	cfg := nous.DefaultConfig()
+	cfg.Stream.Window = bf.window
+	cfg.Stream.Workers = bf.workers
+
+	var p *nous.Pipeline
+	if bf.dataDir != "" {
+		var err error
+		p, err = nous.Open(bf.dataDir, w.Ontology, cfg)
+		fatalIf(err)
+		if p.KG().NumFacts() > 0 {
+			ps, _ := p.PersistStats()
+			fmt.Fprintf(os.Stderr, "nous: resumed from %s: %d entities, %d facts, epoch %d (replayed %d WAL records)\n",
+				bf.dataDir, p.KG().NumEntities(), p.KG().NumFacts(), p.KG().Graph().Epoch(), ps.ReplayedRecords)
+			if bf.kbPath != "" || bf.corpus != "" {
+				fmt.Fprintln(os.Stderr, "nous: warning: -kb/-corpus ignored when resuming from a non-empty -data-dir (point at a fresh directory to re-ingest)")
+			}
+			return p, w
+		}
+		fatalIf(w.SeedKG(p.KG()))
+	} else {
+		kg, err := w.LoadKG()
+		fatalIf(err)
+		p = nous.NewPipeline(kg, cfg)
+	}
 
 	if bf.kbPath != "" {
 		f, err := os.Open(bf.kbPath)
@@ -124,16 +159,11 @@ func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
 		f.Close()
 		fatalIf(err)
 		for _, t := range triples {
-			if _, err := kg.AddFact(t); err != nil {
+			if _, err := p.KG().AddFact(t); err != nil {
 				fmt.Fprintln(os.Stderr, "warning:", err)
 			}
 		}
 	}
-
-	cfg := nous.DefaultConfig()
-	cfg.Stream.Window = bf.window
-	cfg.Stream.Workers = bf.workers
-	p := nous.NewPipeline(kg, cfg)
 
 	var articles []nous.Article
 	if bf.corpus != "" {
@@ -149,8 +179,31 @@ func assemble(bf *buildFlags) (*nous.Pipeline, *nous.World) {
 		// updates: emit one short article per event.
 		articles = eventArticles(w, bf.articles)
 	}
-	p.IngestAll(articles)
+	ingestChunked(ctx, p, articles)
+	if p.Durable() {
+		fatalIf(p.Checkpoint())
+	}
 	return p, w
+}
+
+// ingestChunked feeds articles through the pipeline in slices, checking for
+// shutdown between chunks: on SIGINT/SIGTERM mid-corpus the current chunk
+// finishes, the remainder is skipped, and the caller's checkpoint captures
+// everything ingested so far instead of throwing it away.
+func ingestChunked(ctx context.Context, p *nous.Pipeline, articles []nous.Article) {
+	const chunk = 64
+	for done := 0; done < len(articles); {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "nous: interrupted after %d/%d articles; flushing partial progress\n",
+				done, len(articles))
+			return
+		default:
+		}
+		end := min(done+chunk, len(articles))
+		p.IngestAll(articles[done:end])
+		done = end
+	}
 }
 
 // eventArticles renders generic one-sentence articles for worlds without
@@ -190,14 +243,15 @@ func verbFor(pred string) string {
 	}
 }
 
-func cmdBuild(args []string) {
+func cmdBuild(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	out := fs.String("out", "", "write the resulting KG as JSON to this file")
 	fs.Parse(args)
 
 	start := time.Now()
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
 	st := p.Stats()
 	kgStats := p.KG().Stats()
 	fmt.Printf("ingested %d documents in %s\n", st.Documents, time.Since(start).Round(time.Millisecond))
@@ -207,6 +261,10 @@ func cmdBuild(args []string) {
 		kgStats.Entities, kgStats.Facts, kgStats.CuratedFacts, kgStats.ExtractedFacts)
 	fmt.Printf("mean extracted confidence: %.2f\n", kgStats.MeanConfidence)
 	fmt.Printf("confidence histogram: %v\n", kgStats.ConfidenceHistogram)
+	if ps, ok := p.PersistStats(); ok {
+		fmt.Printf("durable store: snapshot epoch %d, wal seq %d (%d records, %d bytes), %d checkpoints\n",
+			ps.SnapshotEpoch, ps.WALSeq, ps.WALRecords, ps.WALBytes, ps.Checkpoints)
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		fatalIf(err)
@@ -216,7 +274,7 @@ func cmdBuild(args []string) {
 	}
 }
 
-func cmdQuery(args []string) {
+func cmdQuery(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	q := fs.String("q", "", "the question (required)")
@@ -229,7 +287,8 @@ func cmdQuery(args []string) {
 		}
 		os.Exit(2)
 	}
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
 	if *topicsOn {
 		p.BuildTopics()
 	}
@@ -238,37 +297,40 @@ func cmdQuery(args []string) {
 	fmt.Println(a.Text)
 }
 
-func cmdMine(args []string) {
+func cmdMine(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	k := fs.Int("k", 15, "patterns to show")
 	fs.Parse(args)
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
 	fmt.Println("closed frequent patterns in the current window:")
 	for _, pat := range p.Patterns(*k) {
 		fmt.Printf("  support=%-4d %s\n", pat.Support, pat)
 	}
 }
 
-func cmdTrends(args []string) {
+func cmdTrends(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("trends", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	k := fs.Int("k", 15, "trends to show")
 	fs.Parse(args)
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
 	for _, t := range p.Trending(*k) {
 		fmt.Printf("  %-30s %-9s burst=%.1fx (%d mentions, baseline %.1f)\n",
 			t.Name, t.Kind, t.Score, t.Current, t.Baseline)
 	}
 }
 
-func cmdExport(args []string) {
+func cmdExport(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	format := fs.String("format", "dot", "dot or json")
 	entity := fs.String("entity", "", "restrict to one entity's neighborhood (comma-separated for several)")
 	fs.Parse(args)
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
 	var names []string
 	if *entity != "" {
 		names = splitComma(*entity)
@@ -283,14 +345,28 @@ func cmdExport(args []string) {
 	}
 }
 
-func cmdServe(args []string) {
+func cmdServe(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	bf := addCommonFlags(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
 	reqTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler timeout (0 disables)")
 	fs.Parse(args)
-	p, _ := assemble(bf)
+	p, _ := assemble(ctx, bf)
+	// With -data-dir, leave a fresh snapshot behind and flush the WAL on
+	// every exit path, so the next serve resumes instantly from disk.
+	finish := func() {
+		if p.Durable() {
+			fatalIf(p.Checkpoint())
+		}
+		fatalIf(p.Close())
+	}
+	if ctx.Err() != nil {
+		// Interrupted during the initial build: persist what we have
+		// instead of starting a server that is already shutting down.
+		finish()
+		return
+	}
 	if *topicsOn {
 		p.BuildTopics()
 	}
@@ -302,8 +378,6 @@ func cmdServe(args []string) {
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("nous: serving web console on http://localhost%s\n", *addr)
@@ -321,6 +395,7 @@ func cmdServe(args []string) {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatalIf(err)
 		}
+		finish()
 	}
 }
 

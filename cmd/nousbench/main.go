@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,12 +31,14 @@ import (
 	"nous/internal/graph"
 	"nous/internal/linkpred"
 	"nous/internal/pathsearch"
+	"nous/internal/persist"
 )
 
 func main() {
-	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query")
+	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query, persist")
 	n := flag.Int("n", 800, "number of articles for corpus-driven artifacts")
 	seed := flag.Int64("seed", 42, "world seed")
+	jsonOut := flag.String("json", "", "write the artifact's machine-readable metrics (BENCH_<artifact>.json shape) to this file; supported by query and persist")
 	flag.Parse()
 
 	runners := map[string]func(int, int64){
@@ -43,11 +46,15 @@ func main() {
 		"fig5": fig5, "fig6": fig6, "fig7": fig7,
 		"3x": claim3x, "closed": claimClosed, "bpr": claimBPR,
 		"coherence": claimCoherence, "aida": claimAIDA, "scale": claimScale,
-		"query": claimQuery,
+		"query": claimQuery, "persist": claimPersist,
 	}
 	if *artifact == "all" {
+		if *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "-json needs a single metric artifact (query or persist), not all")
+			os.Exit(2)
+		}
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"3x", "closed", "bpr", "coherence", "aida", "scale", "query"} {
+			"3x", "closed", "bpr", "coherence", "aida", "scale", "query", "persist"} {
 			runners[name](*n, *seed)
 		}
 		return
@@ -58,6 +65,49 @@ func main() {
 		os.Exit(2)
 	}
 	run(*n, *seed)
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *artifact, *n, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "writing bench JSON:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+}
+
+// benchMetrics collects the named throughput numbers an artifact run
+// produced. Every metric is higher-is-better by convention; cmd/benchdiff
+// relies on that when gating regressions.
+var benchMetrics = map[string]float64{}
+
+func record(name string, value float64) { benchMetrics[name] = value }
+
+// benchJSON is the BENCH_<artifact>.json wire shape shared with
+// cmd/benchdiff.
+type benchJSON struct {
+	Artifact string             `json:"artifact"`
+	Metrics  map[string]float64 `json:"metrics"`
+	Meta     map[string]any     `json:"meta"`
+}
+
+func writeBenchJSON(path, artifact string, n int, seed int64) error {
+	if len(benchMetrics) == 0 {
+		return fmt.Errorf("artifact %q records no metrics (query and persist do)", artifact)
+	}
+	b, err := json.MarshalIndent(benchJSON{
+		Artifact: artifact,
+		Metrics:  benchMetrics,
+		Meta: map[string]any{
+			"articles":   n,
+			"seed":       seed,
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func header(title string) {
@@ -525,6 +575,8 @@ func claimQuery(n int, seed int64) {
 	fmt.Printf("entity summary, per-query PageRank (seed):  %12s/query\n", uncached)
 	if cached > 0 {
 		fmt.Printf("speedup: %.0fx (target >= 10x)\n", float64(uncached)/float64(cached))
+		record("cached_entity_queries_per_sec", 1/cached.Seconds())
+		record("speedup_vs_per_query_pagerank", float64(uncached)/float64(cached))
 	}
 
 	// Part 2: mixed-class throughput while the stream keeps mutating the
@@ -560,12 +612,172 @@ func claimQuery(n int, seed int64) {
 	st := p.QueryStats()
 	fmt.Printf("\nconcurrent serving: %d mixed-class queries during a %s ingest of %d articles (%.0f queries/s)\n",
 		served, ingestDur.Round(time.Millisecond), len(extra), float64(served)/ingestDur.Seconds())
+	record("concurrent_mixed_queries_per_sec", float64(served)/ingestDur.Seconds())
 	fmt.Printf("query cache: epoch=%d hits=%d misses=%d recomputes=%d topics_lag=%d\n",
 		st.Epoch, st.Hits, st.Misses, st.Computes, st.TopicsLag)
 	if qerr != nil {
 		fmt.Println("query error during concurrent ingest:", qerr)
 	}
 	fmt.Println("\nshape target: cached entity queries >= 10x faster; queries keep flowing during ingest")
+}
+
+// claimPersist — the persistence subsystem: snapshot write/load throughput
+// over a corpus-built graph, then WAL append and replay rates over a
+// synthetic mutation stream.
+func claimPersist(n int, seed int64) {
+	header("Claim C8 — durable graph: snapshot write/load throughput, WAL replay rate")
+	quiet := persist.Options{DisableAutoCheckpoint: true, FlushInterval: time.Hour}
+
+	// Part 1: snapshot a corpus-shaped graph (the state `nous build
+	// -data-dir` checkpoints) and load it back.
+	p, _, _ := buildSystem(n, seed)
+	g := p.KG().Graph()
+	dir, err := os.MkdirTemp("", "nous-persist-bench-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := persist.Open(dir, g, quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	facts := g.NumEdges()
+	// Repeat until a steady-state window has elapsed: a single small
+	// snapshot is dominated by fsync jitter.
+	const minWindow = time.Second
+	writes := 0
+	start := time.Now()
+	for time.Since(start) < minWindow {
+		if err := st.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		writes++
+	}
+	writeDur := time.Since(start) / time.Duration(writes)
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	// Checkpoints of an unchanged graph share one epoch and hence one file.
+	snapBytes := dirGlobSize(dir, "snap-")
+
+	loads := 0
+	var g2 *graph.Graph
+	start = time.Now()
+	for time.Since(start) < minWindow {
+		g2 = graph.New()
+		st2, err := persist.Open(dir, g2, quiet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		st2.Close()
+		loads++
+	}
+	loadDur := time.Since(start) / time.Duration(loads)
+	if g2.NumEdges() != facts {
+		fmt.Fprintf(os.Stderr, "snapshot round trip lost edges: %d != %d\n", g2.NumEdges(), facts)
+		return
+	}
+
+	mb := float64(snapBytes) / (1 << 20)
+	fmt.Printf("graph: %d vertices, %d facts; snapshot %.2f MiB\n", g.NumVertices(), facts, mb)
+	fmt.Printf("snapshot write: %10s  (%8.0f facts/s, %6.1f MiB/s)\n",
+		writeDur.Round(time.Millisecond), float64(facts)/writeDur.Seconds(), mb/writeDur.Seconds())
+	fmt.Printf("snapshot load:  %10s  (%8.0f facts/s, %6.1f MiB/s)\n",
+		loadDur.Round(time.Millisecond), float64(facts)/loadDur.Seconds(), mb/loadDur.Seconds())
+	record("snapshot_write_facts_per_sec", float64(facts)/writeDur.Seconds())
+	record("snapshot_load_facts_per_sec", float64(facts)/loadDur.Seconds())
+
+	// Part 2: WAL append throughput with group commit, then replay rate.
+	// Batched edge writes mirror the ingest path: one WAL record per batch.
+	dir2, err := os.MkdirTemp("", "nous-wal-bench-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir2)
+	g3 := graph.New()
+	st3, err := persist.Open(dir2, g3, quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	const vertices, batches, perBatch = 2000, 6000, 12
+	start = time.Now()
+	ids := make([]graph.VertexID, vertices)
+	for i := range ids {
+		ids[i] = g3.AddVertexWithProps("Company", map[string]string{"name": fmt.Sprintf("v%05d", i)})
+	}
+	specs := make([]graph.EdgeSpec, perBatch)
+	for b := 0; b < batches; b++ {
+		for j := range specs {
+			k := b*perBatch + j
+			specs[j] = graph.EdgeSpec{
+				Src: ids[k%vertices], Dst: ids[(k*7+1)%vertices],
+				Label: "acquired", Weight: 0.5, Timestamp: int64(k),
+				Props: map[string]string{"source": "bench"},
+			}
+		}
+		if _, err := g3.AddEdges(specs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+	}
+	if err := st3.Sync(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	appendDur := time.Since(start)
+	walStats := st3.Stats()
+	if err := st3.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+
+	g4 := graph.New()
+	start = time.Now()
+	st4, err := persist.Open(dir2, g4, quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	replayDur := time.Since(start)
+	replayed := st4.Stats().ReplayedRecords
+	st4.Close()
+
+	muts := vertices + batches // one record per vertex, one per batch
+	fmt.Printf("\nWAL: %d mutations (%d edges in %d-edge batches), %d records, %.2f MiB\n",
+		muts, batches*perBatch, perBatch, walStats.WALRecords, float64(walStats.WALBytes)/(1<<20))
+	fmt.Printf("logged append:  %10s  (%8.0f mutations/s, group commit %d KiB)\n",
+		appendDur.Round(time.Millisecond), float64(muts)/appendDur.Seconds(),
+		persist.DefaultOptions().GroupCommitBytes>>10)
+	fmt.Printf("replay:         %10s  (%8.0f records/s, %d records)\n",
+		replayDur.Round(time.Millisecond), float64(replayed)/replayDur.Seconds(), replayed)
+	record("wal_append_mutations_per_sec", float64(muts)/appendDur.Seconds())
+	record("wal_replay_records_per_sec", float64(replayed)/replayDur.Seconds())
+
+	fmt.Println("\nshape target: load >= write throughput; replay comfortably outruns live ingest")
+}
+
+// dirGlobSize sums the sizes of files in dir whose names start with prefix.
+func dirGlobSize(dir, prefix string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			if fi, err := e.Info(); err == nil {
+				total += fi.Size()
+			}
+		}
+	}
+	return total
 }
 
 // eventEdges converts a seeded world's event stream to typed miner edges.

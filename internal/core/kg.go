@@ -149,17 +149,50 @@ func (kg *KG) addEntityLocked(name string, typ ontology.EntityType, aliases ...s
 }
 
 func (kg *KG) addAliasLocked(alias, canonical string) {
-	key := strings.ToLower(strings.TrimSpace(alias))
-	if key == "" {
+	key, added := kg.registerAliasLocked(alias, canonical)
+	if !added {
 		return
+	}
+	// Mirror the binding onto the canonical entity's vertex so the alias
+	// index — which lives only in this KG wrapper — can be rebuilt from a
+	// recovered graph (see Rebuild). The entity's own name needs no mirror:
+	// rebuilding re-derives the self-alias.
+	if key == strings.ToLower(strings.TrimSpace(canonical)) {
+		return
+	}
+	if id, ok := kg.byName[canonical]; ok {
+		if cur, _ := kg.g.VertexProp(id, aliasesProp); cur == "" {
+			kg.g.SetVertexProp(id, aliasesProp, key)
+		} else {
+			kg.g.SetVertexProp(id, aliasesProp, cur+aliasesSep+key)
+		}
+	}
+}
+
+// registerAliasLocked adds the binding to the in-memory alias index only,
+// reporting the normalized key and whether it was new. Rebuild uses it
+// directly: recovered bindings are already mirrored in the graph.
+func (kg *KG) registerAliasLocked(alias, canonical string) (key string, added bool) {
+	key = strings.ToLower(strings.TrimSpace(alias))
+	if key == "" {
+		return key, false
 	}
 	for _, n := range kg.byAlias[key] {
 		if n == canonical {
-			return
+			return key, false
 		}
 	}
 	kg.byAlias[key] = append(kg.byAlias[key], canonical)
+	return key, true
 }
+
+// aliasesProp is the vertex property mirroring an entity's alias set;
+// aliasesSep (US, 0x1f) separates the entries. Both are private to the
+// KG ↔ graph mapping.
+const (
+	aliasesProp = "aliases"
+	aliasesSep  = "\x1f"
+)
 
 // Entity returns the vertex ID for a canonical name.
 func (kg *KG) Entity(name string) (graph.VertexID, bool) {
@@ -337,6 +370,12 @@ func (kg *KG) AddFacts(ts []Triple) ([]FactID, []error) {
 		props := map[string]string{
 			"source": t.Provenance.Source,
 			"doc":    t.Provenance.DocID,
+			// The triple's endpoint types are not derivable from the
+			// vertices (a predicate signature can be broader than the
+			// entity's registered type), so persist them on the edge for
+			// recovery (see Rebuild).
+			"stype": string(t.SubjectType),
+			"otype": string(t.ObjectType),
 		}
 		if t.Curated {
 			props["curated"] = "true"

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nous/internal/graph"
+	"nous/internal/ontology"
+)
+
+// Rebuild reconstructs the KG's index layer — entity name maps, the alias
+// index, fact records and the eviction timeline — from the underlying
+// property graph. It is the second half of recovery: internal/persist
+// restores the graph bytes, Rebuild re-derives everything this wrapper keeps
+// outside the graph. The KG must be freshly constructed (no entities or
+// facts); the graph is only read, never written, so rebuilding logs nothing
+// to an attached WAL.
+//
+// Every field of every fact lives in the graph: names and aliases as vertex
+// properties, predicate/confidence/provenance as the edge's label, weight,
+// timestamp and properties. The eviction timeline is re-derived from edge ID
+// order, which matches insertion order because edge IDs are allocated
+// monotonically.
+func (kg *KG) Rebuild() error {
+	kg.mu.Lock()
+	defer kg.mu.Unlock()
+	if len(kg.byName) != 0 || len(kg.facts) != 0 {
+		return fmt.Errorf("core: Rebuild requires a fresh KG (%d entities, %d facts present)",
+			len(kg.byName), len(kg.facts))
+	}
+	for _, id := range kg.g.VertexIDs() {
+		v, ok := kg.g.Vertex(id)
+		if !ok {
+			continue
+		}
+		name := v.Props["name"]
+		if name == "" {
+			return fmt.Errorf("core: recovered vertex %d has no name property", id)
+		}
+		if prev, dup := kg.byName[name]; dup {
+			return fmt.Errorf("core: recovered vertices %d and %d share the name %q", prev, id, name)
+		}
+		kg.byName[name] = id
+		kg.names[id] = name
+		kg.registerAliasLocked(name, name)
+		if aliases := v.Props[aliasesProp]; aliases != "" {
+			for _, a := range strings.Split(aliases, aliasesSep) {
+				kg.registerAliasLocked(a, name)
+			}
+		}
+	}
+	for _, id := range kg.g.EdgeIDs() {
+		e, ok := kg.g.Edge(id)
+		if !ok {
+			continue
+		}
+		subj, ok1 := kg.names[e.Src]
+		obj, ok2 := kg.names[e.Dst]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("core: recovered edge %d references unnamed vertices (%d -> %d)", id, e.Src, e.Dst)
+		}
+		f := &Fact{
+			ID:  id,
+			Src: e.Src,
+			Dst: e.Dst,
+			Triple: Triple{
+				Subject:     subj,
+				Predicate:   e.Label,
+				Object:      obj,
+				SubjectType: kg.factTypeLocked(e.Props["stype"], e.Src),
+				ObjectType:  kg.factTypeLocked(e.Props["otype"], e.Dst),
+				Confidence:  e.Weight,
+				Curated:     e.Props["curated"] == "true",
+				Provenance: Provenance{
+					Source:   e.Props["source"],
+					DocID:    e.Props["doc"],
+					Sentence: e.Props["sentence"],
+					Time:     time.Unix(e.Timestamp, 0),
+				},
+			},
+		}
+		kg.facts[id] = f
+		if !f.Curated {
+			kg.timeline = append(kg.timeline, id)
+		}
+	}
+	return nil
+}
+
+// factTypeLocked resolves a fact endpoint's type: the type recorded on the
+// edge itself wins (a triple's endpoint type can be broader than the
+// entity's registered type); the vertex's own type is the fallback.
+func (kg *KG) factTypeLocked(recorded string, id graph.VertexID) ontology.EntityType {
+	if recorded != "" {
+		return ontology.EntityType(recorded)
+	}
+	v, ok := kg.g.Vertex(id)
+	if !ok {
+		return ontology.TypeAny
+	}
+	if t, ok := v.Props["type"]; ok {
+		return ontology.EntityType(t)
+	}
+	return ontology.EntityType(v.Label)
+}

@@ -437,16 +437,26 @@ func (w *World) EntitiesOfType(t ontology.EntityType) []string {
 // into a fresh dynamic KG.
 func (w *World) LoadKG() (*core.KG, error) {
 	kg := core.NewKG(w.Ontology)
+	if err := w.SeedKG(kg); err != nil {
+		return nil, err
+	}
+	return kg, nil
+}
+
+// SeedKG loads the curated KB into an existing KG — the path a durable
+// pipeline takes when its store opened empty and the curated substrate must
+// be written (and thereby logged) through the already-attached KG.
+func (w *World) SeedKG(kg *core.KG) error {
 	for _, e := range w.Entities {
 		kg.AddEntity(e.Name, e.Type, e.Aliases...)
 	}
 	_, errs := kg.AddFacts(w.Curated)
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("corpus: loading curated fact: %w", err)
+			return fmt.Errorf("corpus: loading curated fact: %w", err)
 		}
 	}
-	return kg, nil
+	return nil
 }
 
 // TrueFact reports whether (s,p,o) is true in the world: either curated or a

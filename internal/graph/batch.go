@@ -45,6 +45,13 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 	base := g.nextEdge.Add(n) - n
 	ids := make([]EdgeID, len(specs))
 	edges := make([]*Edge, len(specs))
+	// Hook records are built here, before insertion: once the shard locks
+	// drop, the stored *Edge structs are reachable by concurrent mutators
+	// and may no longer be read without a lock.
+	var recs []Edge
+	if g.hooked() {
+		recs = make([]Edge, len(specs))
+	}
 	var need [numShards]bool
 	for i := range specs {
 		sp := &specs[i]
@@ -52,6 +59,10 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 		ids[i] = id
 		edges[i] = &Edge{ID: id, Src: sp.Src, Dst: sp.Dst, Label: sp.Label,
 			Weight: sp.Weight, Timestamp: sp.Timestamp, Props: copyProps(sp.Props)}
+		if recs != nil {
+			recs[i] = *edges[i]
+			recs[i].Props = copyProps(sp.Props)
+		}
 		need[shardIdx(uint64(sp.Src))] = true
 		need[shardIdx(uint64(sp.Dst))] = true
 		need[shardIdx(uint64(id))] = true
@@ -72,6 +83,9 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 			g.shards[si].mu.Unlock()
 		}
 	}
-	g.bump()
+	ep := g.bump()
+	if recs != nil {
+		g.emit(Mutation{Kind: MutAddEdges, Epoch: ep, Edges: recs})
+	}
 	return ids, nil
 }

@@ -86,6 +86,9 @@ type Graph struct {
 	// before the computation started is invalidated by any write that lands
 	// during or after it.
 	epoch atomic.Uint64
+
+	// hook is the optional mutation subscriber (see SetMutationHook).
+	hook hookPtr
 }
 
 // Epoch returns the graph's monotonic mutation counter. It is read
@@ -94,10 +97,10 @@ type Graph struct {
 // artifacts such as PageRank.
 func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
-// bump records one completed mutation. Called after the write's shard locks
-// are released so no artifact can be tagged with an epoch newer than the
-// state it was computed from.
-func (g *Graph) bump() { g.epoch.Add(1) }
+// bump records one completed mutation and returns the new epoch. Called
+// after the write's shard locks are released so no artifact can be tagged
+// with an epoch newer than the state it was computed from.
+func (g *Graph) bump() uint64 { return g.epoch.Add(1) }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -170,7 +173,11 @@ func (g *Graph) AddVertexWithProps(label string, props map[string]string) Vertex
 	s.mu.Lock()
 	s.vertices[id] = &Vertex{ID: id, Label: label, Props: copyProps(props)}
 	s.mu.Unlock()
-	g.bump()
+	ep := g.bump()
+	if g.hooked() {
+		g.emit(Mutation{Kind: MutAddVertex, Epoch: ep,
+			Vertex: Vertex{ID: id, Label: label, Props: copyProps(props)}})
+	}
 	return id
 }
 
@@ -189,7 +196,8 @@ func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
 	}
 	v.Props[key] = value
 	s.mu.Unlock()
-	g.bump()
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutSetVertexProp, Epoch: ep, VertexID: id, Key: key, Value: value})
 	return true
 }
 
@@ -250,7 +258,12 @@ func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts 
 	g.lockEdgeShards(src, dst, id)
 	g.insertEdgeLocked(e)
 	g.unlockEdgeShards(src, dst, id)
-	g.bump()
+	ep := g.bump()
+	if g.hooked() {
+		g.emit(Mutation{Kind: MutAddEdges, Epoch: ep, Edges: []Edge{
+			{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)},
+		}})
+	}
 	return id, nil
 }
 
@@ -305,7 +318,8 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 			delete(es.byLabel, e.Label)
 		}
 	}
-	g.bump()
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: ep, EdgeID: id})
 	return true
 }
 
@@ -331,18 +345,20 @@ func (g *Graph) SetEdgeProp(id EdgeID, key, value string) bool {
 			e.Props = make(map[string]string)
 		}
 		e.Props[key] = value
-	})
+	}, Mutation{Kind: MutSetEdgeProp, EdgeID: id, Key: key, Value: value})
 }
 
 // SetEdgeWeight updates an edge's weight. It reports whether the edge exists.
 func (g *Graph) SetEdgeWeight(id EdgeID, w float64) bool {
-	return g.mutateEdge(id, func(e *Edge) { e.Weight = w })
+	return g.mutateEdge(id, func(e *Edge) { e.Weight = w },
+		Mutation{Kind: MutSetEdgeWeight, EdgeID: id, Weight: w})
 }
 
 // mutateEdge applies fn to an edge record under every shard lock through
 // which the record is reachable, so no concurrent reader can observe a
-// half-applied mutation.
-func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge)) bool {
+// half-applied mutation. On success the mutation record m (stamped with the
+// new epoch) is delivered to the hook.
+func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge), m Mutation) bool {
 	src, dst, ok := g.edgeEndpoints(id)
 	if !ok {
 		return false
@@ -354,7 +370,8 @@ func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge)) bool {
 		return false
 	}
 	fn(e)
-	g.bump()
+	m.Epoch = g.bump()
+	g.emit(m)
 	return true
 }
 

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// MutationKind names the write operations a Graph can perform. Every exported
+// mutator maps onto exactly one kind, so a subscriber that records mutations
+// (see internal/persist's write-ahead log) can replay them and reconstruct the
+// graph byte for byte.
+type MutationKind uint8
+
+// Mutation kinds. Values are part of the on-disk WAL format — append new
+// kinds, never renumber.
+const (
+	MutAddVertex     MutationKind = 1 // one vertex inserted (Vertex)
+	MutSetVertexProp MutationKind = 2 // one vertex property set (VertexID, Key, Value)
+	MutAddEdges      MutationKind = 3 // a batch of edges inserted (Edges)
+	MutRemoveEdge    MutationKind = 4 // one edge removed (EdgeID)
+	MutSetEdgeProp   MutationKind = 5 // one edge property set (EdgeID, Key, Value)
+	MutSetEdgeWeight MutationKind = 6 // one edge weight updated (EdgeID, Weight)
+)
+
+// Mutation describes one completed graph write. Only the fields relevant to
+// Kind are populated; Vertex.Props and Edges[i].Props are private copies the
+// subscriber may retain.
+type Mutation struct {
+	Kind MutationKind
+	// Epoch is the graph's mutation epoch after this write. Concurrent
+	// writers may deliver mutations out of epoch order; epochs are unique
+	// per mutation, so a subscriber can still totally order what it saw.
+	Epoch uint64
+
+	Vertex   Vertex   // MutAddVertex
+	Edges    []Edge   // MutAddEdges (a single AddEdge logs a batch of one)
+	VertexID VertexID // MutSetVertexProp
+	EdgeID   EdgeID   // MutRemoveEdge, MutSetEdgeProp, MutSetEdgeWeight
+	Key      string   // MutSetVertexProp, MutSetEdgeProp
+	Value    string   // MutSetVertexProp, MutSetEdgeProp
+	Weight   float64  // MutSetEdgeWeight
+}
+
+// MutationHook receives every completed mutation. It is invoked synchronously
+// after the write's shard locks are released and its epoch bump landed; it
+// must not mutate the graph.
+type MutationHook func(Mutation)
+
+// SetMutationHook installs (or, with nil, removes) the mutation subscriber.
+// There is at most one hook; installing is safe while readers run, but the
+// caller must ensure no writer is mid-mutation (install before ingestion
+// starts — mutations in flight during the swap may be delivered to either
+// hook or dropped).
+func (g *Graph) SetMutationHook(h MutationHook) {
+	if h == nil {
+		g.hook.Store(nil)
+		return
+	}
+	g.hook.Store(&h)
+}
+
+// hooked reports whether a mutation subscriber is installed, letting mutators
+// skip building Mutation records (and their defensive copies) when nobody
+// listens.
+func (g *Graph) hooked() bool { return g.hook.Load() != nil }
+
+// emit delivers one mutation to the installed hook, if any.
+func (g *Graph) emit(m Mutation) {
+	if h := g.hook.Load(); h != nil {
+		(*h)(m)
+	}
+}
+
+// hookPtr is the atomic cell SetMutationHook stores into. Declared on its own
+// type so Graph's zero value stays usable.
+type hookPtr = atomic.Pointer[MutationHook]
+
+// --- Restore API -----------------------------------------------------------
+//
+// The methods below rebuild a graph from persisted state (snapshot sections
+// and WAL records). They accept explicit IDs, never bump the epoch and never
+// fire the mutation hook: restoring is not a mutation, it is re-establishing
+// state that was already logged. They are safe for concurrent use, so a
+// loader can fan restore work out across shards.
+
+// RestoreVertex inserts (or overwrites) a vertex with an explicit ID and
+// advances the vertex ID allocator past it. Overwriting is what makes WAL
+// replay idempotent: re-applying an AddVertex record on top of a snapshot
+// that already contains the vertex converges, because every later property
+// write is also re-applied from the log.
+func (g *Graph) RestoreVertex(v Vertex) {
+	s := g.vshard(v.ID)
+	s.mu.Lock()
+	s.vertices[v.ID] = &Vertex{ID: v.ID, Label: v.Label, Props: copyProps(v.Props)}
+	s.mu.Unlock()
+	advancePast(&g.nextVertex, int64(v.ID))
+}
+
+// RestoreEdge inserts an edge with an explicit ID and advances the edge ID
+// allocator past it. An edge whose ID already exists is skipped (replay
+// idempotence); an edge whose endpoints are missing is an error, because a
+// well-formed snapshot + log always restores endpoints first.
+func (g *Graph) RestoreEdge(e Edge) error {
+	if !g.HasVertex(e.Src) {
+		return fmt.Errorf("graph: restore edge %d: source vertex %d does not exist", e.ID, e.Src)
+	}
+	if !g.HasVertex(e.Dst) {
+		return fmt.Errorf("graph: restore edge %d: destination vertex %d does not exist", e.ID, e.Dst)
+	}
+	g.lockEdgeShards(e.Src, e.Dst, e.ID)
+	es := g.eshard(e.ID)
+	if _, ok := es.edges[e.ID]; ok {
+		g.unlockEdgeShards(e.Src, e.Dst, e.ID)
+		return nil
+	}
+	cp := e
+	cp.Props = copyProps(e.Props)
+	g.insertEdgeLocked(&cp)
+	g.unlockEdgeShards(e.Src, e.Dst, e.ID)
+	advancePast(&g.nextEdge, int64(e.ID))
+	return nil
+}
+
+// SetEpoch overwrites the mutation epoch. Called once at the end of recovery
+// with the epoch the persisted state had reached.
+func (g *Graph) SetEpoch(e uint64) { g.epoch.Store(e) }
+
+// AdvanceIDs moves the ID allocators forward to at least the given values
+// (never backward). A snapshot persists the allocators explicitly because a
+// crashed batch insert may have reserved IDs it never wrote.
+func (g *Graph) AdvanceIDs(nextVertex, nextEdge int64) {
+	advancePast(&g.nextVertex, nextVertex-1)
+	advancePast(&g.nextEdge, nextEdge-1)
+}
+
+// advancePast raises ctr to id+1 unless it is already greater.
+func advancePast(ctr *atomic.Int64, id int64) {
+	for {
+		cur := ctr.Load()
+		if id < cur {
+			return
+		}
+		if ctr.CompareAndSwap(cur, id+1) {
+			return
+		}
+	}
+}
+
+// --- Snapshot API ----------------------------------------------------------
+
+// ShardCount returns the number of lock stripes. Snapshot files encode each
+// stripe's contents independently so encoding and decoding parallelize.
+func ShardCount() int { return numShards }
+
+// GraphSnapshot is a point-in-time copy of a graph: per-shard owned vertices
+// and edges (sorted by ID for deterministic encoding), the epoch and the ID
+// allocators, all captured atomically with respect to mutations.
+type GraphSnapshot struct {
+	Vertices   [][]Vertex // [shard][...]: vertices owned by that shard
+	Edges      [][]Edge   // [shard][...]: edges owned by that shard
+	Epoch      uint64
+	NextVertex int64
+	NextEdge   int64
+}
+
+// Snapshot copies the whole graph under a full read barrier: every shard's
+// read lock is held simultaneously (acquired in ascending order, the same
+// total order writers use), so the copy is a consistent cut — no edge can
+// reference a vertex the copy lacks. Writers block for the duration of the
+// memory copy only; encoding happens after the locks are released.
+func (g *Graph) Snapshot() *GraphSnapshot {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+	snap := &GraphSnapshot{
+		Vertices:   make([][]Vertex, numShards),
+		Edges:      make([][]Edge, numShards),
+		Epoch:      g.epoch.Load(),
+		NextVertex: g.nextVertex.Load(),
+		NextEdge:   g.nextEdge.Load(),
+	}
+	for i := range g.shards {
+		s := &g.shards[i]
+		vs := make([]Vertex, 0, len(s.vertices))
+		for _, v := range s.vertices {
+			cp := *v
+			cp.Props = copyProps(v.Props)
+			vs = append(vs, cp)
+		}
+		es := make([]Edge, 0, len(s.edges))
+		for _, e := range s.edges {
+			es = append(es, copyEdge(e))
+		}
+		snap.Vertices[i] = vs
+		snap.Edges[i] = es
+	}
+	for i := numShards - 1; i >= 0; i-- {
+		g.shards[i].mu.RUnlock()
+	}
+	for i := range snap.Vertices {
+		vs, es := snap.Vertices[i], snap.Edges[i]
+		sort.Slice(vs, func(a, b int) bool { return vs[a].ID < vs[b].ID })
+		sort.Slice(es, func(a, b int) bool { return es[a].ID < es[b].ID })
+	}
+	return snap
+}

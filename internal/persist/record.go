@@ -1,0 +1,295 @@
+// Package persist makes the sharded, epoch-versioned graph durable. It
+// combines two artifacts on disk:
+//
+//   - Snapshots: versioned binary files holding a consistent point-in-time
+//     copy of the whole graph — vertices, properties, edges, and the
+//     mutation epoch — with each of the store's lock stripes encoded as an
+//     independent CRC-protected section, so snapshot encode/decode
+//     parallelizes across stripes.
+//
+//   - A write-ahead log (WAL): an append-only sequence of CRC-framed
+//     mutation records (one per graph write, batch writes log one record)
+//     with group-commit buffering, so bulk ingest amortizes fsyncs.
+//
+// Recovery loads the newest valid snapshot and replays the WAL tail on top
+// of it. Replay is idempotent (records carry explicit IDs), so the WAL cut
+// point does not need to align exactly with the snapshot; a torn or
+// bit-flipped final record fails its CRC and truncates cleanly, losing at
+// most that record. A background checkpointer rolls a fresh snapshot and
+// prunes old log segments once the WAL exceeds a size budget.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"nous/internal/graph"
+)
+
+// codec is a little append-only buffer with the primitive encoders the
+// snapshot and WAL formats share. All integers are varint-encoded except
+// fixed-width format fields; strings and maps are length-prefixed.
+type codec struct{ b []byte }
+
+func (c *codec) bytes() []byte { return c.b }
+
+func (c *codec) putUvarint(v uint64) { c.b = binary.AppendUvarint(c.b, v) }
+func (c *codec) putVarint(v int64)   { c.b = binary.AppendVarint(c.b, v) }
+func (c *codec) putFloat64(f float64) {
+	c.b = binary.LittleEndian.AppendUint64(c.b, math.Float64bits(f))
+}
+
+func (c *codec) putString(s string) {
+	c.putUvarint(uint64(len(s)))
+	c.b = append(c.b, s...)
+}
+
+func (c *codec) putProps(p map[string]string) {
+	c.putUvarint(uint64(len(p)))
+	// Deterministic order is not required for correctness (props restore to
+	// a map), but sorted keys make snapshots byte-stable for equal state.
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.putString(k)
+		c.putString(p[k])
+	}
+}
+
+func (c *codec) putVertex(v graph.Vertex) {
+	c.putVarint(int64(v.ID))
+	c.putString(v.Label)
+	c.putProps(v.Props)
+}
+
+func (c *codec) putEdge(e graph.Edge) {
+	c.putVarint(int64(e.ID))
+	c.putVarint(int64(e.Src))
+	c.putVarint(int64(e.Dst))
+	c.putString(e.Label)
+	c.putFloat64(e.Weight)
+	c.putVarint(e.Timestamp)
+	c.putProps(e.Props)
+}
+
+// decoder walks an encoded payload. Every read validates remaining length;
+// the first malformed field poisons the decoder and err reports it.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func newDecoder(b []byte) *decoder { return &decoder{b: b} }
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: truncated or corrupt %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+uint64n(n)])
+	d.off += uint64n(n)
+	return s
+}
+
+func uint64n(v uint64) int { return int(v) }
+
+func (d *decoder) props() map[string]string {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) { // each pair needs >= 2 bytes; cheap sanity bound
+		d.fail("props count")
+		return nil
+	}
+	p := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := d.string()
+		v := d.string()
+		if d.err != nil {
+			return nil
+		}
+		p[k] = v
+	}
+	return p
+}
+
+func (d *decoder) vertex() graph.Vertex {
+	return graph.Vertex{
+		ID:    graph.VertexID(d.varint()),
+		Label: d.string(),
+		Props: d.props(),
+	}
+}
+
+func (d *decoder) edge() graph.Edge {
+	return graph.Edge{
+		ID:        graph.EdgeID(d.varint()),
+		Src:       graph.VertexID(d.varint()),
+		Dst:       graph.VertexID(d.varint()),
+		Label:     d.string(),
+		Weight:    d.float64(),
+		Timestamp: d.varint(),
+		Props:     d.props(),
+	}
+}
+
+// --- Mutation record encoding ---------------------------------------------
+
+// encodeMutation serializes one graph mutation as a WAL record payload:
+// kind byte, epoch uvarint, then kind-specific fields.
+func encodeMutation(m graph.Mutation) []byte {
+	c := &codec{b: make([]byte, 0, 64)}
+	c.b = append(c.b, byte(m.Kind))
+	c.putUvarint(m.Epoch)
+	switch m.Kind {
+	case graph.MutAddVertex:
+		c.putVertex(m.Vertex)
+	case graph.MutSetVertexProp:
+		c.putVarint(int64(m.VertexID))
+		c.putString(m.Key)
+		c.putString(m.Value)
+	case graph.MutAddEdges:
+		c.putUvarint(uint64(len(m.Edges)))
+		for _, e := range m.Edges {
+			c.putEdge(e)
+		}
+	case graph.MutRemoveEdge:
+		c.putVarint(int64(m.EdgeID))
+	case graph.MutSetEdgeProp:
+		c.putVarint(int64(m.EdgeID))
+		c.putString(m.Key)
+		c.putString(m.Value)
+	case graph.MutSetEdgeWeight:
+		c.putVarint(int64(m.EdgeID))
+		c.putFloat64(m.Weight)
+	}
+	return c.bytes()
+}
+
+// decodeMutation parses a WAL record payload.
+func decodeMutation(b []byte) (graph.Mutation, error) {
+	if len(b) == 0 {
+		return graph.Mutation{}, fmt.Errorf("persist: empty mutation record")
+	}
+	m := graph.Mutation{Kind: graph.MutationKind(b[0])}
+	d := newDecoder(b[1:])
+	m.Epoch = d.uvarint()
+	switch m.Kind {
+	case graph.MutAddVertex:
+		m.Vertex = d.vertex()
+	case graph.MutSetVertexProp:
+		m.VertexID = graph.VertexID(d.varint())
+		m.Key = d.string()
+		m.Value = d.string()
+	case graph.MutAddEdges:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(b)) { // records can't hold more edges than bytes
+			d.fail("edge count")
+		}
+		if d.err == nil {
+			m.Edges = make([]graph.Edge, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Edges = append(m.Edges, d.edge())
+			}
+		}
+	case graph.MutRemoveEdge:
+		m.EdgeID = graph.EdgeID(d.varint())
+	case graph.MutSetEdgeProp:
+		m.EdgeID = graph.EdgeID(d.varint())
+		m.Key = d.string()
+		m.Value = d.string()
+	case graph.MutSetEdgeWeight:
+		m.EdgeID = graph.EdgeID(d.varint())
+		m.Weight = d.float64()
+	default:
+		return m, fmt.Errorf("persist: unknown mutation kind %d", m.Kind)
+	}
+	if d.err != nil {
+		return m, d.err
+	}
+	return m, nil
+}
+
+// applyMutation replays one decoded record onto the graph through the
+// restore API. Replay is idempotent: explicit-ID inserts overwrite or skip,
+// and set/remove operations on records that no longer exist are no-ops
+// (their insertion may predate the snapshot that superseded them).
+func applyMutation(g *graph.Graph, m graph.Mutation) error {
+	switch m.Kind {
+	case graph.MutAddVertex:
+		g.RestoreVertex(m.Vertex)
+	case graph.MutSetVertexProp:
+		g.SetVertexProp(m.VertexID, m.Key, m.Value)
+	case graph.MutAddEdges:
+		for _, e := range m.Edges {
+			if err := g.RestoreEdge(e); err != nil {
+				return err
+			}
+		}
+	case graph.MutRemoveEdge:
+		g.RemoveEdge(m.EdgeID)
+	case graph.MutSetEdgeProp:
+		g.SetEdgeProp(m.EdgeID, m.Key, m.Value)
+	case graph.MutSetEdgeWeight:
+		g.SetEdgeWeight(m.EdgeID, m.Weight)
+	default:
+		return fmt.Errorf("persist: unknown mutation kind %d", m.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"nous/internal/graph"
+)
+
+// Snapshot file layout (version 1, all fixed-width fields little-endian):
+//
+//	magic    [8]byte  "NOUSNAP1"
+//	version  uint32
+//	shards   uint32   lock-stripe count at write time
+//	epoch    uint64   graph mutation epoch at the cut
+//	nextV    uint64   vertex ID allocator
+//	nextE    uint64   edge ID allocator
+//	walSeq   uint64   first WAL segment whose records may postdate this cut
+//	then per shard, in stripe order:
+//	  length uint64   payload byte count
+//	  crc    uint32   CRC-32C (Castagnoli) of the payload
+//	  payload         vcount uvarint, vertices...; ecount uvarint, edges...
+//
+// Shard payloads are self-contained, so the writer encodes all stripes in
+// parallel and the loader decodes them in parallel from their offsets.
+
+const (
+	snapMagic   = "NOUSNAP1"
+	snapVersion = 1
+	snapSuffix  = ".snap"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// snapName is the file name for a snapshot at the given epoch. Zero-padded
+// hex so lexicographic order equals epoch order.
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016x%s", epoch, snapSuffix) }
+
+// writeSnapshot encodes snap and atomically publishes it into dir, returning
+// the file's path and size. The file appears under its final name only after
+// its contents and the directory entry are fsynced, so a crash mid-write
+// never leaves a partially-written file that could be mistaken for a valid
+// snapshot.
+func writeSnapshot(dir string, snap *graph.GraphSnapshot, walSeq uint64) (string, int64, error) {
+	shards := len(snap.Vertices)
+	payloads := make([][]byte, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &codec{b: make([]byte, 0, 1<<12)}
+			c.putUvarint(uint64(len(snap.Vertices[i])))
+			for _, v := range snap.Vertices[i] {
+				c.putVertex(v)
+			}
+			c.putUvarint(uint64(len(snap.Edges[i])))
+			for _, e := range snap.Edges[i] {
+				c.putEdge(e)
+			}
+			payloads[i] = c.bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	head := make([]byte, 0, 48)
+	head = append(head, snapMagic...)
+	head = binary.LittleEndian.AppendUint32(head, snapVersion)
+	head = binary.LittleEndian.AppendUint32(head, uint32(shards))
+	head = binary.LittleEndian.AppendUint64(head, snap.Epoch)
+	head = binary.LittleEndian.AppendUint64(head, uint64(snap.NextVertex))
+	head = binary.LittleEndian.AppendUint64(head, uint64(snap.NextEdge))
+	head = binary.LittleEndian.AppendUint64(head, walSeq)
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	write := func(b []byte) {
+		if err == nil {
+			_, err = tmp.Write(b)
+		}
+	}
+	write(head)
+	frame := make([]byte, 12)
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint64(frame[0:], uint64(len(p)))
+		binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(p, castagnoli))
+		write(frame)
+		write(p)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+
+	final := filepath.Join(dir, snapName(snap.Epoch))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", 0, err
+	}
+	fi, err := os.Stat(final)
+	if err != nil {
+		return "", 0, err
+	}
+	return final, fi.Size(), nil
+}
+
+// readSnapshot decodes a snapshot file into per-shard vertex and edge sets.
+// Any framing, CRC or payload error fails the whole file: a snapshot is
+// either fully valid or unusable (the caller then falls back to an older one).
+func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < 48 || string(raw[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("persist: %s: not a snapshot file", path)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:]); v != snapVersion {
+		return nil, 0, fmt.Errorf("persist: %s: unsupported snapshot version %d", path, v)
+	}
+	shards := int(binary.LittleEndian.Uint32(raw[12:]))
+	if shards <= 0 || shards > 1<<10 {
+		return nil, 0, fmt.Errorf("persist: %s: implausible shard count %d", path, shards)
+	}
+	snap := &graph.GraphSnapshot{
+		Vertices:   make([][]graph.Vertex, shards),
+		Edges:      make([][]graph.Edge, shards),
+		Epoch:      binary.LittleEndian.Uint64(raw[16:]),
+		NextVertex: int64(binary.LittleEndian.Uint64(raw[24:])),
+		NextEdge:   int64(binary.LittleEndian.Uint64(raw[32:])),
+	}
+	walSeq := binary.LittleEndian.Uint64(raw[40:])
+
+	// Frame pass: locate and CRC-check every section before decoding.
+	type section struct{ start, end int }
+	sections := make([]section, shards)
+	off := 48
+	for i := 0; i < shards; i++ {
+		if off+12 > len(raw) {
+			return nil, 0, fmt.Errorf("persist: %s: truncated at shard %d frame", path, i)
+		}
+		n := binary.LittleEndian.Uint64(raw[off:])
+		crc := binary.LittleEndian.Uint32(raw[off+8:])
+		off += 12
+		if uint64(len(raw)-off) < n {
+			return nil, 0, fmt.Errorf("persist: %s: truncated shard %d payload", path, i)
+		}
+		end := off + int(n)
+		if crc32.Checksum(raw[off:end], castagnoli) != crc {
+			return nil, 0, fmt.Errorf("persist: %s: shard %d CRC mismatch", path, i)
+		}
+		sections[i] = section{off, end}
+		off = end
+	}
+
+	// Decode pass: sections are independent, decode them in parallel.
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := newDecoder(raw[sections[i].start:sections[i].end])
+			nv := d.uvarint()
+			if d.err == nil && nv > uint64(sections[i].end-sections[i].start) {
+				d.fail("vertex count")
+			}
+			vs := make([]graph.Vertex, 0, nv)
+			for j := uint64(0); j < nv && d.err == nil; j++ {
+				vs = append(vs, d.vertex())
+			}
+			ne := d.uvarint()
+			if d.err == nil && ne > uint64(sections[i].end-sections[i].start) {
+				d.fail("edge count")
+			}
+			es := make([]graph.Edge, 0, ne)
+			for j := uint64(0); j < ne && d.err == nil; j++ {
+				es = append(es, d.edge())
+			}
+			if d.err != nil {
+				errs[i] = fmt.Errorf("persist: %s: shard %d: %w", path, i, d.err)
+				return
+			}
+			snap.Vertices[i] = vs
+			snap.Edges[i] = es
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return snap, walSeq, nil
+}
+
+// restoreSnapshot loads a decoded snapshot into an empty graph: vertices
+// first (parallel across shards — each vertex lands in its own stripe), then
+// edges (parallel too; RestoreEdge takes the proper multi-shard locks).
+func restoreSnapshot(g *graph.Graph, snap *graph.GraphSnapshot) error {
+	var wg sync.WaitGroup
+	for i := range snap.Vertices {
+		wg.Add(1)
+		go func(vs []graph.Vertex) {
+			defer wg.Done()
+			for _, v := range vs {
+				g.RestoreVertex(v)
+			}
+		}(snap.Vertices[i])
+	}
+	wg.Wait()
+	errs := make([]error, len(snap.Edges))
+	for i := range snap.Edges {
+		wg.Add(1)
+		go func(i int, es []graph.Edge) {
+			defer wg.Done()
+			for _, e := range es {
+				if err := g.RestoreEdge(e); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, snap.Edges[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	g.AdvanceIDs(snap.NextVertex, snap.NextEdge)
+	g.SetEpoch(snap.Epoch)
+	return nil
+}
+
+// listSnapshots returns the snapshot paths in dir, newest (highest epoch)
+// first.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, snapSuffix) {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -203,20 +203,26 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.Paths)
 }
 
-// statsResponse is the /api/stats body: KG quality, stream counters and the
-// epoch-versioned query cache state.
+// statsResponse is the /api/stats body: KG quality, stream counters, the
+// epoch-versioned query cache state and — when the pipeline is durable —
+// the persistence layer's snapshot/WAL state.
 type statsResponse struct {
-	KG     nous.KGStats     `json:"kg"`
-	Stream nous.StreamStats `json:"stream"`
-	Query  nous.QueryStats  `json:"query"`
+	KG      nous.KGStats       `json:"kg"`
+	Stream  nous.StreamStats   `json:"stream"`
+	Query   nous.QueryStats    `json:"query"`
+	Persist *nous.PersistStats `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		KG:     s.pipeline.KG().Stats(),
 		Stream: s.pipeline.Stats(),
 		Query:  s.pipeline.QueryStats(),
-	})
+	}
+	if ps, ok := s.pipeline.PersistStats(); ok {
+		resp.Persist = &ps
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {

@@ -364,3 +364,54 @@ func TestUnknownPathIs404(t *testing.T) {
 		t.Fatalf("status = %d, want 404", res.StatusCode)
 	}
 }
+
+func TestStatsOmitsPersistForInMemoryPipeline(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/stats", 200)
+	if _, present := body["persist"]; present {
+		t.Fatalf("in-memory pipeline reports a persist section: %v", body["persist"])
+	}
+}
+
+func TestStatsReportsPersistState(t *testing.T) {
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies = 10
+	wcfg.People = 10
+	wcfg.Products = 10
+	wcfg.Events = 80
+	w := nous.GenerateWorld(wcfg)
+	p, err := nous.OpenWithOptions(t.TempDir(), w.Ontology, nous.DefaultConfig(), nous.PersistOptions{
+		FlushInterval:         time.Hour,
+		DisableAutoCheckpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := w.SeedKG(p.KG()); err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(nous.GenerateArticles(w, nous.DefaultArticleConfig(20)))
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+
+	body := getJSON(t, ts.URL+"/api/stats", 200)
+	ps, ok := body["persist"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats body missing persist section: %v", body)
+	}
+	for _, key := range []string{"snapshot_epoch", "wal_seq", "wal_records", "wal_bytes", "checkpoints"} {
+		if ps[key] == nil {
+			t.Fatalf("persist stats missing %q: %v", key, ps)
+		}
+	}
+	if ps["snapshot_epoch"].(float64) == 0 {
+		t.Error("snapshot_epoch = 0 after a checkpoint")
+	}
+	if ps["checkpoints"].(float64) != 1 {
+		t.Errorf("checkpoints = %v, want 1", ps["checkpoints"])
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"nous/internal/nlp"
 	"nous/internal/ontology"
 	"nous/internal/pathsearch"
+	"nous/internal/persist"
 	"nous/internal/qa"
 	"nous/internal/stream"
 	"nous/internal/topics"
@@ -82,6 +83,12 @@ type (
 	// QueryStats reports the epoch-versioned read layer's cache behaviour:
 	// mutation epoch, artifact hits/misses/recomputes and topic-model lag.
 	QueryStats = analytics.Stats
+	// PersistStats reports a durable pipeline's on-disk state: snapshot
+	// epoch, live WAL segment and checkpoint counters.
+	PersistStats = persist.Stats
+	// PersistOptions tunes a durable pipeline's store (group-commit
+	// threshold, WAL size budget, snapshot retention).
+	PersistOptions = persist.Options
 )
 
 // NewKG returns an empty dynamic KG over the given ontology (nil for the
@@ -146,6 +153,7 @@ type Pipeline struct {
 	analytics *analytics.Cache
 	searcher  *pathsearch.Searcher
 	exec      *qa.Executor
+	store     *persist.Store // nil for an in-memory pipeline
 
 	// clock is the pipeline clock in unix nanoseconds (0 = unset, fall back
 	// to the wall clock). Atomic because ingestion advances it while query
@@ -198,6 +206,65 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 		Now:       p.now,
 	}
 	return p
+}
+
+// Open assembles a durable pipeline over a data directory with the default
+// persistence options: it recovers the knowledge graph from the newest
+// snapshot plus the write-ahead-log tail, rebuilds the entity/fact indexes,
+// and logs every subsequent mutation. A fresh or empty directory yields an
+// empty KG — check KG().NumFacts() and seed the curated substrate if needed.
+// Close the pipeline when done.
+func Open(dir string, ont *Ontology, cfg Config) (*Pipeline, error) {
+	return OpenWithOptions(dir, ont, cfg, persist.DefaultOptions())
+}
+
+// OpenWithOptions is Open with explicit persistence tuning.
+func OpenWithOptions(dir string, ont *Ontology, cfg Config, opt PersistOptions) (*Pipeline, error) {
+	kg := core.NewKG(ont)
+	st, err := persist.Open(dir, kg.Graph(), opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := kg.Rebuild(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	p := NewPipeline(kg, cfg)
+	p.store = st
+	return p, nil
+}
+
+// Durable reports whether the pipeline persists its graph to disk.
+func (p *Pipeline) Durable() bool { return p.store != nil }
+
+// Checkpoint rolls the durable state forward: it snapshots the current
+// graph and truncates the write-ahead log back to the new cut. Safe to call
+// while ingestion and queries run; a no-op on an in-memory pipeline.
+func (p *Pipeline) Checkpoint() error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Checkpoint()
+}
+
+// Close flushes and detaches the durable store (a no-op on an in-memory
+// pipeline). Stop ingesting before calling Close; queries may continue
+// against the in-memory graph afterwards, but nothing further is logged.
+func (p *Pipeline) Close() error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Close()
+}
+
+// PersistStats reports the durable store's state (snapshot epoch, live WAL
+// segment size, checkpoints). The second result is false for an in-memory
+// pipeline.
+func (p *Pipeline) PersistStats() (PersistStats, bool) {
+	if p.store == nil {
+		return PersistStats{}, false
+	}
+	return p.store.Stats(), true
 }
 
 func (p *Pipeline) minerEdge(f Fact) fgm.Edge {
