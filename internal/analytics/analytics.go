@@ -16,6 +16,7 @@ import (
 
 	"nous/internal/core"
 	"nous/internal/graph"
+	"nous/internal/temporal"
 )
 
 // Stats is a snapshot of cache behaviour for /api/stats and QueryStats.
@@ -36,6 +37,12 @@ type Stats struct {
 	// TopicsLag is Epoch - TopicsEpoch: how many mutations the topic model
 	// is behind the live graph.
 	TopicsLag uint64 `json:"topics_lag"`
+	// WindowedArtifacts is the number of live windowed-PageRank cache
+	// entries (distinct windows seen recently, capped).
+	WindowedArtifacts int `json:"windowed_artifacts"`
+	// WindowedComputes counts windowed-PageRank recomputations, a subset of
+	// Computes.
+	WindowedComputes uint64 `json:"windowed_computes"`
 }
 
 // memo is one epoch-keyed artifact with singleflight recomputation.
@@ -140,6 +147,16 @@ type Cache struct {
 	prior    memo[map[string]float64]
 	topics   memo[map[graph.VertexID][]float64]
 
+	// windowed memoizes PageRank per bounded time window, keyed by the
+	// window and epoch-checked like the main artifacts (so a windowed query
+	// repeated at an unchanged epoch is a map read). The map is capped at
+	// maxWindowedArtifacts entries; distinct windows beyond that evict an
+	// arbitrary other entry — in-flight computations keep their memo alive
+	// through the pointer they hold.
+	wmu              sync.Mutex
+	windowed         map[temporal.Window]*memo[map[graph.VertexID]float64]
+	windowedComputes atomic.Uint64
+
 	// topicsFn builds per-entity topic vectors (an LDA fit — expensive).
 	// Unlike pagerank/prior, topics do NOT recompute on every epoch bump:
 	// they are built lazily once, stay sticky across mutations, and refresh
@@ -185,6 +202,53 @@ func (c *Cache) PageRank() map[graph.VertexID]float64 {
 // Importance returns one vertex's PageRank score at the current epoch.
 func (c *Cache) Importance(id graph.VertexID) float64 {
 	return c.PageRank()[id]
+}
+
+// maxWindowedArtifacts caps the number of distinct windows whose PageRank is
+// cached simultaneously. Serving workloads repeat a handful of windows
+// ("last week", "this year"); anything beyond the cap recomputes.
+const maxWindowedArtifacts = 8
+
+// WindowedPageRank returns the memoized PageRank of the subgraph visible in
+// the window (curated edges plus extracted edges whose timestamp lies in
+// [Since, Until)), keyed by (epoch, window). The unbounded window delegates
+// to PageRank, so the unwindowed hot path is untouched. The returned map is
+// shared; callers must not mutate it.
+func (c *Cache) WindowedPageRank(w temporal.Window) map[graph.VertexID]float64 {
+	if w.IsAll() {
+		return c.PageRank()
+	}
+	c.wmu.Lock()
+	if c.windowed == nil {
+		c.windowed = make(map[temporal.Window]*memo[map[graph.VertexID]float64])
+	}
+	m, ok := c.windowed[w]
+	if !ok {
+		if len(c.windowed) >= maxWindowedArtifacts {
+			for k := range c.windowed {
+				if k != w {
+					delete(c.windowed, k)
+					break
+				}
+			}
+		}
+		m = &memo[map[graph.VertexID]float64]{}
+		c.windowed[w] = m
+	}
+	c.wmu.Unlock()
+
+	now := c.Epoch()
+	v, hit, computed := m.get(now, c.MaxLag, func() map[graph.VertexID]float64 {
+		c.windowedComputes.Add(1)
+		return graph.PageRankFiltered(c.kg.Graph(), c.Damping, c.Iters, w.ContainsEdge)
+	})
+	c.account(hit, computed)
+	return v
+}
+
+// WindowedImportance returns one vertex's PageRank score within the window.
+func (c *Cache) WindowedImportance(id graph.VertexID, w temporal.Window) float64 {
+	return c.WindowedPageRank(w)[id]
 }
 
 // PopularityPrior returns the disambiguation popularity prior: per entity
@@ -278,5 +342,9 @@ func (c *Cache) Stats() Stats {
 			st.TopicsLag = epoch - te
 		}
 	}
+	c.wmu.Lock()
+	st.WindowedArtifacts = len(c.windowed)
+	c.wmu.Unlock()
+	st.WindowedComputes = c.windowedComputes.Load()
 	return st
 }

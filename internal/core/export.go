@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"nous/internal/temporal"
 )
 
 // ExportDOT writes a Graphviz rendering of the facts touching the given
@@ -55,7 +57,14 @@ type jsonFact struct {
 
 // ExportJSON writes the selected facts as a JSON array.
 func (kg *KG) ExportJSON(w io.Writer, names ...string) error {
-	facts := kg.selectFacts(names)
+	return kg.ExportJSONWindow(w, temporal.All(), names...)
+}
+
+// ExportJSONWindow is ExportJSON restricted to the window: curated facts
+// always export, extracted facts only when their provenance time lies in the
+// window. The unbounded window produces byte-identical output to ExportJSON.
+func (kg *KG) ExportJSONWindow(w io.Writer, win temporal.Window, names ...string) error {
+	facts := kg.selectFactsWindow(names, win)
 	out := make([]jsonFact, 0, len(facts))
 	for _, f := range facts {
 		jf := jsonFact{
@@ -81,13 +90,28 @@ func (kg *KG) ExportJSON(w io.Writer, names ...string) error {
 // selectFacts returns all facts when names is empty, otherwise the union of
 // facts touching each named entity, de-duplicated and ordered by ID.
 func (kg *KG) selectFacts(names []string) []Fact {
+	return kg.selectFactsWindow(names, temporal.All())
+}
+
+// selectFactsWindow is selectFacts restricted to the window.
+func (kg *KG) selectFactsWindow(names []string, win temporal.Window) []Fact {
 	if len(names) == 0 {
-		return kg.AllFacts()
+		all := kg.AllFacts()
+		if win.IsAll() {
+			return all
+		}
+		kept := all[:0]
+		for i := range all {
+			if factInWindow(&all[i], win) {
+				kept = append(kept, all[i])
+			}
+		}
+		return kept
 	}
 	seen := map[FactID]bool{}
 	var out []Fact
 	for _, n := range names {
-		for _, f := range kg.FactsAbout(n) {
+		for _, f := range kg.FactsAboutWindow(n, win) {
 			if !seen[f.ID] {
 				seen[f.ID] = true
 				out = append(out, f)

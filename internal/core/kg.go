@@ -16,6 +16,7 @@ import (
 
 	"nous/internal/graph"
 	"nous/internal/ontology"
+	"nous/internal/temporal"
 )
 
 // Provenance records where a fact came from.
@@ -78,8 +79,12 @@ type KG struct {
 
 	facts map[FactID]*Fact
 	// timeline holds extracted fact IDs in insertion order for windowed
-	// eviction. Curated facts never enter the timeline.
-	timeline []FactID
+	// eviction. Curated facts never enter the timeline. Explicit removals
+	// leave stale IDs behind; staleTimeline counts them and triggers a
+	// compaction once they dominate, so repeated RemoveFact calls cannot grow
+	// the timeline unboundedly.
+	timeline      []FactID
+	staleTimeline int
 
 	listeners []func(Event)
 }
@@ -438,6 +443,12 @@ func (kg *KG) PredicatesBetween(subject, object string) []string {
 
 // HasFact reports whether a (subject, predicate, object) fact exists.
 func (kg *KG) HasFact(subject, predicate, object string) bool {
+	return kg.HasFactWindow(subject, predicate, object, temporal.All())
+}
+
+// HasFactWindow reports whether a (subject, predicate, object) fact exists
+// inside the window (curated facts qualify in any window).
+func (kg *KG) HasFactWindow(subject, predicate, object string, w temporal.Window) bool {
 	kg.mu.RLock()
 	defer kg.mu.RUnlock()
 	s, ok1 := kg.byName[subject]
@@ -445,7 +456,18 @@ func (kg *KG) HasFact(subject, predicate, object string) bool {
 	if !ok1 || !ok2 {
 		return false
 	}
-	return len(kg.g.FindEdges(s, o, predicate)) > 0
+	edges := kg.g.FindEdges(s, o, predicate)
+	if !w.Bounded() {
+		return len(edges) > 0
+	}
+	for _, e := range edges {
+		// An edge with no fact record (impossible through AddFacts, but kept
+		// for parity with the unwindowed read) counts as present.
+		if f, ok := kg.facts[e.ID]; !ok || factInWindow(f, w) {
+			return true
+		}
+	}
+	return false
 }
 
 // Fact returns the stored fact by ID.
@@ -483,15 +505,47 @@ func (kg *KG) SetConfidence(id FactID, c float64) bool {
 func (kg *KG) RemoveFact(id FactID) bool {
 	kg.mu.Lock()
 	defer kg.mu.Unlock()
-	return kg.removeLocked(id)
+	ok := kg.removeLocked(id)
+	// Compact here, not inside removeLocked: EvictBefore also calls
+	// removeLocked while iterating (and aliasing) the timeline, and an
+	// in-place compaction mid-iteration would corrupt it. EvictBefore
+	// rebuilds the timeline wholesale instead.
+	kg.compactTimelineLocked()
+	return ok
 }
 
+// removeLocked deletes the fact record and its edge. The fact's ID stays in
+// the timeline until the caller compacts (RemoveFact) or rebuilds it
+// (EvictBefore); staleTimeline counts those leftovers.
 func (kg *KG) removeLocked(id FactID) bool {
-	if _, ok := kg.facts[id]; !ok {
+	f, ok := kg.facts[id]
+	if !ok {
 		return false
 	}
 	delete(kg.facts, id)
+	if !f.Curated {
+		kg.staleTimeline++
+	}
 	return kg.g.RemoveEdge(id)
+}
+
+// compactTimelineLocked drops stale (already-removed) IDs from the timeline
+// once they make up at least half of it — O(len) work after len/2 removals,
+// so removal stays amortized O(1) and the timeline length stays within 2x
+// the live extracted fact count. Must not run while another frame iterates
+// the timeline (see RemoveFact).
+func (kg *KG) compactTimelineLocked() {
+	if kg.staleTimeline == 0 || kg.staleTimeline*2 < len(kg.timeline) {
+		return
+	}
+	kept := kg.timeline[:0]
+	for _, id := range kg.timeline {
+		if _, ok := kg.facts[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	kg.timeline = kept
+	kg.staleTimeline = 0
 }
 
 // EvictBefore removes extracted (non-curated) facts observed strictly before
@@ -518,12 +572,31 @@ func (kg *KG) EvictBefore(cutoff time.Time) int {
 		kept = append(kept, id)
 	}
 	kg.timeline = kept
+	kg.staleTimeline = 0
 	return n
+}
+
+// factInWindow is the fact-level read-view rule mirroring
+// temporal.Window.ContainsEdge: curated facts are timeless background
+// knowledge and always in scope; extracted facts are scoped by provenance
+// time. The unbounded window admits everything without touching the fact.
+func factInWindow(f *Fact, w temporal.Window) bool {
+	if w.IsAll() || f.Curated {
+		return true
+	}
+	return w.Contains(f.Provenance.Time.Unix())
 }
 
 // FactsAbout returns all facts in which the named entity is subject or
 // object, ordered by descending confidence then ID.
 func (kg *KG) FactsAbout(name string) []Fact {
+	return kg.FactsAboutWindow(name, temporal.All())
+}
+
+// FactsAboutWindow is FactsAbout restricted to the window: curated facts
+// always qualify, extracted facts only when their provenance time lies in
+// [w.Since, w.Until). The unbounded window returns exactly FactsAbout.
+func (kg *KG) FactsAboutWindow(name string, w temporal.Window) []Fact {
 	kg.mu.RLock()
 	defer kg.mu.RUnlock()
 	id, ok := kg.byName[name]
@@ -532,7 +605,7 @@ func (kg *KG) FactsAbout(name string) []Fact {
 	}
 	var out []Fact
 	for _, e := range kg.g.Edges(id) {
-		if f, ok := kg.facts[e.ID]; ok {
+		if f, ok := kg.facts[e.ID]; ok && factInWindow(f, w) {
 			out = append(out, *f)
 		}
 	}
@@ -587,6 +660,11 @@ func (kg *KG) NumEntities() int {
 // ObjectsOf returns the object names of facts (subject, pred, *), with their
 // confidences.
 func (kg *KG) ObjectsOf(subject, pred string) []ScoredEntity {
+	return kg.ObjectsOfWindow(subject, pred, temporal.All())
+}
+
+// ObjectsOfWindow is ObjectsOf restricted to the window.
+func (kg *KG) ObjectsOfWindow(subject, pred string, w temporal.Window) []ScoredEntity {
 	kg.mu.RLock()
 	defer kg.mu.RUnlock()
 	id, ok := kg.byName[subject]
@@ -594,8 +672,14 @@ func (kg *KG) ObjectsOf(subject, pred string) []ScoredEntity {
 		return nil
 	}
 	var out []ScoredEntity
+	windowed := w.Bounded() // skip the per-edge fact lookup on the hot path
 	kg.g.ForEachOutEdge(id, func(e graph.Edge) bool {
 		if pred == "" || e.Label == pred {
+			if windowed {
+				if f, ok := kg.facts[e.ID]; ok && !factInWindow(f, w) {
+					return true
+				}
+			}
 			if n, ok := kg.names[e.Dst]; ok {
 				out = append(out, ScoredEntity{Name: n, Score: e.Weight})
 			}
@@ -613,6 +697,11 @@ func (kg *KG) ObjectsOf(subject, pred string) []ScoredEntity {
 
 // SubjectsOf returns the subject names of facts (*, pred, object).
 func (kg *KG) SubjectsOf(pred, object string) []ScoredEntity {
+	return kg.SubjectsOfWindow(pred, object, temporal.All())
+}
+
+// SubjectsOfWindow is SubjectsOf restricted to the window.
+func (kg *KG) SubjectsOfWindow(pred, object string, w temporal.Window) []ScoredEntity {
 	kg.mu.RLock()
 	defer kg.mu.RUnlock()
 	id, ok := kg.byName[object]
@@ -620,8 +709,14 @@ func (kg *KG) SubjectsOf(pred, object string) []ScoredEntity {
 		return nil
 	}
 	var out []ScoredEntity
+	windowed := w.Bounded() // skip the per-edge fact lookup on the hot path
 	kg.g.ForEachInEdge(id, func(e graph.Edge) bool {
 		if pred == "" || e.Label == pred {
+			if windowed {
+				if f, ok := kg.facts[e.ID]; ok && !factInWindow(f, w) {
+					return true
+				}
+			}
 			if n, ok := kg.names[e.Src]; ok {
 				out = append(out, ScoredEntity{Name: n, Score: e.Weight})
 			}

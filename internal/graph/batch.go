@@ -78,14 +78,17 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 	for _, e := range edges {
 		g.insertEdgeLocked(e)
 	}
+	// Bump and emit before releasing the shard locks (as RemoveEdge does),
+	// so no concurrent remover's MutRemoveEdge can reach subscribers ahead
+	// of this batch's MutAddEdges for the same edge.
+	ep := g.bump()
+	if recs != nil {
+		g.emit(Mutation{Kind: MutAddEdges, Epoch: ep, Edges: recs})
+	}
 	for si := numShards - 1; si >= 0; si-- {
 		if need[si] {
 			g.shards[si].mu.Unlock()
 		}
-	}
-	ep := g.bump()
-	if recs != nil {
-		g.emit(Mutation{Kind: MutAddEdges, Epoch: ep, Edges: recs})
 	}
 	return ids, nil
 }

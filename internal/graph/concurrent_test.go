@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -306,4 +307,128 @@ func TestConcurrentReadersDuringPregel(t *testing.T) {
 	}
 	close(stop)
 	writer.Wait()
+}
+
+// TestConcurrentRemoveEdgeStress mirrors the add-path stress tests for the
+// removal path: writers add timestamped edges while removers delete them and
+// readers traverse. Under -race this exercises the multi-shard lock ordering
+// of RemoveEdge; the final reconciliation asserts no index (adjacency,
+// byLabel, edges) retains a removed edge.
+func TestConcurrentRemoveEdgeStress(t *testing.T) {
+	g := New()
+	var verts []VertexID
+	for i := 0; i < 10; i++ {
+		verts = append(verts, g.AddVertex("Company"))
+	}
+	const workers, perWorker = 4, 150
+	idCh := make(chan EdgeID, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id, err := g.AddEdgeFull(verts[(w+i)%len(verts)], verts[(w+i+1)%len(verts)],
+					"acquired", 1, int64(i), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				idCh <- id
+			}
+		}(w)
+	}
+	var removers sync.WaitGroup
+	var removedCount atomic.Int64
+	for r := 0; r < 2; r++ {
+		removers.Add(1)
+		go func() {
+			defer removers.Done()
+			for id := range idCh {
+				// Two removers may race on the same ID stream; exactly one
+				// RemoveEdge per ID succeeds.
+				if g.RemoveEdge(id) {
+					removedCount.Add(1)
+				}
+				if g.RemoveEdge(id) {
+					t.Errorf("edge %d removed twice", id)
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, v := range verts {
+					g.OutEdges(v)
+					g.Degree(v)
+				}
+				g.EdgesByLabel("acquired")
+			}
+		}
+	}()
+	wg.Wait()
+	close(idCh)
+	removers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := int(removedCount.Load()); got != workers*perWorker {
+		t.Fatalf("removed %d edges, want %d", got, workers*perWorker)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d after removing everything", g.NumEdges())
+	}
+	for _, v := range verts {
+		if d := g.Degree(v); d != 0 {
+			t.Fatalf("vertex %d retains %d adjacency entries", v, d)
+		}
+	}
+	if es := g.EdgesByLabel("acquired"); len(es) != 0 {
+		t.Fatalf("label index retains %d edges", len(es))
+	}
+}
+
+// TestMultipleMutationHooks pins the fan-out contract AddMutationHook adds:
+// both subscribers see every mutation, removal detaches only the removed
+// subscriber, and SetMutationHook(nil) leaves added hooks alone.
+func TestMultipleMutationHooks(t *testing.T) {
+	g := New()
+	var a, b, primary atomic.Int64
+	removeA := g.AddMutationHook(func(Mutation) { a.Add(1) })
+	g.AddMutationHook(func(Mutation) { b.Add(1) })
+	g.SetMutationHook(func(Mutation) { primary.Add(1) })
+
+	v1 := g.AddVertex("Company")
+	v2 := g.AddVertex("Company")
+	if _, err := g.AddEdge(v1, v2, "acquired"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != 3 || b.Load() != 3 || primary.Load() != 3 {
+		t.Fatalf("hook counts = %d/%d/%d, want 3/3/3", a.Load(), b.Load(), primary.Load())
+	}
+
+	removeA()
+	g.SetMutationHook(nil) // must not detach b
+	g.AddVertex("Company")
+	if a.Load() != 3 || primary.Load() != 3 {
+		t.Fatal("removed hooks still invoked")
+	}
+	if b.Load() != 4 {
+		t.Fatalf("surviving hook missed a mutation (saw %d)", b.Load())
+	}
+	// Replacing the primary slot swaps, not stacks.
+	var p2 int64
+	g.SetMutationHook(func(Mutation) { p2++ })
+	g.AddVertex("Company")
+	if primary.Load() != 3 || p2 != 1 || b.Load() != 5 {
+		t.Fatalf("primary slot swap broken: %d/%d/%d", primary.Load(), p2, b.Load())
+	}
 }

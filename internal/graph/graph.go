@@ -87,8 +87,12 @@ type Graph struct {
 	// during or after it.
 	epoch atomic.Uint64
 
-	// hook is the optional mutation subscriber (see SetMutationHook).
-	hook hookPtr
+	// hooks is the copy-on-write list of mutation subscribers (see
+	// AddMutationHook / SetMutationHook). hookMu serializes list updates;
+	// primaryHook tracks the entry SetMutationHook owns.
+	hookMu      sync.Mutex
+	hooks       atomic.Pointer[[]*hookEntry]
+	primaryHook *hookEntry
 }
 
 // Epoch returns the graph's monotonic mutation counter. It is read
@@ -98,8 +102,11 @@ type Graph struct {
 func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
 // bump records one completed mutation and returns the new epoch. Called
-// after the write's shard locks are released so no artifact can be tagged
-// with an epoch newer than the state it was computed from.
+// after the write's data landed (for edge writes, while the shard locks are
+// still held — any reader tagged with the new epoch that touches the
+// written shard blocks until the locks drop and therefore observes the
+// write), so no artifact can be tagged with an epoch newer than the state
+// it was computed from.
 func (g *Graph) bump() uint64 { return g.epoch.Add(1) }
 
 // New returns an empty graph.
@@ -257,13 +264,17 @@ func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts 
 	e := &Edge{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)}
 	g.lockEdgeShards(src, dst, id)
 	g.insertEdgeLocked(e)
-	g.unlockEdgeShards(src, dst, id)
+	// Bump and emit before releasing the shard locks (as RemoveEdge does):
+	// once the locks drop, a concurrent remover can find the edge and emit
+	// its MutRemoveEdge — subscribers (the WAL, the temporal index) must
+	// never observe an edge's removal before its insertion.
 	ep := g.bump()
 	if g.hooked() {
 		g.emit(Mutation{Kind: MutAddEdges, Epoch: ep, Edges: []Edge{
 			{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)},
 		}})
 	}
+	g.unlockEdgeShards(src, dst, id)
 	return id, nil
 }
 

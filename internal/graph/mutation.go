@@ -43,38 +43,101 @@ type Mutation struct {
 }
 
 // MutationHook receives every completed mutation. It is invoked synchronously
-// after the write's shard locks are released and its epoch bump landed; it
-// must not mutate the graph.
+// after the write landed and its epoch bump completed. Edge mutations (add,
+// remove, prop/weight updates) deliver while the write's shard locks are
+// still held, which guarantees subscribers observe each edge's lifecycle in
+// order (an insertion is always delivered before that edge's removal);
+// vertex mutations deliver after the locks drop. That ordering is
+// load-bearing: without it a WAL could log remove-before-add for one edge
+// and resurrect it on replay. The price is that slow hook work stalls the
+// written shards, so a hook must not call back into the graph — not even
+// read methods, which would self-deadlock on the held shard locks — and
+// should do no more than hand the record off (the WAL's group-commit buffer,
+// the time index's per-stripe insert).
 type MutationHook func(Mutation)
 
-// SetMutationHook installs (or, with nil, removes) the mutation subscriber.
-// There is at most one hook; installing is safe while readers run, but the
-// caller must ensure no writer is mid-mutation (install before ingestion
-// starts — mutations in flight during the swap may be delivered to either
-// hook or dropped).
+// hookEntry wraps one subscriber so it has an identity (func values are not
+// comparable) and can be removed individually.
+type hookEntry struct{ fn MutationHook }
+
+// AddMutationHook registers an additional mutation subscriber and returns a
+// function that removes it. Hooks are invoked in registration order.
+// Registering is safe while readers run, but the caller must ensure no writer
+// is mid-mutation (install before ingestion starts — mutations in flight
+// during the swap may be delivered to either hook set).
+func (g *Graph) AddMutationHook(h MutationHook) (remove func()) {
+	e := &hookEntry{fn: h}
+	g.hookMu.Lock()
+	g.addHookLocked(e)
+	g.hookMu.Unlock()
+	return func() {
+		g.hookMu.Lock()
+		g.removeHookLocked(e)
+		g.hookMu.Unlock()
+	}
+}
+
+// SetMutationHook installs (or, with nil, removes) the primary mutation
+// subscriber — the slot internal/persist's write-ahead log owns. It replaces
+// only the hook previously installed through SetMutationHook; subscribers
+// added via AddMutationHook are unaffected. The same in-flight caveat as
+// AddMutationHook applies.
 func (g *Graph) SetMutationHook(h MutationHook) {
-	if h == nil {
-		g.hook.Store(nil)
+	g.hookMu.Lock()
+	defer g.hookMu.Unlock()
+	if g.primaryHook != nil {
+		g.removeHookLocked(g.primaryHook)
+		g.primaryHook = nil
+	}
+	if h != nil {
+		g.primaryHook = &hookEntry{fn: h}
+		g.addHookLocked(g.primaryHook)
+	}
+}
+
+// addHookLocked/removeHookLocked maintain the copy-on-write hook list; the
+// caller holds hookMu. Readers (emit, hooked) load the slice atomically and
+// never see a partially-updated list.
+func (g *Graph) addHookLocked(e *hookEntry) {
+	old := g.hooks.Load()
+	var next []*hookEntry
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, e)
+	g.hooks.Store(&next)
+}
+
+func (g *Graph) removeHookLocked(e *hookEntry) {
+	old := g.hooks.Load()
+	if old == nil {
 		return
 	}
-	g.hook.Store(&h)
+	next := make([]*hookEntry, 0, len(*old))
+	for _, cur := range *old {
+		if cur != e {
+			next = append(next, cur)
+		}
+	}
+	g.hooks.Store(&next)
 }
 
-// hooked reports whether a mutation subscriber is installed, letting mutators
-// skip building Mutation records (and their defensive copies) when nobody
-// listens.
-func (g *Graph) hooked() bool { return g.hook.Load() != nil }
+// hooked reports whether any mutation subscriber is installed, letting
+// mutators skip building Mutation records (and their defensive copies) when
+// nobody listens.
+func (g *Graph) hooked() bool {
+	hs := g.hooks.Load()
+	return hs != nil && len(*hs) > 0
+}
 
-// emit delivers one mutation to the installed hook, if any.
+// emit delivers one mutation to every installed hook, in registration order.
 func (g *Graph) emit(m Mutation) {
-	if h := g.hook.Load(); h != nil {
-		(*h)(m)
+	if hs := g.hooks.Load(); hs != nil {
+		for _, e := range *hs {
+			e.fn(m)
+		}
 	}
 }
-
-// hookPtr is the atomic cell SetMutationHook stores into. Declared on its own
-// type so Graph's zero value stays usable.
-type hookPtr = atomic.Pointer[MutationHook]
 
 // --- Restore API -----------------------------------------------------------
 //

@@ -126,6 +126,16 @@ func (p *Pregel[M, S]) Run(g *Graph) map[VertexID]S {
 // the same schedule GraphX's staticPageRank uses. Dangling mass is
 // redistributed uniformly, so the returned scores sum to ~1.
 func PageRank(g *Graph, damping float64, iters int) map[VertexID]float64 {
+	return PageRankFiltered(g, damping, iters, nil)
+}
+
+// PageRankFiltered computes PageRank over the subgraph induced by the edges
+// for which keep returns true (a nil keep means every edge, which is exactly
+// PageRank). Vertices are unchanged — a vertex whose outgoing edges are all
+// filtered out contributes dangling mass like any sink. This is the substrate
+// of time-windowed importance: internal/analytics passes a window-membership
+// predicate and memoizes the result per (epoch, window).
+func PageRankFiltered(g *Graph, damping float64, iters int, keep func(Edge) bool) map[VertexID]float64 {
 	n := g.NumVertices()
 	if n == 0 {
 		return map[VertexID]float64{}
@@ -138,7 +148,7 @@ func PageRank(g *Graph, damping float64, iters int) map[VertexID]float64 {
 	}
 	for it := 0; it < iters; it++ {
 		var dangling float64
-		contrib := gatherContributions(g, ranks, &dangling)
+		contrib := gatherContributions(g, ranks, &dangling, keep)
 		next := make(map[VertexID]float64, n)
 		for _, id := range ids {
 			next[id] = base + damping*contrib[id] + damping*dangling/float64(n)
@@ -149,9 +159,10 @@ func PageRank(g *Graph, damping float64, iters int) map[VertexID]float64 {
 }
 
 // gatherContributions computes, for every vertex, the sum of rank shares sent
-// to it by its in-neighbors, in parallel over hash partitions. The rank mass
-// of vertices with no outgoing edges is accumulated into *dangling.
-func gatherContributions(g *Graph, ranks map[VertexID]float64, dangling *float64) map[VertexID]float64 {
+// to it by its in-neighbors (restricted to edges passing keep when keep is
+// non-nil), in parallel over hash partitions. The rank mass of vertices with
+// no (kept) outgoing edges is accumulated into *dangling.
+func gatherContributions(g *Graph, ranks map[VertexID]float64, dangling *float64, keep func(Edge) bool) map[VertexID]float64 {
 	ids := g.VertexIDs()
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 1 {
@@ -173,17 +184,36 @@ func gatherContributions(g *Graph, ranks map[VertexID]float64, dangling *float64
 			defer wg.Done()
 			local := make(map[VertexID]float64)
 			localDang := 0.0
+			var dstBuf []VertexID
 			for _, id := range part {
-				deg := g.OutDegree(id)
-				if deg == 0 {
+				if keep == nil {
+					deg := g.OutDegree(id)
+					if deg == 0 {
+						localDang += ranks[id]
+						continue
+					}
+					share := ranks[id] / float64(deg)
+					g.ForEachOutEdge(id, func(e Edge) bool {
+						local[e.Dst] += share
+						return true
+					})
+					continue
+				}
+				dstBuf = dstBuf[:0]
+				g.ForEachOutEdge(id, func(e Edge) bool {
+					if keep(e) {
+						dstBuf = append(dstBuf, e.Dst)
+					}
+					return true
+				})
+				if len(dstBuf) == 0 {
 					localDang += ranks[id]
 					continue
 				}
-				share := ranks[id] / float64(deg)
-				g.ForEachOutEdge(id, func(e Edge) bool {
-					local[e.Dst] += share
-					return true
-				})
+				share := ranks[id] / float64(len(dstBuf))
+				for _, dst := range dstBuf {
+					local[dst] += share
+				}
 			}
 			mu.Lock()
 			for k, v := range local {

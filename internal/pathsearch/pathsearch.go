@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"nous/internal/graph"
+	"nous/internal/temporal"
 	"nous/internal/topics"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	// Predicate, when set, requires the path to traverse at least one edge
 	// with this label (the paper's "relationship constraint").
 	Predicate string
+	// Window restricts traversal to edges visible in the time window:
+	// curated edges always qualify, extracted edges only when their
+	// timestamp lies in [Since, Until). The zero (unbounded) window is a
+	// no-op and keeps the unwindowed search byte-identical.
+	Window temporal.Window
 }
 
 func (o Options) withDefaults() Options {
@@ -204,14 +210,18 @@ type scored struct {
 // chain. Incident edges are snapshotted into a scratch buffer so the
 // vertex's shard lock is held only for the copy, not for the per-edge
 // divergence math — a long expansion must not stall concurrent writers.
-func (s *Searcher) expand(frontier []*pathNode, dst graph.VertexID, topicOf map[graph.VertexID][]float64, visited *bitset, wantLookahead bool, complete func(*pathNode)) []scored {
+func (s *Searcher) expand(frontier []*pathNode, dst graph.VertexID, topicOf map[graph.VertexID][]float64, visited *bitset, win temporal.Window, wantLookahead bool, complete func(*pathNode)) []scored {
 	var next []scored
 	var edgeBuf []graph.Edge
+	windowed := win.Bounded()
 	for _, p := range frontier {
 		cur := p.vert
 		visited.mark(p)
 		edgeBuf = edgeBuf[:0]
 		s.g.ForEachIncidentEdge(cur, func(e graph.Edge) bool {
+			if windowed && !win.ContainsEdge(e) {
+				return true // outside the time window: invisible to this query
+			}
 			edgeBuf = append(edgeBuf, e)
 			return true
 		})
@@ -293,7 +303,7 @@ func (s *Searcher) TopK(src, dst graph.VertexID, opt Options) []Path {
 	seen := map[string]bool{}
 
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
-		next := s.expand(frontier, dst, topicOf, visited, true, func(np *pathNode) {
+		next := s.expand(frontier, dst, topicOf, visited, opt.Window, true, func(np *pathNode) {
 			finish(np, opt.Predicate, seen, &found)
 		})
 		// Look-ahead pruning: keep the Beam candidates closest (in topic
@@ -347,7 +357,7 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 	seen := map[string]bool{}
 
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
-		next := s.expand(frontier, dst, topicOf, visited, false, func(np *pathNode) {
+		next := s.expand(frontier, dst, topicOf, visited, opt.Window, false, func(np *pathNode) {
 			finish(np, opt.Predicate, seen, &found)
 		})
 		// Unbounded BFS fan-out explodes on dense graphs; cap like GraphX

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"nous/internal/graph"
+	"nous/internal/temporal"
 )
 
 // testOptions flushes every record immediately and disables the background
@@ -479,5 +481,92 @@ func TestOpenOnFreshDirIsEmpty(t *testing.T) {
 	s := st.Stats()
 	if s.WALSeq != 0 || s.SnapshotEpoch != 0 {
 		t.Errorf("fresh stats = %+v", s)
+	}
+}
+
+// TestReplayRemoveAndReaddKeepsTimeIndexConsistent mixes edge removals with
+// re-added edges across a WAL-only recovery and a snapshot+tail recovery,
+// then verifies a temporal index rebuilt from the recovered graph matches
+// the recovered edge set exactly — the invariant nous relies on when it
+// re-attaches the time index after Open.
+func TestReplayRemoveAndReaddKeepsTimeIndexConsistent(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	st := mustOpen(t, dir, g, testOptions())
+
+	a := g.AddVertexWithProps("Company", map[string]string{"name": "Apex"})
+	b := g.AddVertexWithProps("Company", map[string]string{"name": "Borealis"})
+	var ids []graph.EdgeID
+	for ts := int64(100); ts < 110; ts++ {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Remove a few, then re-add edges at the same timestamps (fresh IDs) —
+	// the shape eviction + re-extraction produces.
+	for _, id := range []graph.EdgeID{ids[1], ids[4], ids[7]} {
+		if !g.RemoveEdge(id) {
+			t.Fatalf("RemoveEdge(%d) failed", id)
+		}
+	}
+	if _, err := g.AddEdges([]graph.EdgeSpec{
+		{Src: a, Dst: b, Label: "acquired", Weight: 1, Timestamp: 101},
+		{Src: b, Dst: a, Label: "partnersWith", Weight: 1, Timestamp: 104},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func(t *testing.T, g2 *graph.Graph) {
+		t.Helper()
+		assertGraphsEqual(t, g, g2)
+		ix := temporal.NewIndex(g2)
+		if ix.Len() != g2.NumEdges() {
+			t.Fatalf("index %d edges, graph %d", ix.Len(), g2.NumEdges())
+		}
+		prev := int64(math.MinInt64)
+		for _, id := range ix.EdgesIn(temporal.All()) {
+			e, ok := g2.Edge(id)
+			if !ok {
+				t.Fatalf("index references missing edge %d", id)
+			}
+			if e.Timestamp < prev {
+				t.Fatalf("index out of time order at edge %d", id)
+			}
+			prev = e.Timestamp
+		}
+		// The removed timestamps' counts reflect removals and re-adds.
+		if n := ix.Count(temporal.Window{Since: 101, Until: 102}); n != 1 {
+			t.Fatalf("ts=101 count = %d, want 1 (one removed, one re-added)", n)
+		}
+		if n := ix.Count(temporal.Window{Since: 107, Until: 108}); n != 0 {
+			t.Fatalf("ts=107 count = %d, want 0 (removed)", n)
+		}
+	}
+
+	// WAL-only recovery.
+	g2 := graph.New()
+	st2 := mustOpen(t, dir, g2, testOptions())
+	verify(t, g2)
+
+	// Roll a snapshot, add one more remove on top, recover snapshot+tail.
+	if err := st2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g2.RemoveEdge(ids[0]) // ts=100, logged in the tail segment
+	g.RemoveEdge(ids[0])  // mirror on the reference graph
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g3 := graph.New()
+	st3 := mustOpen(t, dir, g3, testOptions())
+	defer st3.Close()
+	verify(t, g3)
+	if ix := temporal.NewIndex(g3); ix.Count(temporal.Window{Since: 100, Until: 101}) != 0 {
+		t.Fatal("tail-replayed removal not reflected in time index")
 	}
 }

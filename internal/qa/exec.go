@@ -2,6 +2,7 @@ package qa
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"nous/internal/fgm"
 	"nous/internal/linkpred"
 	"nous/internal/pathsearch"
+	"nous/internal/temporal"
 	"nous/internal/trends"
 )
 
@@ -68,12 +70,23 @@ type Executor struct {
 	Now func() time.Time
 }
 
-// Ask parses and executes a question.
+// Ask parses and executes a question. Temporal qualifiers in the question
+// ("last week", "in 2015") scope the answer; relative forms resolve against
+// the executor's clock.
 func (ex *Executor) Ask(question string) (Answer, error) {
-	q, err := Parse(question)
+	return ex.AskWindow(question, temporal.All())
+}
+
+// AskWindow is Ask with an additional caller-supplied window (e.g. the API's
+// since/until parameters). It is intersected with any window parsed from the
+// question itself; the unbounded window leaves the question's own scope
+// untouched.
+func (ex *Executor) AskWindow(question string, w temporal.Window) (Answer, error) {
+	q, err := ParseAt(question, ex.now())
 	if err != nil {
 		return Answer{}, err
 	}
+	q.Window = q.Window.Intersect(w)
 	return ex.Run(q)
 }
 
@@ -101,15 +114,35 @@ func (ex *Executor) now() time.Time {
 	return time.Now()
 }
 
+// windowRef is the reference instant for activity-style lookups under a
+// window: a bounded window anchors at its (inclusive) end — "in 2015" means
+// activity as of end-2015 — while an unbounded one uses the clock.
+func (ex *Executor) windowRef(w temporal.Window) time.Time {
+	if w.Bounded() && w.Until != math.MaxInt64 {
+		return time.Unix(w.Until-1, 0)
+	}
+	return ex.now()
+}
+
 func (ex *Executor) trending(q Query) (Answer, error) {
 	a := Answer{Class: ClassTrending}
 	if ex.Trends == nil {
 		a.Text = "no trend detector attached"
 		return a, nil
 	}
-	a.Trends = ex.Trends.Trending(ex.now(), q.K)
+	// A bounded window moves the trend reference point to the window's end:
+	// "what was trending in 2015" scores burstiness as of end-2015. An empty
+	// (disjoint-intersection) window yields no trends, matching how every
+	// other query class treats it.
+	if !q.Window.IsEmpty() {
+		a.Trends = ex.Trends.Trending(ex.windowRef(q.Window), q.K)
+	}
 	var b strings.Builder
-	b.WriteString("Trending now:\n")
+	if q.Window.Bounded() {
+		fmt.Fprintf(&b, "Trending in %s:\n", q.Window)
+	} else {
+		b.WriteString("Trending now:\n")
+	}
 	if len(a.Trends) == 0 {
 		b.WriteString("  (nothing trending)\n")
 	}
@@ -151,20 +184,25 @@ func (ex *Executor) entity(q Query) (Answer, error) {
 	typ, _ := ex.KG.EntityType(name)
 	sum := &EntitySummary{Name: name, Type: string(typ)}
 	if id, ok := ex.KG.Entity(name); ok && ex.Analytics != nil {
-		sum.Importance = ex.Analytics.Importance(id)
+		sum.Importance = ex.Analytics.WindowedImportance(id, q.Window)
 	}
-	facts := ex.KG.FactsAbout(name)
+	facts := ex.KG.FactsAboutWindow(name, q.Window)
 	if q.K > 0 && len(facts) > q.K {
 		facts = facts[:q.K]
 	}
 	sum.Facts = facts
-	if ex.Trends != nil {
-		sum.Activity = ex.Trends.Series(name, ex.now(), 8)
+	if ex.Trends != nil && !q.Window.IsEmpty() {
+		// Anchor the sparkline at the window's end, like trending does:
+		// "tell me about X in 2015" shows 2015 activity, not today's.
+		sum.Activity = ex.Trends.Series(name, ex.windowRef(q.Window), 8)
 	}
 	a.Entity = sum
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (%s)  importance=%.4f\n", sum.Name, sum.Type, sum.Importance)
+	if q.Window.Bounded() {
+		fmt.Fprintf(&b, "  window: %s\n", q.Window)
+	}
 	if len(sum.Activity) > 0 {
 		fmt.Fprintf(&b, "  recent activity: %v\n", sum.Activity)
 	}
@@ -197,11 +235,14 @@ func (ex *Executor) relationship(q Query) (Answer, error) {
 	}
 	src, _ := ex.KG.Entity(sName)
 	dst, _ := ex.KG.Entity(tName)
-	paths := ex.Searcher.TopK(src, dst, pathsearch.Options{K: q.K, MaxDepth: 4, Predicate: q.Predicate})
+	paths := ex.Searcher.TopK(src, dst, pathsearch.Options{K: q.K, MaxDepth: 4, Predicate: q.Predicate, Window: q.Window})
 	var b strings.Builder
 	fmt.Fprintf(&b, "Paths from %s to %s", sName, tName)
 	if q.Predicate != "" {
 		fmt.Fprintf(&b, " via %s", q.Predicate)
+	}
+	if q.Window.Bounded() {
+		fmt.Fprintf(&b, " within %s", q.Window)
 	}
 	b.WriteString(":\n")
 	if len(paths) == 0 {
@@ -264,10 +305,10 @@ func (ex *Executor) fact(q Query) (Answer, error) {
 			a.Text = fmt.Sprintf("cannot resolve %q / %q", q.Subject, q.Object)
 			return a, nil
 		}
-		fa.Known = ex.KG.HasFact(s, q.Predicate, o)
+		fa.Known = ex.KG.HasFactWindow(s, q.Predicate, o, q.Window)
 		if fa.Known {
 			fmt.Fprintf(&b, "Yes: %s %s %s.\n", s, q.Predicate, o)
-			for _, f := range ex.KG.FactsAbout(s) {
+			for _, f := range ex.KG.FactsAboutWindow(s, q.Window) {
 				if f.Predicate == q.Predicate && f.Object == o {
 					src := f.Provenance.Source
 					if f.Provenance.Sentence != "" {
@@ -290,7 +331,7 @@ func (ex *Executor) fact(q Query) (Answer, error) {
 			a.Text = fmt.Sprintf("cannot resolve %q", q.Subject)
 			return a, nil
 		}
-		fa.Matches = ex.KG.ObjectsOf(s, q.Predicate)
+		fa.Matches = ex.KG.ObjectsOfWindow(s, q.Predicate, q.Window)
 		fa.Known = len(fa.Matches) > 0
 		fmt.Fprintf(&b, "%s %s:\n", s, q.Predicate)
 		for _, m := range fa.Matches {
@@ -305,7 +346,7 @@ func (ex *Executor) fact(q Query) (Answer, error) {
 			a.Text = fmt.Sprintf("cannot resolve %q", q.Object)
 			return a, nil
 		}
-		fa.Matches = ex.KG.SubjectsOf(q.Predicate, o)
+		fa.Matches = ex.KG.SubjectsOfWindow(q.Predicate, o, q.Window)
 		fa.Known = len(fa.Matches) > 0
 		fmt.Fprintf(&b, "%s %s:\n", q.Predicate, o)
 		for _, m := range fa.Matches {

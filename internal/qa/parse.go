@@ -6,10 +6,32 @@
 package qa
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"regexp"
+	"strconv"
 	"strings"
+	"time"
+
+	"nous/internal/temporal"
 )
+
+// ErrParse marks questions that cannot be parsed or whose temporal
+// qualifiers are invalid — client errors, as opposed to execution failures.
+// Match with errors.Is.
+var ErrParse = errors.New("qa: unparseable question")
+
+// parseError is an error that errors.Is-matches ErrParse while keeping a
+// specific message.
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string        { return e.msg }
+func (e *parseError) Is(target error) bool { return target == ErrParse }
+
+func parseErrf(format string, args ...any) error {
+	return &parseError{msg: fmt.Sprintf(format, args...)}
+}
 
 // Class is one of the five query classes.
 type Class string
@@ -33,6 +55,10 @@ type Query struct {
 	Predicate string
 	// K bounds result size where applicable.
 	K int
+	// Window is the temporal scope parsed from qualifiers such as "last
+	// week", "in 2015", "between 2014 and 2016" or "as of 2015-06-30". The
+	// zero Window is unbounded (timeless query).
+	Window temporal.Window
 }
 
 // verbToPredicate maps question verbs to ontology predicates.
@@ -55,7 +81,7 @@ var verbToPredicate = map[string]string{
 }
 
 var (
-	reTrending = regexp.MustCompile(`(?i)^\s*(?:what(?:'s| is)?\s+)?(?:show\s+(?:me\s+)?)?trending\b|^\s*what\s+is\s+trending`)
+	reTrending = regexp.MustCompile(`(?i)^\s*(?:what(?:'s| is| was)?\s+)?(?:show\s+(?:me\s+)?)?trending\b|^\s*what\s+(?:is|was)\s+trending`)
 	reEntity   = regexp.MustCompile(`(?i)^\s*(?:tell me about|who is|what is|describe|summarize)\s+(.+?)\s*\??\s*$`)
 	reRelate   = regexp.MustCompile(`(?i)^\s*(?:how|why)\s+(?:is|are|was|were|does|do|did|would|may|might)?\s*(.+?)\s+(?:related|connected|linked|relate|connect)\s*(?:to)?\s+(.+?)(?:\s+via\s+(\w+))?\s*\??\s*$`)
 	reExplain  = regexp.MustCompile(`(?i)^\s*explain\s+(?:the\s+)?(?:relationship|connection|link)\s+between\s+(.+?)\s+and\s+(.+?)(?:\s+via\s+(\w+))?\s*\??\s*$`)
@@ -66,13 +92,179 @@ var (
 	reWhere    = regexp.MustCompile(`(?i)^\s*where\s+is\s+(.+?)\s+(?:headquartered|based|located)\s*\??\s*$`)
 )
 
-// Parse classifies a question into one of the five classes. It returns an
-// error for text it cannot classify.
+// Temporal qualifier patterns. A date is a bare year or an ISO day; the
+// qualifier is stripped from the question before classification, so
+// "Tell me about DJI last week" classifies exactly like "Tell me about DJI".
+const reDate = `(\d{4}(?:-\d{2}-\d{2})?)`
+
+var (
+	reBetween  = regexp.MustCompile(`(?i)\b(?:between|from)\s+` + reDate + `\s+(?:and|to)\s+` + reDate + `\b`)
+	reAsOf     = regexp.MustCompile(`(?i)\bas\s+of\s+` + reDate + `\b`)
+	reSince    = regexp.MustCompile(`(?i)\bsince\s+` + reDate + `\b`)
+	reBefore   = regexp.MustCompile(`(?i)\bbefore\s+` + reDate + `\b`)
+	reInYear   = regexp.MustCompile(`(?i)\b(?:in|during)\s+(\d{4})\b`)
+	reLastUnit = regexp.MustCompile(`(?i)\b(?:in\s+|over\s+|during\s+)?the\s+(?:last|past)\s+(day|week|month|year)\b|\b(?:last|past)\s+(day|week|month|year)\b`)
+	reLastN    = regexp.MustCompile(`(?i)\b(?:in\s+|over\s+|during\s+)?the\s+(?:last|past)\s+(\d+)\s+(days?|weeks?|months?|years?)\b|\b(?:last|past)\s+(\d+)\s+(days?|weeks?|months?|years?)\b`)
+)
+
+// parseDate resolves a qualifier date. A bare year resolves to Jan 1 of that
+// year; end selects the exclusive end of the period (the next year / day).
+func parseDate(s string, end bool) (time.Time, error) {
+	if len(s) == 4 {
+		y, err := strconv.Atoi(s)
+		if err != nil {
+			return time.Time{}, parseErrf("qa: bad year %q", s)
+		}
+		if end {
+			y++
+		}
+		return time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC), nil
+	}
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, parseErrf("qa: bad date %q (want YYYY or YYYY-MM-DD)", s)
+	}
+	if end {
+		t = t.AddDate(0, 0, 1)
+	}
+	return t, nil
+}
+
+// extractWindow finds at most one temporal qualifier in the question,
+// resolves it against now, and returns the question with the qualifier
+// removed. Questions without a qualifier return the unbounded window.
+func extractWindow(q string, now time.Time) (string, temporal.Window, error) {
+	strip := func(loc []int) string {
+		rest := q[:loc[0]] + " " + q[loc[1]:]
+		return strings.Join(strings.Fields(rest), " ")
+	}
+	pick := func(groups []string) string {
+		for _, g := range groups {
+			if g != "" {
+				return g
+			}
+		}
+		return ""
+	}
+	if m := reBetween.FindStringSubmatchIndex(q); m != nil {
+		a, errA := parseDate(q[m[2]:m[3]], false)
+		b, errB := parseDate(q[m[4]:m[5]], true)
+		if errA != nil {
+			return q, temporal.Window{}, errA
+		}
+		if errB != nil {
+			return q, temporal.Window{}, errB
+		}
+		if !a.Before(b) {
+			return q, temporal.Window{}, parseErrf("qa: empty time range %q to %q", q[m[2]:m[3]], q[m[4]:m[5]])
+		}
+		return strip(m[:2]), temporal.Between(a, b), nil
+	}
+	if m := reAsOf.FindStringSubmatchIndex(q); m != nil {
+		t, err := parseDate(q[m[2]:m[3]], true)
+		if err != nil {
+			return q, temporal.Window{}, err
+		}
+		return strip(m[:2]), temporal.UntilTime(t), nil
+	}
+	if m := reSince.FindStringSubmatchIndex(q); m != nil {
+		t, err := parseDate(q[m[2]:m[3]], false)
+		if err != nil {
+			return q, temporal.Window{}, err
+		}
+		return strip(m[:2]), temporal.SinceTime(t), nil
+	}
+	if m := reBefore.FindStringSubmatchIndex(q); m != nil {
+		t, err := parseDate(q[m[2]:m[3]], false)
+		if err != nil {
+			return q, temporal.Window{}, err
+		}
+		return strip(m[:2]), temporal.Window{Since: math.MinInt64, Until: t.Unix()}, nil
+	}
+	if m := reInYear.FindStringSubmatchIndex(q); m != nil {
+		a, _ := parseDate(q[m[2]:m[3]], false)
+		b, _ := parseDate(q[m[2]:m[3]], true)
+		return strip(m[:2]), temporal.Between(a, b), nil
+	}
+	group := func(m []int, i int) string {
+		if m[2*i] < 0 {
+			return ""
+		}
+		return q[m[2*i]:m[2*i+1]]
+	}
+	if m := reLastN.FindStringSubmatchIndex(q); m != nil {
+		n, err := strconv.Atoi(pick([]string{group(m, 1), group(m, 3)}))
+		if err != nil || n <= 0 {
+			return q, temporal.Window{}, parseErrf("qa: bad duration in %q", q[m[0]:m[1]])
+		}
+		unit := strings.TrimSuffix(strings.ToLower(pick([]string{group(m, 2), group(m, 4)})), "s")
+		return strip(m[:2]), lastWindow(now, n, unit), nil
+	}
+	if m := reLastUnit.FindStringSubmatchIndex(q); m != nil {
+		unit := strings.ToLower(pick([]string{group(m, 1), group(m, 2)}))
+		return strip(m[:2]), lastWindow(now, 1, unit), nil
+	}
+	return q, temporal.Window{}, nil
+}
+
+// lastWindow is the window of the last n days/weeks/months/years ending now
+// (inclusive of now). Endpoints are quantized to the minute so repeated
+// relative questions under a ticking clock share one (epoch, window) cache
+// key instead of producing a fresh windowed-PageRank artifact every second.
+func lastWindow(now time.Time, n int, unit string) temporal.Window {
+	var since time.Time
+	switch unit {
+	case "day":
+		since = now.AddDate(0, 0, -n)
+	case "week":
+		since = now.AddDate(0, 0, -7*n)
+	case "month":
+		since = now.AddDate(0, -n, 0)
+	default: // year
+		since = now.AddDate(-n, 0, 0)
+	}
+	return temporal.Window{Since: floorMinute(since.Unix()), Until: floorMinute(now.Unix()) + 60}
+}
+
+// floorMinute rounds a unix timestamp down to the minute (floor division,
+// correct for pre-1970 values too).
+func floorMinute(ts int64) int64 {
+	m := ts / 60
+	if ts%60 != 0 && ts < 0 {
+		m--
+	}
+	return m * 60
+}
+
+// Parse classifies a question into one of the five classes, resolving
+// relative temporal qualifiers against the wall clock. It returns an error
+// (matching ErrParse) for text it cannot classify.
 func Parse(question string) (Query, error) {
+	return ParseAt(question, time.Now())
+}
+
+// ParseAt is Parse with an explicit reference time for relative qualifiers
+// ("last week" is resolved against now).
+func ParseAt(question string, now time.Time) (Query, error) {
 	q := strings.TrimSpace(question)
 	if q == "" {
-		return Query{}, fmt.Errorf("qa: empty question")
+		return Query{}, parseErrf("qa: empty question")
 	}
+	q, window, err := extractWindow(q, now)
+	if err != nil {
+		return Query{}, err
+	}
+	parsed, err := classify(q, question)
+	if err != nil {
+		return Query{}, err
+	}
+	parsed.Window = window
+	return parsed, nil
+}
+
+// classify maps the (qualifier-stripped) question onto one of the five
+// classes. original is the untouched question, used in error messages.
+func classify(q, original string) (Query, error) {
 
 	if reTrending.MatchString(q) {
 		return Query{Class: ClassTrending, K: 10}, nil
@@ -107,7 +299,7 @@ func Parse(question string) (Query, error) {
 	if m := reEntity.FindStringSubmatch(q); m != nil {
 		return Query{Class: ClassEntity, Subject: cleanArg(m[1]), K: 10}, nil
 	}
-	return Query{}, fmt.Errorf("qa: cannot classify question %q", question)
+	return Query{}, parseErrf("qa: cannot classify question %q", original)
 }
 
 func cleanArg(s string) string {

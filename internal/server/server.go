@@ -12,14 +12,24 @@
 //	GET /api/explain?src=&dst=&predicate=&k=   relationship paths
 //	GET /api/stats                KG + stream + query-cache statistics
 //	GET /api/graph?entity=A,B     subgraph as JSON
+//	GET /api/recent?k=20          newest facts in the window (time-index feed)
 //	GET /                         minimal HTML console
+//
+// /api/ask, /api/entity, /api/explain, /api/graph and /api/recent accept
+// since and until parameters (a bare year, unix seconds, YYYY-MM-DD or
+// RFC 3339) scoping the answer to the half-open window [since, until).
+// Curated facts are always in scope for the query endpoints; /api/recent is
+// a pure timestamp feed, so undated curated facts never appear in it.
+// Omitting both yields exactly the unwindowed answer.
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -35,6 +45,10 @@ const DefaultRequestTimeout = 15 * time.Second
 type Server struct {
 	pipeline *nous.Pipeline
 	handler  http.Handler
+	// ask answers one windowed question; it defaults to the pipeline's
+	// AskWindow and exists as a seam so tests can exercise handleAsk's
+	// error mapping (parse failures vs executor failures) directly.
+	ask func(question string, w nous.Window) (nous.Answer, error)
 }
 
 // New builds a server over an assembled pipeline with the default
@@ -46,7 +60,7 @@ func New(p *nous.Pipeline) *Server {
 // NewWithTimeout builds a server whose handlers are cut off after timeout
 // (<= 0 disables the limit). Timed-out requests get a 503 JSON error.
 func NewWithTimeout(p *nous.Pipeline, timeout time.Duration) *Server {
-	s := &Server{pipeline: p}
+	s := &Server{pipeline: p, ask: p.AskWindow}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/ask", s.handleAsk)
 	mux.HandleFunc("GET /api/entity", s.handleEntity)
@@ -55,6 +69,7 @@ func NewWithTimeout(p *nous.Pipeline, timeout time.Duration) *Server {
 	mux.HandleFunc("GET /api/explain", s.handleExplain)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/graph", s.handleGraph)
+	mux.HandleFunc("GET /api/recent", s.handleRecent)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.handler = mux
 	if timeout > 0 {
@@ -111,9 +126,21 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing q parameter; classes: "+strings.Join(nous.QueryClasses(), " | "))
 		return
 	}
-	a, err := s.pipeline.Ask(q)
+	win, err := windowParam(r)
 	if err != nil {
 		badRequest(w, err.Error())
+		return
+	}
+	a, err := s.ask(q, win)
+	if err != nil {
+		// Unparseable questions and invalid temporal qualifiers are the
+		// client's fault; anything else is an execution failure and must
+		// surface as a server error, not a 400.
+		if errors.Is(err, nous.ErrParse) {
+			badRequest(w, err.Error())
+		} else {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
 		return
 	}
 	resp := askResponse{Class: string(a.Class), Text: a.Text}
@@ -138,7 +165,12 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing name parameter")
 		return
 	}
-	a, err := s.pipeline.About(name)
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	a, err := s.pipeline.AboutWindow(name, win)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
@@ -195,7 +227,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
-	a, err := s.pipeline.Explain(src, dst, r.URL.Query().Get("predicate"), k)
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	a, err := s.pipeline.ExplainWindow(src, dst, r.URL.Query().Get("predicate"), k, win)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
@@ -207,17 +244,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // epoch-versioned query cache state and — when the pipeline is durable —
 // the persistence layer's snapshot/WAL state.
 type statsResponse struct {
-	KG      nous.KGStats       `json:"kg"`
-	Stream  nous.StreamStats   `json:"stream"`
-	Query   nous.QueryStats    `json:"query"`
-	Persist *nous.PersistStats `json:"persist,omitempty"`
+	KG       nous.KGStats       `json:"kg"`
+	Stream   nous.StreamStats   `json:"stream"`
+	Query    nous.QueryStats    `json:"query"`
+	Temporal nous.TemporalStats `json:"temporal"`
+	Persist  *nous.PersistStats `json:"persist,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		KG:     s.pipeline.KG().Stats(),
-		Stream: s.pipeline.Stats(),
-		Query:  s.pipeline.QueryStats(),
+		KG:       s.pipeline.KG().Stats(),
+		Stream:   s.pipeline.Stats(),
+		Query:    s.pipeline.QueryStats(),
+		Temporal: s.pipeline.TemporalStats(),
 	}
 	if ps, ok := s.pipeline.PersistStats(); ok {
 		resp.Persist = &ps
@@ -229,6 +268,11 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	// Validate the export target fully before writing any output, so an
 	// error can still change the status code: once ExportJSON starts
 	// streaming, a late failure would corrupt a 200 response.
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
 	var names []string
 	if e := r.URL.Query().Get("entity"); e != "" {
 		names = strings.Split(e, ",")
@@ -240,7 +284,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := s.pipeline.KG().ExportJSON(&buf, names...); err != nil {
+	if err := s.pipeline.KG().ExportJSONWindow(&buf, win, names...); err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
@@ -250,9 +294,100 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// recentFact is the wire form of one stream-feed entry.
+type recentFact struct {
+	Subject    string  `json:"subject"`
+	Predicate  string  `json:"predicate"`
+	Object     string  `json:"object"`
+	Confidence float64 `json:"confidence"`
+	Curated    bool    `json:"curated"`
+	Source     string  `json:"source,omitempty"`
+	Time       string  `json:"time,omitempty"`
+}
+
+// handleRecent serves the newest k facts inside the window, oldest first —
+// the time index's feed view of the stream.
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k", 20)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	facts := s.pipeline.RecentFacts(win, k)
+	out := make([]recentFact, len(facts))
+	for i, f := range facts {
+		out[i] = recentFact{
+			Subject: f.Subject, Predicate: f.Predicate, Object: f.Object,
+			Confidence: f.Confidence, Curated: f.Curated, Source: f.Provenance.Source,
+		}
+		if !f.Provenance.Time.IsZero() {
+			out[i].Time = f.Provenance.Time.UTC().Format(time.RFC3339)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, indexHTML)
+}
+
+// windowParam parses the optional since/until query parameters into a time
+// window. Accepted forms per parameter: a bare year ("2015" — Jan 1 of that
+// year, matching the question language's "since 2015"), unix seconds
+// ("1434067200"), a day ("2015-06-12") or RFC 3339
+// ("2015-06-12T00:00:00Z"). until is the window's exclusive end. Omitting
+// both yields the unbounded window.
+func windowParam(r *http.Request) (nous.Window, error) {
+	sinceStr := r.URL.Query().Get("since")
+	untilStr := r.URL.Query().Get("until")
+	if sinceStr == "" && untilStr == "" {
+		return nous.Window{}, nil
+	}
+	w := nous.Window{Since: math.MinInt64, Until: math.MaxInt64}
+	if sinceStr != "" {
+		ts, err := timeParam("since", sinceStr)
+		if err != nil {
+			return nous.Window{}, err
+		}
+		w.Since = ts
+	}
+	if untilStr != "" {
+		ts, err := timeParam("until", untilStr)
+		if err != nil {
+			return nous.Window{}, err
+		}
+		w.Until = ts
+	}
+	if w.Since >= w.Until {
+		return nous.Window{}, fmt.Errorf("empty window: since %q is not before until %q", sinceStr, untilStr)
+	}
+	return w, nil
+}
+
+func timeParam(name, v string) (int64, error) {
+	if ts, err := strconv.ParseInt(v, 10, 64); err == nil {
+		// A bare 4-digit integer is a year, not 2015 seconds past the
+		// epoch — the question language ("since 2015") resolves the same
+		// token to Jan 1 of that year, and the two surfaces must agree.
+		// Signed or zero-padded tokens ("-100", "0100") stay unix seconds.
+		if len(v) == 4 && ts >= 1000 {
+			return time.Date(int(ts), 1, 1, 0, 0, 0, 0, time.UTC).Unix(), nil
+		}
+		return ts, nil
+	}
+	if t, err := time.Parse("2006-01-02", v); err == nil {
+		return t.Unix(), nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t.Unix(), nil
+	}
+	return 0, fmt.Errorf("parameter %q must be a year, unix seconds, YYYY-MM-DD or RFC 3339, got %q", name, v)
 }
 
 // intParam parses a positive integer query parameter, returning def when

@@ -1,0 +1,334 @@
+package temporal
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"nous/internal/graph"
+)
+
+// timeless is the edge timestamp a zero provenance time maps to
+// (time.Time{}.Unix(), year 1) — what curated facts carry. Span and Stats
+// exclude timestamps at or before it so the reported span describes the
+// dated stream, not the background substrate.
+var timeless = time.Time{}.Unix()
+
+// entry is one indexed edge: its timestamp and ID. Entries within a shard
+// are kept sorted by (ts, id).
+type entry struct {
+	ts int64
+	id graph.EdgeID
+}
+
+// ishard is one lock stripe of the index. Edges are assigned to the stripe
+// of their edge ID with the same mapping the graph's own shards use, so
+// contention under concurrent ingestion spreads the same way.
+type ishard struct {
+	mu      sync.RWMutex
+	entries []entry                // sorted by (ts, id)
+	byID    map[graph.EdgeID]int64 // id -> indexed timestamp, for removal
+}
+
+// Index is a per-shard time-ordered edge index over one graph. It is kept in
+// sync through the graph's mutation stream (Attach) and can be rebuilt from
+// graph state after recovery, when restores bypass the mutation hooks. All
+// methods are safe for concurrent use.
+type Index struct {
+	g      *graph.Graph
+	shards []ishard
+	detach func()
+}
+
+// Stats is a snapshot of the index for /api/stats.
+type Stats struct {
+	// Edges is the number of indexed edges, timeless ones included.
+	Edges int `json:"edges"`
+	// MinTimestamp/MaxTimestamp span the *dated* indexed timestamps —
+	// edges whose provenance time was zero (the curated substrate) are
+	// excluded. Both are 0 when no dated edge is indexed.
+	MinTimestamp int64 `json:"min_timestamp"`
+	MaxTimestamp int64 `json:"max_timestamp"`
+}
+
+// NewIndex builds an index of g's current edges without subscribing to
+// future mutations. Most callers want Attach.
+func NewIndex(g *graph.Graph) *Index {
+	ix := &Index{g: g, shards: make([]ishard, graph.ShardCount())}
+	for i := range ix.shards {
+		ix.shards[i].byID = make(map[graph.EdgeID]int64)
+	}
+	ix.scan()
+	return ix
+}
+
+// Attach builds an index of g's current edges and subscribes to the graph's
+// mutation stream so every subsequent AddEdge/AddEdges/RemoveEdge keeps the
+// index in sync. The hook is installed before the initial scan and inserts
+// are idempotent, so edges added concurrently with the scan are indexed
+// exactly once; attach before concurrent *removals* begin (the pipeline
+// attaches at construction, ahead of ingestion). Call Detach to unsubscribe.
+func Attach(g *graph.Graph) *Index {
+	ix := &Index{g: g, shards: make([]ishard, graph.ShardCount())}
+	for i := range ix.shards {
+		ix.shards[i].byID = make(map[graph.EdgeID]int64)
+	}
+	ix.detach = g.AddMutationHook(ix.OnMutation)
+	ix.scan()
+	return ix
+}
+
+// Detach unsubscribes the index from the graph's mutation stream. The index
+// remains readable but no longer tracks new writes.
+func (ix *Index) Detach() {
+	if ix.detach != nil {
+		ix.detach()
+		ix.detach = nil
+	}
+}
+
+// Rebuild clears the index and re-scans the graph. Recovery calls it (via
+// NewIndex/Attach) because snapshot loads and WAL replay restore edges
+// without emitting mutations. The graph must be quiescent for the rebuild to
+// be a consistent cut.
+func (ix *Index) Rebuild() {
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.Lock()
+		s.entries = s.entries[:0]
+		s.byID = make(map[graph.EdgeID]int64)
+		s.mu.Unlock()
+	}
+	ix.scan()
+}
+
+// scan back-fills the index from the graph's current edges. Entries are
+// bucketed per shard and each shard is sorted once — O(E log E) total —
+// rather than insertion-sorted edge by edge, which would make recovery of a
+// large graph quadratic. Edges the mutation hook indexed concurrently are
+// deduplicated through byID.
+func (ix *Index) scan() {
+	buckets := make([][]entry, len(ix.shards))
+	for _, id := range ix.g.EdgeIDs() {
+		if e, ok := ix.g.Edge(id); ok {
+			si := int(uint64(e.ID) % uint64(len(ix.shards)))
+			buckets[si] = append(buckets[si], entry{ts: e.Timestamp, id: e.ID})
+		}
+	}
+	for si, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		s := &ix.shards[si]
+		s.mu.Lock()
+		for _, en := range bucket {
+			if _, dup := s.byID[en.id]; dup {
+				continue
+			}
+			s.byID[en.id] = en.ts
+			s.entries = append(s.entries, en)
+		}
+		sort.Slice(s.entries, func(i, j int) bool {
+			if s.entries[i].ts != s.entries[j].ts {
+				return s.entries[i].ts < s.entries[j].ts
+			}
+			return s.entries[i].id < s.entries[j].id
+		})
+		s.mu.Unlock()
+	}
+}
+
+// OnMutation consumes one graph mutation. Only edge insertions and removals
+// move the index; property and weight updates do not change timestamps.
+func (ix *Index) OnMutation(m graph.Mutation) {
+	switch m.Kind {
+	case graph.MutAddEdges:
+		for i := range m.Edges {
+			ix.insert(m.Edges[i].ID, m.Edges[i].Timestamp)
+		}
+	case graph.MutRemoveEdge:
+		ix.remove(m.EdgeID)
+	}
+}
+
+func (ix *Index) shardOf(id graph.EdgeID) *ishard {
+	return &ix.shards[uint64(id)%uint64(len(ix.shards))]
+}
+
+// insert indexes one edge. Inserting an already-indexed ID is a no-op, which
+// makes the attach-time scan idempotent against concurrently hooked inserts.
+func (ix *Index) insert(id graph.EdgeID, ts int64) {
+	s := ix.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[id]; dup {
+		return
+	}
+	s.byID[id] = ts
+	i := sort.Search(len(s.entries), func(i int) bool {
+		e := s.entries[i]
+		return e.ts > ts || (e.ts == ts && e.id >= id)
+	})
+	s.entries = append(s.entries, entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = entry{ts: ts, id: id}
+}
+
+// remove drops one edge from the index. Removing an unindexed ID is a no-op.
+func (ix *Index) remove(id graph.EdgeID) {
+	s := ix.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	delete(s.byID, id)
+	i := sort.Search(len(s.entries), func(i int) bool {
+		e := s.entries[i]
+		return e.ts > ts || (e.ts == ts && e.id >= id)
+	})
+	if i < len(s.entries) && s.entries[i].id == id {
+		s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	}
+}
+
+// Len returns the number of indexed edges.
+func (ix *Index) Len() int {
+	n := 0
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// rangeOf returns the half-open entry range of w within a shard's sorted
+// entries. The caller holds the shard's read lock.
+func (s *ishard) rangeOf(w Window) (lo, hi int) {
+	if w.IsAll() {
+		return 0, len(s.entries)
+	}
+	lo = sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts >= w.Since })
+	hi = sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts >= w.Until })
+	if hi < lo {
+		// An empty/inverted window (e.g. a disjoint intersection) searches
+		// to hi < lo; clamp so callers get an empty range, not a panic.
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Count returns the number of edges whose timestamp lies in w. It is a pure
+// timestamp query — the curated-pass rule of Window.ContainsEdge applies to
+// read views, not to the raw index.
+func (ix *Index) Count(w Window) int {
+	n := 0
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		lo, hi := s.rangeOf(w)
+		n += hi - lo
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// EdgesIn returns the IDs of edges whose timestamp lies in w, ordered by
+// (timestamp, ID).
+func (ix *Index) EdgesIn(w Window) []graph.EdgeID {
+	var all []entry
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		lo, hi := s.rangeOf(w)
+		all = append(all, s.entries[lo:hi]...)
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ts != all[j].ts {
+			return all[i].ts < all[j].ts
+		}
+		return all[i].id < all[j].id
+	})
+	ids := make([]graph.EdgeID, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// LatestIn returns the IDs of the newest k edges whose timestamps lie in w,
+// ordered oldest-to-newest. Only the tail of each shard's in-window range
+// is read — O(shards·(log n + k)) — which is what makes the index cheaper
+// than a full edge scan for feed-style "what just happened" queries.
+func (ix *Index) LatestIn(w Window, k int) []graph.EdgeID {
+	if k <= 0 {
+		return nil
+	}
+	var all []entry
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		lo, hi := s.rangeOf(w)
+		if hi-lo > k {
+			lo = hi - k
+		}
+		all = append(all, s.entries[lo:hi]...)
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ts != all[j].ts {
+			return all[i].ts < all[j].ts
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[len(all)-k:]
+	}
+	ids := make([]graph.EdgeID, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Span returns the minimum and maximum *dated* indexed timestamps — edges
+// at or before the timeless sentinel (zero provenance time, i.e. the
+// curated substrate) are skipped, so the span describes the stream. ok is
+// false when no dated edge is indexed.
+func (ix *Index) Span() (min, max int64, ok bool) {
+	min, max = math.MaxInt64, math.MinInt64
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.mu.RLock()
+		// Entries are sorted by timestamp; skip the timeless prefix.
+		lo := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts > timeless })
+		if lo < len(s.entries) {
+			ok = true
+			if first := s.entries[lo].ts; first < min {
+				min = first
+			}
+			if last := s.entries[len(s.entries)-1].ts; last > max {
+				max = last
+			}
+		}
+		s.mu.RUnlock()
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return min, max, true
+}
+
+// Stats snapshots the index state.
+func (ix *Index) Stats() Stats {
+	st := Stats{Edges: ix.Len()}
+	if min, max, ok := ix.Span(); ok {
+		st.MinTimestamp, st.MaxTimestamp = min, max
+	}
+	return st
+}

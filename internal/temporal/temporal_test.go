@@ -1,0 +1,406 @@
+package temporal
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nous/internal/graph"
+)
+
+func TestWindowZeroValueIsUnbounded(t *testing.T) {
+	var w Window
+	if !w.IsAll() || w.Bounded() {
+		t.Fatal("zero window must be unbounded")
+	}
+	for _, ts := range []int64{math.MinInt64, -62135596800, 0, 1, math.MaxInt64} {
+		if !w.Contains(ts) {
+			t.Fatalf("unbounded window rejected %d", ts)
+		}
+	}
+	if !(Window{Since: math.MinInt64, Until: math.MaxInt64}).IsAll() {
+		t.Fatal("explicit full-range window must be IsAll")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Since: 10, Until: 20}
+	for ts, want := range map[int64]bool{9: false, 10: true, 19: true, 20: false, -5: false} {
+		if got := w.Contains(ts); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", ts, got, want)
+		}
+	}
+}
+
+func TestWindowContainsEdgeCuratedAlwaysPasses(t *testing.T) {
+	w := Window{Since: 100, Until: 200}
+	curated := graph.Edge{Timestamp: -62135596800, Props: map[string]string{"curated": "true"}}
+	extractedIn := graph.Edge{Timestamp: 150}
+	extractedOut := graph.Edge{Timestamp: 50}
+	if !w.ContainsEdge(curated) {
+		t.Fatal("curated edge must pass any window")
+	}
+	if !w.ContainsEdge(extractedIn) || w.ContainsEdge(extractedOut) {
+		t.Fatal("extracted edges must be scoped by timestamp")
+	}
+	if !All().ContainsEdge(extractedOut) {
+		t.Fatal("unbounded window must pass everything")
+	}
+}
+
+func TestWindowIntersect(t *testing.T) {
+	a := Window{Since: 10, Until: 100}
+	b := Window{Since: 50, Until: 200}
+	got := a.Intersect(b)
+	if got.Since != 50 || got.Until != 100 {
+		t.Fatalf("intersect = %+v", got)
+	}
+	if x := All().Intersect(a); x != a {
+		t.Fatalf("All ∩ a = %+v", x)
+	}
+	if x := a.Intersect(All()); x != a {
+		t.Fatalf("a ∩ All = %+v", x)
+	}
+	empty := (Window{Since: 10, Until: 20}).Intersect(Window{Since: 30, Until: 40})
+	if empty.Contains(15) || empty.Contains(35) {
+		t.Fatal("disjoint intersection must contain nothing")
+	}
+	// A disjoint pair straddling ts=0 must not collapse to the zero value
+	// (which would read as unbounded): (-inf, 0) ∩ [0, +inf) = nothing.
+	zeroish := (Window{Since: math.MinInt64, Until: 0}).Intersect(Window{Since: 0, Until: math.MaxInt64})
+	if zeroish.IsAll() {
+		t.Fatal("disjoint intersection at ts=0 flipped to unbounded")
+	}
+	for _, ts := range []int64{-1, 0, 1} {
+		if zeroish.Contains(ts) {
+			t.Fatalf("empty intersection contains %d", ts)
+		}
+	}
+	if Empty().Contains(0) || Empty().IsAll() {
+		t.Fatal("Empty() must contain nothing and not be unbounded")
+	}
+}
+
+func TestIndexTracksAddsAndRemoves(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+
+	var ids []graph.EdgeID
+	for _, ts := range []int64{30, 10, 20, 40} {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	in := ix.EdgesIn(Window{Since: 10, Until: 31})
+	if len(in) != 3 {
+		t.Fatalf("EdgesIn = %v, want 3 edges", in)
+	}
+	// Ordered by (ts, id): ts 10, 20, 30 → ids[1], ids[2], ids[0].
+	if in[0] != ids[1] || in[1] != ids[2] || in[2] != ids[0] {
+		t.Fatalf("EdgesIn order = %v", in)
+	}
+	if n := ix.Count(Window{Since: 35, Until: 100}); n != 1 {
+		t.Fatalf("Count = %d, want 1", n)
+	}
+
+	g.RemoveEdge(ids[2]) // ts 20
+	if ix.Len() != 3 {
+		t.Fatalf("Len after remove = %d, want 3", ix.Len())
+	}
+	if n := ix.Count(Window{Since: 15, Until: 25}); n != 0 {
+		t.Fatalf("removed edge still indexed (count %d)", n)
+	}
+	min, max, ok := ix.Span()
+	if !ok || min != 10 || max != 40 {
+		t.Fatalf("Span = (%d, %d, %v)", min, max, ok)
+	}
+}
+
+func TestLatestIn(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+	var ids []graph.EdgeID
+	for ts := int64(0); ts < 20; ts++ {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	got := ix.LatestIn(All(), 3)
+	if len(got) != 3 || got[0] != ids[17] || got[1] != ids[18] || got[2] != ids[19] {
+		t.Fatalf("LatestIn(All, 3) = %v, want newest three oldest-first", got)
+	}
+	got = ix.LatestIn(Window{Since: 5, Until: 10}, 2)
+	if len(got) != 2 || got[0] != ids[8] || got[1] != ids[9] {
+		t.Fatalf("LatestIn(window, 2) = %v", got)
+	}
+	if got := ix.LatestIn(Empty(), 5); len(got) != 0 {
+		t.Fatalf("LatestIn(Empty) = %v", got)
+	}
+	if got := ix.LatestIn(All(), 0); got != nil {
+		t.Fatalf("LatestIn(k=0) = %v", got)
+	}
+	if got := ix.LatestIn(All(), 100); len(got) != 20 {
+		t.Fatalf("LatestIn(k>len) returned %d", len(got))
+	}
+}
+
+func TestIndexEmptyWindowQueries(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+	for _, ts := range []int64{10, 20, 30} {
+		if _, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty and inverted windows (disjoint intersections produce them) must
+	// return nothing — not panic or go negative.
+	for _, w := range []Window{Empty(), {Since: 25, Until: 15}, {Since: 15, Until: 15}} {
+		if n := ix.Count(w); n != 0 {
+			t.Fatalf("Count(%+v) = %d, want 0", w, n)
+		}
+		if ids := ix.EdgesIn(w); len(ids) != 0 {
+			t.Fatalf("EdgesIn(%+v) = %v, want none", w, ids)
+		}
+	}
+}
+
+func TestSpanExcludesTimelessSubstrate(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+	// A curated fact's edge carries the zero-provenance-time sentinel; it
+	// must not drag the reported span back to year 1.
+	if _, err := g.AddEdgeFull(a, b, "manufactures", 1, timeless, map[string]string{"curated": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ix.Span(); ok {
+		t.Fatal("timeless-only index reported a dated span")
+	}
+	if _, err := g.AddEdgeFull(a, b, "acquired", 1, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdgeFull(a, b, "acquired", 1, 2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := ix.Span()
+	if !ok || min != 1000 || max != 2000 {
+		t.Fatalf("Span = (%d, %d, %v), want dated range (1000, 2000)", min, max, ok)
+	}
+	st := ix.Stats()
+	if st.Edges != 3 || st.MinTimestamp != 1000 || st.MaxTimestamp != 2000 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestIndexScansPreexistingEdges(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	if _, err := g.AddEdgeFull(a, b, "acquired", 1, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(g)
+	if ix.Len() != 1 || ix.Count(Window{Since: 7, Until: 8}) != 1 {
+		t.Fatal("pre-existing edge not indexed")
+	}
+}
+
+func TestIndexRebuildMatchesGraph(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	var ids []graph.EdgeID
+	for ts := int64(0); ts < 10; ts++ {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	g.RemoveEdge(ids[3])
+	ix := NewIndex(g)
+	if ix.Len() != g.NumEdges() {
+		t.Fatalf("index %d edges, graph %d", ix.Len(), g.NumEdges())
+	}
+	ix.Rebuild()
+	if ix.Len() != g.NumEdges() {
+		t.Fatalf("after rebuild: index %d edges, graph %d", ix.Len(), g.NumEdges())
+	}
+	// Every indexed edge must exist with the indexed timestamp order.
+	prev := int64(math.MinInt64)
+	for _, id := range ix.EdgesIn(All()) {
+		e, ok := g.Edge(id)
+		if !ok {
+			t.Fatalf("index holds removed edge %d", id)
+		}
+		if e.Timestamp < prev {
+			t.Fatalf("EdgesIn out of time order at edge %d", id)
+		}
+		prev = e.Timestamp
+	}
+}
+
+func TestIndexDetachStopsTracking(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	if _, err := g.AddEdgeFull(a, b, "acquired", 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix.Detach()
+	if _, err := g.AddEdgeFull(a, b, "acquired", 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("detached index tracked a write (len %d)", ix.Len())
+	}
+}
+
+// TestIndexNoGhostEntriesUnderScavenging pins the mutation-ordering
+// contract: a remover that *discovers* edges through graph reads (not
+// through the writer's return value) must never get its MutRemoveEdge
+// delivered before the edge's MutAddEdges — otherwise the index would
+// permanently hold a ghost entry for a deleted edge.
+func TestIndexNoGhostEntriesUnderScavenging(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+
+	stop := make(chan struct{})
+	var scav sync.WaitGroup
+	scav.Add(1)
+	go func() {
+		defer scav.Done()
+		for {
+			for _, e := range g.EdgesByLabel("acquired") {
+				g.RemoveEdge(e.ID)
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if _, err := g.AddEdgeFull(a, b, "acquired", 1, int64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if _, err := g.AddEdges([]graph.EdgeSpec{
+				{Src: a, Dst: b, Label: "acquired", Weight: 1, Timestamp: int64(i)},
+				{Src: b, Dst: a, Label: "acquired", Weight: 1, Timestamp: int64(i)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	scav.Wait()
+	// Drain whatever the scavenger did not reach.
+	for _, e := range g.EdgesByLabel("acquired") {
+		g.RemoveEdge(e.ID)
+	}
+	if ix.Len() != g.NumEdges() {
+		t.Fatalf("index %d entries, graph %d edges (ghost entries)", ix.Len(), g.NumEdges())
+	}
+	for _, id := range ix.EdgesIn(All()) {
+		if _, ok := g.Edge(id); !ok {
+			t.Fatalf("index holds removed edge %d", id)
+		}
+	}
+}
+
+// TestIndexConcurrentAddRemove races writers, removers and window readers
+// against one index; run under -race it exercises the stripe locking, and
+// the final reconciliation asserts index == graph.
+func TestIndexConcurrentAddRemove(t *testing.T) {
+	g := graph.New()
+	var verts []graph.VertexID
+	for i := 0; i < 8; i++ {
+		verts = append(verts, g.AddVertex("Company"))
+	}
+	ix := Attach(g)
+	defer ix.Detach()
+
+	const perWorker = 200
+	var wg sync.WaitGroup
+	idCh := make(chan graph.EdgeID, 4*perWorker)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id, err := g.AddEdgeFull(verts[i%len(verts)], verts[(i+1)%len(verts)],
+					"acquired", 1, int64(w*perWorker+i), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					idCh <- id
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for id := range idCh {
+			g.RemoveEdge(id)
+		}
+	}()
+	// Concurrent readers.
+	stop := make(chan struct{})
+	var qg sync.WaitGroup
+	qg.Add(1)
+	go func() {
+		defer qg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ix.Count(Window{Since: 100, Until: 500})
+				ix.EdgesIn(Window{Since: 0, Until: 50})
+				ix.Span()
+			}
+		}
+	}()
+	wg.Wait()
+	close(idCh)
+	rg.Wait()
+	close(stop)
+	qg.Wait()
+
+	if ix.Len() != g.NumEdges() {
+		t.Fatalf("index %d edges, graph %d", ix.Len(), g.NumEdges())
+	}
+	for _, id := range ix.EdgesIn(All()) {
+		if _, ok := g.Edge(id); !ok {
+			t.Fatalf("index holds removed edge %d", id)
+		}
+	}
+}

@@ -91,7 +91,18 @@ func (d *Detector) OnEvent(ev core.Event) {
 }
 
 func (d *Detector) bucketOf(t time.Time) int64 {
-	return t.Unix() / int64(d.cfg.Bucket.Seconds())
+	bucket := int64(d.cfg.Bucket / time.Second)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	sec := t.Unix()
+	b := sec / bucket
+	// Integer division truncates toward zero; floor it so pre-1970
+	// timestamps land in the bucket containing them, not one bucket late.
+	if sec%bucket != 0 && sec < 0 {
+		b--
+	}
+	return b
 }
 
 func bump(m map[string]map[int64]int, name string, bucket int64) {
@@ -205,23 +216,23 @@ func (d *Detector) scan(m map[string]map[int64]int, kind Kind, cur int64) []Tren
 	return out
 }
 
-// Series returns an entity's (or predicate's) activity counts for the n
-// buckets ending at the one containing now — the sparkline behind Fig 6's
-// entity view.
+// Series returns the activity counts under a name for the n buckets ending
+// at the one containing now — the sparkline behind Fig 6's entity view. When
+// an entity and a predicate share the name, their counts are summed rather
+// than the predicate's being shadowed. A non-positive n returns nil.
 func (d *Detector) Series(name string, now time.Time, n int) []int {
+	if n <= 0 {
+		return nil
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	byBucket := d.entityCounts[name]
-	if byBucket == nil {
-		byBucket = d.predCounts[name]
-	}
+	entity := d.entityCounts[name]
+	pred := d.predCounts[name]
 	cur := d.bucketOf(now)
 	out := make([]int, n)
 	for i := 0; i < n; i++ {
 		b := cur - int64(n-1-i)
-		if byBucket != nil {
-			out[i] = byBucket[b]
-		}
+		out[i] = entity[b] + pred[b]
 	}
 	return out
 }

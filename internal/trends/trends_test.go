@@ -158,3 +158,58 @@ func TestKGIntegration(t *testing.T) {
 		t.Fatalf("KG events not observed: %+v", ts)
 	}
 }
+
+func TestBucketOfFloorsPre1970(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	// A timestamp strictly before the epoch must land in the bucket that
+	// contains it, not be truncated toward zero (one bucket late).
+	pre := time.Date(1969, 12, 31, 12, 0, 0, 0, time.UTC) // -12h
+	b := d.bucketOf(pre)
+	if b != -1 {
+		t.Fatalf("bucketOf(1969-12-31) = %d, want -1", b)
+	}
+	// Mentions before 1970 must be counted in their own week, so a query at
+	// that time sees them as current.
+	d.OnEvent(added("Apollo", "deploys", "Saturn V", pre))
+	d.OnEvent(added("Apollo", "deploys", "Saturn V", pre))
+	s := d.Series("Apollo", pre, 1)
+	if s[0] != 2 {
+		t.Fatalf("pre-1970 series = %v, want [2]", s)
+	}
+	// Exact bucket boundaries stay exact in both eras.
+	if got := d.bucketOf(time.Unix(0, 0)); got != 0 {
+		t.Fatalf("bucketOf(epoch) = %d", got)
+	}
+	week := int64((7 * 24 * time.Hour) / time.Second)
+	if got := d.bucketOf(time.Unix(-week, 0)); got != -1 {
+		t.Fatalf("bucketOf(-1 week exactly) = %d, want -1", got)
+	}
+}
+
+func TestSeriesNonPositiveN(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	d.OnEvent(added("DJI", "acquired", "Aeros", day(0)))
+	if got := d.Series("DJI", day(0), 0); got != nil {
+		t.Fatalf("Series(n=0) = %v, want nil", got)
+	}
+	if got := d.Series("DJI", day(0), -3); got != nil {
+		t.Fatalf("Series(n=-3) = %v, want nil", got)
+	}
+}
+
+func TestSeriesSharedNameSumsEntityAndPredicate(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	// "acquired" shows up both as an entity mention (subject) and as a
+	// predicate; the series must sum both instead of shadowing one.
+	d.OnEvent(added("acquired", "deploys", "Phantom 3", day(0))) // entity count
+	d.OnEvent(added("DJI", "acquired", "Aeros", day(0)))         // predicate count
+	s := d.Series("acquired", day(0), 1)
+	if s[0] != 2 {
+		t.Fatalf("shared-name series = %v, want [2]", s)
+	}
+	// A pure predicate name still has a series.
+	p := d.Series("deploys", day(0), 1)
+	if p[0] != 1 {
+		t.Fatalf("predicate series = %v, want [1]", p)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"nous/internal/persist"
 	"nous/internal/qa"
 	"nous/internal/stream"
+	"nous/internal/temporal"
 	"nous/internal/topics"
 	"nous/internal/trends"
 	"nous/internal/trust"
@@ -89,7 +90,19 @@ type (
 	// PersistOptions tunes a durable pipeline's store (group-commit
 	// threshold, WAL size budget, snapshot retention).
 	PersistOptions = persist.Options
+	// Window is a half-open [Since, Until) unix-seconds time range scoping a
+	// query to a slice of the stream. The zero Window is unbounded; curated
+	// facts are always in scope regardless of the window.
+	Window = temporal.Window
+	// TemporalStats reports the time index's state (indexed edges and
+	// timestamp span).
+	TemporalStats = temporal.Stats
 )
+
+// ErrParse marks questions Ask could not parse (or whose temporal qualifiers
+// are invalid) — client errors, as opposed to execution failures. Match with
+// errors.Is.
+var ErrParse = qa.ErrParse
 
 // NewKG returns an empty dynamic KG over the given ontology (nil for the
 // default news/business ontology).
@@ -153,6 +166,7 @@ type Pipeline struct {
 	analytics *analytics.Cache
 	searcher  *pathsearch.Searcher
 	exec      *qa.Executor
+	tindex    *temporal.Index
 	store     *persist.Store // nil for an in-memory pipeline
 
 	// clock is the pipeline clock in unix nanoseconds (0 = unset, fall back
@@ -192,6 +206,13 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 			p.miner.Add(p.minerEdge(ev.Fact))
 		}
 	})
+
+	// The temporal index subscribes to the graph's mutation stream and
+	// back-fills whatever the graph already holds (the curated substrate
+	// here; the recovered graph when assembled through Open). It powers the
+	// windowed read paths: "tell me about X last week", windowed exports,
+	// windowed PageRank.
+	p.tindex = temporal.Attach(kg.Graph())
 
 	p.stream = stream.NewWith(kg, cfg.Stream, p.analytics)
 	p.searcher = pathsearch.New(kg.Graph(), nil)
@@ -368,6 +389,29 @@ func (p *Pipeline) computeTopics() map[graph.VertexID][]float64 {
 // engine (for benchmarks and diagnostics).
 func (p *Pipeline) Analytics() *analytics.Cache { return p.analytics }
 
+// TemporalIndex exposes the per-shard time-ordered edge index (for
+// benchmarks and diagnostics).
+func (p *Pipeline) TemporalIndex() *temporal.Index { return p.tindex }
+
+// TemporalStats reports the time index's state: indexed edge count and the
+// timestamp span it covers.
+func (p *Pipeline) TemporalStats() TemporalStats { return p.tindex.Stats() }
+
+// RecentFacts returns the newest k facts whose timestamps fall inside the
+// window, oldest first — the "what just happened" feed over the dynamic
+// stream. It is answered from the per-shard time index (tail reads only),
+// not by scanning the fact set.
+func (p *Pipeline) RecentFacts(w Window, k int) []Fact {
+	ids := p.tindex.LatestIn(w, k)
+	out := make([]Fact, 0, len(ids))
+	for _, id := range ids {
+		if f, ok := p.kg.Fact(id); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // QueryStats reports the read layer's cache behaviour: current mutation
 // epoch, artifact hits/misses/recomputes and the topic model's epoch lag.
 func (p *Pipeline) QueryStats() QueryStats { return p.analytics.Stats() }
@@ -398,9 +442,19 @@ func (p *Pipeline) entityDoc(name string) []string {
 }
 
 // Ask parses and answers a natural-language-like question (the five query
-// classes of the paper's Fig 5).
+// classes of the paper's Fig 5). Temporal qualifiers in the question ("last
+// week", "in 2015", "between 2014 and 2016", "as of 2015-06-30") scope the
+// answer to that slice of the stream; relative forms resolve against the
+// pipeline clock.
 func (p *Pipeline) Ask(question string) (Answer, error) {
 	return p.exec.Ask(question)
+}
+
+// AskWindow is Ask with an explicit window (the API's since/until
+// parameters), intersected with any window the question itself carries. The
+// unbounded window makes it exactly Ask.
+func (p *Pipeline) AskWindow(question string, w Window) (Answer, error) {
+	return p.exec.AskWindow(question, w)
 }
 
 // Run executes a pre-parsed query.
@@ -433,12 +487,25 @@ func (p *Pipeline) PatternTransitions() (entered, left []Pattern) {
 // Explain returns up to k coherence-ranked paths between two entities,
 // optionally constrained to traverse a predicate.
 func (p *Pipeline) Explain(src, dst, predicate string, k int) (Answer, error) {
-	return p.exec.Run(Query{Class: qa.ClassRelationship, Subject: src, Object: dst, Predicate: predicate, K: k})
+	return p.ExplainWindow(src, dst, predicate, k, Window{})
+}
+
+// ExplainWindow is Explain restricted to paths whose extracted edges fall in
+// the window (curated edges always qualify).
+func (p *Pipeline) ExplainWindow(src, dst, predicate string, k int, w Window) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassRelationship, Subject: src, Object: dst, Predicate: predicate, K: k, Window: w})
 }
 
 // About returns the entity summary answer for a name (Fig 6).
 func (p *Pipeline) About(name string) (Answer, error) {
-	return p.exec.Run(Query{Class: qa.ClassEntity, Subject: name, K: 10})
+	return p.AboutWindow(name, Window{})
+}
+
+// AboutWindow is About scoped to the window: the summary's facts and
+// importance reflect only the curated substrate plus the extracted facts
+// inside [Since, Until).
+func (p *Pipeline) AboutWindow(name string, w Window) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassEntity, Subject: name, K: 10, Window: w})
 }
 
 // Score returns the link-prediction confidence of a candidate triple.
