@@ -51,6 +51,8 @@ func main() {
 		cmdMine(ctx, args)
 	case "trends":
 		cmdTrends(ctx, args)
+	case "diff":
+		cmdDiff(ctx, args)
 	case "export":
 		cmdExport(ctx, args)
 	case "serve":
@@ -69,9 +71,11 @@ func usage() {
 
 commands:
   build    ingest a corpus into a knowledge graph and print statistics
-  query    answer a question (five classes: trending/entity/relationship/pattern/fact)
+  query    answer a question (trending/entity/relationship/pattern/fact/diff);
+           -plan prints the compiled logical plan alongside the answer
   mine     report closed frequent patterns over the stream window
   trends   report bursting entities and predicates
+  diff     temporal join: what changed (about an entity) between two periods
   export   dump the KG (or an entity neighborhood) as DOT or JSON
   serve    start the web console + JSON API (the demo's web interface)
 
@@ -279,9 +283,10 @@ func cmdQuery(ctx context.Context, args []string) {
 	bf := addCommonFlags(fs)
 	q := fs.String("q", "", "the question (required)")
 	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
+	showPlan := fs.Bool("plan", false, "print the compiled logical plan before the answer")
 	fs.Parse(args)
 	if *q == "" {
-		fmt.Fprintln(os.Stderr, "query: -q is required; the five classes are:")
+		fmt.Fprintln(os.Stderr, "query: -q is required; the query classes are:")
 		for _, c := range nous.QueryClasses() {
 			fmt.Fprintln(os.Stderr, "  ", c)
 		}
@@ -292,9 +297,40 @@ func cmdQuery(ctx context.Context, args []string) {
 	if *topicsOn {
 		p.BuildTopics()
 	}
+	if *showPlan {
+		pl, err := p.PlanFor(*q, nous.Window{})
+		fatalIf(err)
+		fmt.Print(pl.Explain())
+		fmt.Println()
+	}
 	a, err := p.Ask(*q)
 	fatalIf(err)
 	fmt.Println(a.Text)
+}
+
+// cmdDiff answers "what changed (about an entity) between two periods" by
+// routing through the question language, so the CLI and the parser share
+// one code path.
+func cmdDiff(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	bf := addCommonFlags(fs)
+	entity := fs.String("entity", "", "entity to diff (empty = the whole extracted stream)")
+	a := fs.String("a", "", "first period: a year (2015) or a day (2015-06-12); required")
+	b := fs.String("b", "", "second period, after the first; required")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		fmt.Fprintln(os.Stderr, "diff: -a and -b are required (a year or YYYY-MM-DD each)")
+		os.Exit(2)
+	}
+	p, _ := assemble(ctx, bf)
+	defer func() { fatalIf(p.Close()) }()
+	question := fmt.Sprintf("What changed between %s and %s?", *a, *b)
+	if *entity != "" {
+		question = fmt.Sprintf("What changed about %s between %s and %s?", *entity, *a, *b)
+	}
+	ans, err := p.Ask(question)
+	fatalIf(err)
+	fmt.Println(ans.Text)
 }
 
 func cmdMine(ctx context.Context, args []string) {

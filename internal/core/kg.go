@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -78,13 +79,17 @@ type KG struct {
 	names   map[graph.VertexID]string
 
 	facts map[FactID]*Fact
-	// timeline holds extracted fact IDs in insertion order for windowed
-	// eviction. Curated facts never enter the timeline. Explicit removals
-	// leave stale IDs behind; staleTimeline counts them and triggers a
-	// compaction once they dominate, so repeated RemoveFact calls cannot grow
-	// the timeline unboundedly.
-	timeline      []FactID
-	staleTimeline int
+	// tix is the per-shard time-ordered edge index, kept in sync through the
+	// graph's mutation stream. It serves windowed reads and drives
+	// EvictBefore: eviction reads the index prefix strictly before the
+	// cutoff, so the KG needs no separate insertion-order timeline.
+	tix *temporal.Index
+	// undated holds extracted facts with no provenance time. Their edges
+	// carry the timeless sentinel timestamp, which the index's dated reads
+	// skip, so EvictBefore sweeps this set separately — undated extracted
+	// knowledge counts as infinitely old, exactly as the removed timeline
+	// path treated it.
+	undated map[FactID]struct{}
 
 	listeners []func(Event)
 }
@@ -95,19 +100,27 @@ func NewKG(ont *ontology.Ontology) *KG {
 	if ont == nil {
 		ont = ontology.Default()
 	}
-	return &KG{
+	kg := &KG{
 		g:       graph.New(),
 		ont:     ont,
+		undated: make(map[FactID]struct{}),
 		byName:  make(map[string]graph.VertexID),
 		byAlias: make(map[string][]string),
 		names:   make(map[graph.VertexID]string),
 		facts:   make(map[FactID]*Fact),
 	}
+	kg.tix = temporal.Attach(kg.g)
+	return kg
 }
 
 // Graph exposes the underlying property graph (for algorithms such as
 // PageRank and path search). Callers must not remove edges directly.
 func (kg *KG) Graph() *graph.Graph { return kg.g }
+
+// TemporalIndex exposes the KG's time-ordered edge index. The index is owned
+// by the KG (attached at construction, rebuilt by Rebuild) and shared with
+// every windowed consumer.
+func (kg *KG) TemporalIndex() *temporal.Index { return kg.tix }
 
 // Ontology returns the KG's ontology.
 func (kg *KG) Ontology() *ontology.Ontology { return kg.ont }
@@ -409,8 +422,8 @@ func (kg *KG) AddFacts(ts []Triple) ([]FactID, []error) {
 	for j, i := range valid {
 		f := &Fact{ID: eids[j], Src: endpoints[j][0], Dst: endpoints[j][1], Triple: norm[j]}
 		kg.facts[f.ID] = f
-		if !f.Curated {
-			kg.timeline = append(kg.timeline, f.ID)
+		if undatedFact(f) {
+			kg.undated[f.ID] = struct{}{}
 		}
 		ids[i] = f.ID
 		kg.notifyLocked(Event{Kind: FactAdded, Fact: *f})
@@ -505,74 +518,65 @@ func (kg *KG) SetConfidence(id FactID, c float64) bool {
 func (kg *KG) RemoveFact(id FactID) bool {
 	kg.mu.Lock()
 	defer kg.mu.Unlock()
-	ok := kg.removeLocked(id)
-	// Compact here, not inside removeLocked: EvictBefore also calls
-	// removeLocked while iterating (and aliasing) the timeline, and an
-	// in-place compaction mid-iteration would corrupt it. EvictBefore
-	// rebuilds the timeline wholesale instead.
-	kg.compactTimelineLocked()
-	return ok
+	return kg.removeLocked(id)
 }
 
-// removeLocked deletes the fact record and its edge. The fact's ID stays in
-// the timeline until the caller compacts (RemoveFact) or rebuilds it
-// (EvictBefore); staleTimeline counts those leftovers.
+// removeLocked deletes the fact record and its edge. The edge removal's
+// mutation keeps the temporal index in sync.
 func (kg *KG) removeLocked(id FactID) bool {
-	f, ok := kg.facts[id]
-	if !ok {
+	if _, ok := kg.facts[id]; !ok {
 		return false
 	}
 	delete(kg.facts, id)
-	if !f.Curated {
-		kg.staleTimeline++
-	}
+	delete(kg.undated, id)
 	return kg.g.RemoveEdge(id)
 }
 
-// compactTimelineLocked drops stale (already-removed) IDs from the timeline
-// once they make up at least half of it — O(len) work after len/2 removals,
-// so removal stays amortized O(1) and the timeline length stays within 2x
-// the live extracted fact count. Must not run while another frame iterates
-// the timeline (see RemoveFact).
-func (kg *KG) compactTimelineLocked() {
-	if kg.staleTimeline == 0 || kg.staleTimeline*2 < len(kg.timeline) {
-		return
-	}
-	kept := kg.timeline[:0]
-	for _, id := range kg.timeline {
-		if _, ok := kg.facts[id]; ok {
-			kept = append(kept, id)
-		}
-	}
-	kg.timeline = kept
-	kg.staleTimeline = 0
+// undatedFact reports whether an extracted fact carries no usable
+// provenance time (its edge sits at or before the timeless sentinel, so
+// DatedIn never returns it).
+func undatedFact(f *Fact) bool {
+	return !f.Curated && f.Provenance.Time.Unix() <= temporal.Timeless
 }
 
 // EvictBefore removes extracted (non-curated) facts observed strictly before
 // cutoff and emits FactEvicted events. It returns the number evicted.
 // Curated facts are never evicted: the paper fuses a persistent curated KB
-// with a sliding window of extracted knowledge.
+// with a sliding window of extracted knowledge. Eviction candidates come off
+// the temporal index — the dated prefix strictly before the cutoff — so no
+// parallel insertion-order timeline (or its compaction bookkeeping) is
+// needed. DatedIn skips the curated substrate (timeless sentinel
+// timestamps) entirely, so the per-call cost scales with the evictable
+// facts, not the curated KB; a dated-but-curated fact is skipped by flag.
+// Extracted facts with no provenance time count as infinitely old (they sit
+// on the sentinel, outside every dated read) and are swept from their own
+// set.
 func (kg *KG) EvictBefore(cutoff time.Time) int {
 	kg.mu.Lock()
 	defer kg.mu.Unlock()
 	cut := cutoff.Unix()
 	n := 0
-	kept := kg.timeline[:0]
-	for _, id := range kg.timeline {
+	for _, id := range kg.tix.DatedIn(temporal.Window{Since: math.MinInt64, Until: cut}) {
 		f, ok := kg.facts[id]
-		if !ok {
-			continue // already removed explicitly
+		if !ok || f.Curated {
+			continue
 		}
-		if f.Provenance.Time.Unix() < cut {
+		kg.removeLocked(id)
+		kg.notifyLocked(Event{Kind: FactEvicted, Fact: *f})
+		n++
+	}
+	if temporal.Timeless < cut {
+		for id := range kg.undated {
+			f, ok := kg.facts[id]
+			if !ok {
+				delete(kg.undated, id)
+				continue
+			}
 			kg.removeLocked(id)
 			kg.notifyLocked(Event{Kind: FactEvicted, Fact: *f})
 			n++
-			continue
 		}
-		kept = append(kept, id)
 	}
-	kg.timeline = kept
-	kg.staleTimeline = 0
 	return n
 }
 

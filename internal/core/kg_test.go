@@ -146,6 +146,32 @@ func TestEvictBeforeKeepsCurated(t *testing.T) {
 	}
 }
 
+func TestEvictBeforeSweepsUndatedExtracted(t *testing.T) {
+	kg := NewKG(nil)
+	kg.AddFact(curated("DJI", "headquarteredIn", "Shenzhen"))
+	// An extracted fact with no provenance time sits on the timeless
+	// sentinel, outside every dated index read; eviction must still treat
+	// it as infinitely old rather than leak it forever.
+	kg.AddFact(extracted("DJI", "acquired", "Aeros", 0.9, time.Time{}))
+	kg.AddFact(extracted("DJI", "acquired", "RoboPix", 0.9, day(10)))
+
+	if n := kg.EvictBefore(day(5)); n != 1 {
+		t.Fatalf("evicted %d, want the undated fact only", n)
+	}
+	if kg.HasFact("DJI", "acquired", "Aeros") {
+		t.Error("undated extracted fact survived eviction")
+	}
+	if !kg.HasFact("DJI", "headquarteredIn", "Shenzhen") {
+		t.Error("curated fact was evicted")
+	}
+	if !kg.HasFact("DJI", "acquired", "RoboPix") {
+		t.Error("in-window fact was evicted")
+	}
+	if n := kg.EvictBefore(day(5)); n != 0 {
+		t.Fatalf("second evict = %d, want 0", n)
+	}
+}
+
 func TestEvictBeforeIdempotent(t *testing.T) {
 	kg := NewKG(nil)
 	kg.AddFact(extracted("A Co", "acquired", "B Co", 0.5, day(0)))

@@ -10,7 +10,7 @@ import (
 )
 
 // Rebuild reconstructs the KG's index layer — entity name maps, the alias
-// index, fact records and the eviction timeline — from the underlying
+// index, fact records and the temporal edge index — from the underlying
 // property graph. It is the second half of recovery: internal/persist
 // restores the graph bytes, Rebuild re-derives everything this wrapper keeps
 // outside the graph. The KG must be freshly constructed (no entities or
@@ -19,9 +19,9 @@ import (
 //
 // Every field of every fact lives in the graph: names and aliases as vertex
 // properties, predicate/confidence/provenance as the edge's label, weight,
-// timestamp and properties. The eviction timeline is re-derived from edge ID
-// order, which matches insertion order because edge IDs are allocated
-// monotonically.
+// timestamp and properties. The temporal index is re-scanned from graph
+// state because snapshot loads and WAL replay restore edges without
+// emitting the mutations that normally keep it in sync.
 func (kg *KG) Rebuild() error {
 	kg.mu.Lock()
 	defer kg.mu.Unlock()
@@ -81,10 +81,11 @@ func (kg *KG) Rebuild() error {
 			},
 		}
 		kg.facts[id] = f
-		if !f.Curated {
-			kg.timeline = append(kg.timeline, id)
+		if undatedFact(f) {
+			kg.undated[id] = struct{}{}
 		}
 	}
+	kg.tix.Rebuild()
 	return nil
 }
 

@@ -11,7 +11,10 @@ import (
 	"nous/internal/temporal"
 )
 
-func TestRemoveFactCompactsTimeline(t *testing.T) {
+// TestRemoveFactKeepsIndexInSync removes every fact one by one and checks
+// the temporal index (which now drives eviction) tracks the live fact set
+// exactly — no stale entries, no leaks.
+func TestRemoveFactKeepsIndexInSync(t *testing.T) {
 	kg := NewKG(nil)
 	const n = 100
 	ids := make([]FactID, n)
@@ -22,29 +25,17 @@ func TestRemoveFactCompactsTimeline(t *testing.T) {
 		}
 		ids[i] = id
 	}
-	if got := len(kg.timeline); got != n {
-		t.Fatalf("timeline = %d, want %d", got, n)
+	if got := kg.TemporalIndex().Len(); got != n {
+		t.Fatalf("index = %d entries, want %d", got, n)
 	}
 	for i, id := range ids {
 		if !kg.RemoveFact(id) {
 			t.Fatalf("RemoveFact(%d) = false", id)
 		}
 		live := n - i - 1
-		kg.mu.RLock()
-		tl := len(kg.timeline)
-		kg.mu.RUnlock()
-		// Compaction triggers once stale IDs reach half the timeline, so the
-		// timeline can never exceed 2x the live extracted facts (+1 for the
-		// removal that has not yet tripped the threshold).
-		if tl > 2*live+1 {
-			t.Fatalf("after %d removals timeline = %d, live = %d (leak)", i+1, tl, live)
+		if got := kg.TemporalIndex().Len(); got != live {
+			t.Fatalf("after %d removals index = %d entries, live = %d", i+1, got, live)
 		}
-	}
-	kg.mu.RLock()
-	final := len(kg.timeline)
-	kg.mu.RUnlock()
-	if final != 0 {
-		t.Fatalf("timeline after removing everything = %d, want 0", final)
 	}
 	// Eviction after heavy removal still works and stays empty.
 	if evicted := kg.EvictBefore(day(200)); evicted != 0 {
@@ -52,11 +43,10 @@ func TestRemoveFactCompactsTimeline(t *testing.T) {
 	}
 }
 
-// TestEvictDuringStaleTimelineDoesNotCorrupt reproduces the compaction-
-// during-iteration hazard: enough stale IDs that the eviction pass's own
-// removals would trip compaction mid-iteration. Every surviving fact must
-// stay in the timeline exactly once and remain evictable.
-func TestEvictDuringStaleTimelineDoesNotCorrupt(t *testing.T) {
+// TestEvictAfterPartialRemoval interleaves explicit removals with eviction
+// passes: removed facts must not be re-evicted and every survivor stays
+// evictable through the index-driven path.
+func TestEvictAfterPartialRemoval(t *testing.T) {
 	kg := NewKG(nil)
 	const n = 10
 	ids := make([]FactID, n)
@@ -67,28 +57,14 @@ func TestEvictDuringStaleTimelineDoesNotCorrupt(t *testing.T) {
 		}
 		ids[i] = id
 	}
-	// Remove the 4 most recent without tripping compaction (4*2 < 10).
 	for _, id := range ids[6:] {
 		kg.RemoveFact(id)
 	}
-	// Evict only the oldest fact; during the pass staleness crosses the
-	// compaction threshold.
 	if evicted := kg.EvictBefore(day(1)); evicted != 1 {
 		t.Fatalf("evicted %d, want 1", evicted)
 	}
-	kg.mu.RLock()
-	seen := map[FactID]int{}
-	for _, id := range kg.timeline {
-		seen[id]++
-	}
-	kg.mu.RUnlock()
-	for _, id := range ids[1:6] {
-		if seen[id] != 1 {
-			t.Fatalf("live fact %d appears %d times in the timeline", id, seen[id])
-		}
-	}
-	if len(seen) != 5 {
-		t.Fatalf("timeline holds %d distinct IDs, want 5", len(seen))
+	if kg.NumFacts() != 5 {
+		t.Fatalf("facts = %d, want 5", kg.NumFacts())
 	}
 	// Every survivor is still evictable.
 	if evicted := kg.EvictBefore(day(100)); evicted != 5 {
@@ -154,15 +130,10 @@ func TestConcurrentRemoveFactAndAdd(t *testing.T) {
 	if kg.NumFacts() != kg.Graph().NumEdges() {
 		t.Fatalf("facts %d != edges %d", kg.NumFacts(), kg.Graph().NumEdges())
 	}
-	// Every surviving timeline entry must reference a live fact after one
-	// eviction pass (which compacts).
+	// The eviction index tracks exactly the surviving facts.
 	kg.EvictBefore(day(-1))
-	kg.mu.RLock()
-	defer kg.mu.RUnlock()
-	for _, id := range kg.timeline {
-		if _, ok := kg.facts[id]; !ok {
-			t.Fatalf("timeline references removed fact %d", id)
-		}
+	if kg.TemporalIndex().Len() != kg.NumFacts() {
+		t.Fatalf("index %d entries != %d facts", kg.TemporalIndex().Len(), kg.NumFacts())
 	}
 }
 

@@ -1,0 +1,63 @@
+package plan
+
+import "sync"
+
+// ExecStats accounts executed plans and operators across an executor's
+// lifetime. All methods are safe for concurrent use.
+type ExecStats struct {
+	mu      sync.Mutex
+	plans   uint64
+	byClass map[string]uint64
+	ops     map[Op]uint64
+}
+
+// NewStats returns an empty accounting sink.
+func NewStats() *ExecStats {
+	return &ExecStats{byClass: make(map[string]uint64), ops: make(map[Op]uint64)}
+}
+
+func (s *ExecStats) startPlan(class string) {
+	s.mu.Lock()
+	s.plans++
+	s.byClass[class]++
+	s.mu.Unlock()
+}
+
+func (s *ExecStats) countOp(op Op) {
+	s.mu.Lock()
+	s.ops[op]++
+	s.mu.Unlock()
+}
+
+// Stats is a snapshot of planner activity for /api/stats.
+type Stats struct {
+	// Plans counts executed plans.
+	Plans uint64 `json:"plans"`
+	// ByClass breaks executed plans down by query class.
+	ByClass map[string]uint64 `json:"by_class,omitempty"`
+	// Ops counts evaluated logical operators by kind.
+	Ops map[string]uint64 `json:"ops,omitempty"`
+}
+
+// Snapshot copies the counters.
+func (s *ExecStats) Snapshot() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Plans: s.plans}
+	if len(s.byClass) > 0 {
+		st.ByClass = make(map[string]uint64, len(s.byClass))
+		for k, v := range s.byClass {
+			st.ByClass[k] = v
+		}
+	}
+	if len(s.ops) > 0 {
+		st.Ops = make(map[string]uint64, len(s.ops))
+		for k, v := range s.ops {
+			st.Ops[string(k)] = v
+		}
+	}
+	return st
+}

@@ -2,9 +2,8 @@ package qa
 
 import (
 	"fmt"
-	"math"
 	"sort"
-	"strings"
+	"sync"
 	"time"
 
 	"nous/internal/analytics"
@@ -13,6 +12,7 @@ import (
 	"nous/internal/fgm"
 	"nous/internal/linkpred"
 	"nous/internal/pathsearch"
+	"nous/internal/plan"
 	"nous/internal/temporal"
 	"nous/internal/trends"
 )
@@ -28,33 +28,26 @@ type Answer struct {
 	Paths    []ExplainedPath
 	Patterns []fgm.Pattern
 	Fact     *FactAnswer
+	Diff     *DiffAnswer
 }
 
-// EntitySummary is the payload of "Tell me about X" (Fig 6).
-type EntitySummary struct {
-	Name       string
-	Type       string
-	Importance float64 // PageRank
-	Facts      []core.Fact
-	Activity   []int // recent weekly mention counts
-}
+// Payload types live in internal/plan (the layer that computes them); the
+// aliases keep qa's public API stable.
+type (
+	// EntitySummary is the payload of "Tell me about X" (Fig 6).
+	EntitySummary = plan.EntitySummary
+	// ExplainedPath is one relationship explanation.
+	ExplainedPath = plan.ExplainedPath
+	// FactAnswer answers did/who/what fact queries.
+	FactAnswer = plan.FactAnswer
+	// DiffAnswer is the payload of a temporal diff query.
+	DiffAnswer = plan.DiffAnswer
+)
 
-// ExplainedPath is one relationship explanation.
-type ExplainedPath struct {
-	Hops      []string // rendered hops: "DJI -[acquired]-> Aeros"
-	Coherence float64
-}
-
-// FactAnswer answers did/who/what fact queries.
-type FactAnswer struct {
-	Known      bool
-	Plausible  float64 // link-prediction score when not known
-	Matches    []core.ScoredEntity
-	Provenance []string
-}
-
-// Executor runs parsed queries. Any dependency may be nil; the executor
-// degrades gracefully (e.g. no miner → pattern queries report emptiness).
+// Executor answers parsed queries by lowering them into logical plans
+// (internal/plan) and running the plan executor — a thin compile-and-run
+// shim over the query planner. Any dependency may be nil; execution degrades
+// gracefully (e.g. no miner → pattern queries report emptiness).
 type Executor struct {
 	KG       *core.KG
 	Trends   *trends.Detector
@@ -66,8 +59,16 @@ type Executor struct {
 	// importance). When nil, entity summaries report zero importance rather
 	// than recomputing PageRank per request.
 	Analytics *analytics.Cache
+	// TIndex enables the plan operators that read the time-ordered edge
+	// index directly: windowed trend backfill and whole-stream diffs. When
+	// nil, trending degrades to the live detector anchored at the window's
+	// end.
+	TIndex *temporal.Index
 	// Now supplies the query-time clock (defaults to time.Now).
 	Now func() time.Time
+
+	statsOnce sync.Once
+	stats     *plan.ExecStats
 }
 
 // Ask parses and executes a question. Temporal qualifiers in the question
@@ -79,32 +80,86 @@ func (ex *Executor) Ask(question string) (Answer, error) {
 
 // AskWindow is Ask with an additional caller-supplied window (e.g. the API's
 // since/until parameters). It is intersected with any window parsed from the
-// question itself; the unbounded window leaves the question's own scope
-// untouched.
+// question itself (both windows of a diff question); the unbounded window
+// leaves the question's own scope untouched.
 func (ex *Executor) AskWindow(question string, w temporal.Window) (Answer, error) {
 	q, err := ParseAt(question, ex.now())
 	if err != nil {
 		return Answer{}, err
 	}
 	q.Window = q.Window.Intersect(w)
+	if q.Class == ClassDiff {
+		q.WindowB = q.WindowB.Intersect(w)
+	}
 	return ex.Run(q)
 }
 
-// Run executes a parsed query.
+// Run compiles a parsed query into a logical plan and executes it.
 func (ex *Executor) Run(q Query) (Answer, error) {
-	switch q.Class {
-	case ClassTrending:
-		return ex.trending(q)
-	case ClassEntity:
-		return ex.entity(q)
-	case ClassRelationship:
-		return ex.relationship(q)
-	case ClassPattern:
-		return ex.patterns(q)
-	case ClassFact:
-		return ex.fact(q)
+	p, err := Lower(q)
+	if err != nil {
+		return Answer{}, err
 	}
-	return Answer{}, fmt.Errorf("qa: unknown query class %q", q.Class)
+	r, err := ex.planner().Run(p)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{
+		Class:    q.Class,
+		Text:     r.Text,
+		Trends:   r.Trends,
+		Entity:   r.Entity,
+		Paths:    r.Paths,
+		Patterns: r.Patterns,
+		Fact:     r.Fact,
+		Diff:     r.Diff,
+	}, nil
+}
+
+// Plan parses a question and lowers it into its logical plan without
+// executing it — the compile half of Run, for explain-style inspection
+// (GET /api/plan). The caller window intersects like AskWindow.
+func (ex *Executor) Plan(question string, w temporal.Window) (*plan.Plan, error) {
+	q, err := ParseAt(question, ex.now())
+	if err != nil {
+		return nil, err
+	}
+	q.Window = q.Window.Intersect(w)
+	if q.Class == ClassDiff {
+		q.WindowB = q.WindowB.Intersect(w)
+	}
+	return Lower(q)
+}
+
+// PlanStats reports the planner's execution counters (plans by class,
+// operators by kind).
+func (ex *Executor) PlanStats() plan.Stats {
+	return ex.planStats().Snapshot()
+}
+
+// planStats returns the shared stats sink, creating it on first use. Every
+// reader and writer goes through the once, so a stats read concurrent with
+// the first query is race-free.
+func (ex *Executor) planStats() *plan.ExecStats {
+	ex.statsOnce.Do(func() { ex.stats = plan.NewStats() })
+	return ex.stats
+}
+
+// planner assembles the plan executor over this executor's dependencies.
+// The stats sink is shared across calls so counters accumulate.
+func (ex *Executor) planner() *plan.Executor {
+	return &plan.Executor{
+		KG:        ex.KG,
+		Trends:    ex.Trends,
+		Miner:     ex.Miner,
+		Searcher:  ex.Searcher,
+		Model:     ex.Model,
+		Linker:    ex.Linker,
+		Analytics: ex.Analytics,
+		TIndex:    ex.TIndex,
+		Now:       ex.Now,
+		Stats:     ex.planStats(),
+	}
 }
 
 func (ex *Executor) now() time.Time {
@@ -114,256 +169,29 @@ func (ex *Executor) now() time.Time {
 	return time.Now()
 }
 
-// windowRef is the reference instant for activity-style lookups under a
-// window: a bounded window anchors at its (inclusive) end — "in 2015" means
-// activity as of end-2015 — while an unbounded one uses the clock.
-func (ex *Executor) windowRef(w temporal.Window) time.Time {
-	if w.Bounded() && w.Until != math.MaxInt64 {
-		return time.Unix(w.Until-1, 0)
+// Lower compiles a parsed query into its logical plan. Every query class
+// maps onto a small operator tree; see internal/plan for the operators.
+func Lower(q Query) (*plan.Plan, error) {
+	switch q.Class {
+	case ClassTrending:
+		return plan.TrendingPlan(q.Window, q.K), nil
+	case ClassEntity:
+		return plan.EntityPlan(q.Subject, q.Window, q.K), nil
+	case ClassRelationship:
+		return plan.RelationshipPlan(q.Subject, q.Object, q.Predicate, q.K, q.Window), nil
+	case ClassPattern:
+		return plan.PatternsPlan(q.K), nil
+	case ClassFact:
+		return plan.FactPlan(q.Subject, q.Predicate, q.Object, q.Window)
+	case ClassDiff:
+		return plan.DiffPlan(q.Subject, q.Window, q.WindowB), nil
 	}
-	return ex.now()
+	return nil, fmt.Errorf("qa: unknown query class %q", q.Class)
 }
 
-func (ex *Executor) trending(q Query) (Answer, error) {
-	a := Answer{Class: ClassTrending}
-	if ex.Trends == nil {
-		a.Text = "no trend detector attached"
-		return a, nil
-	}
-	// A bounded window moves the trend reference point to the window's end:
-	// "what was trending in 2015" scores burstiness as of end-2015. An empty
-	// (disjoint-intersection) window yields no trends, matching how every
-	// other query class treats it.
-	if !q.Window.IsEmpty() {
-		a.Trends = ex.Trends.Trending(ex.windowRef(q.Window), q.K)
-	}
-	var b strings.Builder
-	if q.Window.Bounded() {
-		fmt.Fprintf(&b, "Trending in %s:\n", q.Window)
-	} else {
-		b.WriteString("Trending now:\n")
-	}
-	if len(a.Trends) == 0 {
-		b.WriteString("  (nothing trending)\n")
-	}
-	for i, t := range a.Trends {
-		fmt.Fprintf(&b, "  %2d. %-30s %-9s burst=%.1fx (%d mentions, baseline %.1f)\n",
-			i+1, t.Name, t.Kind, t.Score, t.Current, t.Baseline)
-	}
-	a.Text = b.String()
-	return a, nil
-}
-
-// resolve maps a surface form to a canonical entity name.
-func (ex *Executor) resolve(surface string) (string, bool) {
-	if surface == "" {
-		return "", false
-	}
-	if _, ok := ex.KG.Entity(surface); ok {
-		return surface, true
-	}
-	if ex.Linker != nil {
-		if r := ex.Linker.LinkOne(disambig.Mention{Surface: surface}); r.Entity != "" {
-			return r.Entity, true
-		}
-	}
-	cands := ex.KG.Candidates(surface)
-	if len(cands) > 0 {
-		return cands[0], true
-	}
-	return "", false
-}
-
-func (ex *Executor) entity(q Query) (Answer, error) {
-	a := Answer{Class: ClassEntity}
-	name, ok := ex.resolve(q.Subject)
-	if !ok {
-		a.Text = fmt.Sprintf("I don't know anything about %q.", q.Subject)
-		return a, nil
-	}
-	typ, _ := ex.KG.EntityType(name)
-	sum := &EntitySummary{Name: name, Type: string(typ)}
-	if id, ok := ex.KG.Entity(name); ok && ex.Analytics != nil {
-		sum.Importance = ex.Analytics.WindowedImportance(id, q.Window)
-	}
-	facts := ex.KG.FactsAboutWindow(name, q.Window)
-	if q.K > 0 && len(facts) > q.K {
-		facts = facts[:q.K]
-	}
-	sum.Facts = facts
-	if ex.Trends != nil && !q.Window.IsEmpty() {
-		// Anchor the sparkline at the window's end, like trending does:
-		// "tell me about X in 2015" shows 2015 activity, not today's.
-		sum.Activity = ex.Trends.Series(name, ex.windowRef(q.Window), 8)
-	}
-	a.Entity = sum
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s (%s)  importance=%.4f\n", sum.Name, sum.Type, sum.Importance)
-	if q.Window.Bounded() {
-		fmt.Fprintf(&b, "  window: %s\n", q.Window)
-	}
-	if len(sum.Activity) > 0 {
-		fmt.Fprintf(&b, "  recent activity: %v\n", sum.Activity)
-	}
-	for _, f := range sum.Facts {
-		marker := "extracted"
-		if f.Curated {
-			marker = "curated"
-		}
-		fmt.Fprintf(&b, "  %s -[%s]-> %s  (p=%.2f, %s", f.Subject, f.Predicate, f.Object, f.Confidence, marker)
-		if f.Provenance.Source != "" {
-			fmt.Fprintf(&b, ", src=%s", f.Provenance.Source)
-		}
-		b.WriteString(")\n")
-	}
-	a.Text = b.String()
-	return a, nil
-}
-
-func (ex *Executor) relationship(q Query) (Answer, error) {
-	a := Answer{Class: ClassRelationship}
-	sName, ok1 := ex.resolve(q.Subject)
-	tName, ok2 := ex.resolve(q.Object)
-	if !ok1 || !ok2 {
-		a.Text = fmt.Sprintf("cannot resolve %q and/or %q", q.Subject, q.Object)
-		return a, nil
-	}
-	if ex.Searcher == nil {
-		a.Text = "no path searcher attached"
-		return a, nil
-	}
-	src, _ := ex.KG.Entity(sName)
-	dst, _ := ex.KG.Entity(tName)
-	paths := ex.Searcher.TopK(src, dst, pathsearch.Options{K: q.K, MaxDepth: 4, Predicate: q.Predicate, Window: q.Window})
-	var b strings.Builder
-	fmt.Fprintf(&b, "Paths from %s to %s", sName, tName)
-	if q.Predicate != "" {
-		fmt.Fprintf(&b, " via %s", q.Predicate)
-	}
-	if q.Window.Bounded() {
-		fmt.Fprintf(&b, " within %s", q.Window)
-	}
-	b.WriteString(":\n")
-	if len(paths) == 0 {
-		b.WriteString("  (no connecting path found)\n")
-	}
-	for _, p := range paths {
-		ep := ExplainedPath{Coherence: p.Coherence}
-		for i, e := range p.Edges {
-			u := p.Vertices[i]
-			v := p.Vertices[i+1]
-			un, _ := ex.KG.EntityName(u)
-			vn, _ := ex.KG.EntityName(v)
-			arrow := fmt.Sprintf("%s -[%s]-> %s", un, e.Label, vn)
-			if e.Src == v { // traversed against edge direction
-				arrow = fmt.Sprintf("%s <-[%s]- %s", un, e.Label, vn)
-			}
-			ep.Hops = append(ep.Hops, arrow)
-		}
-		a.Paths = append(a.Paths, ep)
-		fmt.Fprintf(&b, "  coherence=%.4f: %s\n", ep.Coherence, strings.Join(ep.Hops, " ; "))
-	}
-	a.Text = b.String()
-	return a, nil
-}
-
-func (ex *Executor) patterns(q Query) (Answer, error) {
-	a := Answer{Class: ClassPattern}
-	if ex.Miner == nil {
-		a.Text = "no miner attached"
-		return a, nil
-	}
-	ps := ex.Miner.ClosedPatterns()
-	if q.K > 0 && len(ps) > q.K {
-		ps = ps[:q.K]
-	}
-	a.Patterns = ps
-	var b strings.Builder
-	b.WriteString("Closed frequent patterns in the current window:\n")
-	if len(ps) == 0 {
-		b.WriteString("  (none above support threshold)\n")
-	}
-	for _, p := range ps {
-		fmt.Fprintf(&b, "  support=%-4d %s\n", p.Support, p)
-	}
-	a.Text = b.String()
-	return a, nil
-}
-
-func (ex *Executor) fact(q Query) (Answer, error) {
-	a := Answer{Class: ClassFact}
-	fa := &FactAnswer{}
-	a.Fact = fa
-	var b strings.Builder
-
-	switch {
-	case q.Subject != "" && q.Object != "": // did S p O?
-		s, ok1 := ex.resolve(q.Subject)
-		o, ok2 := ex.resolve(q.Object)
-		if !ok1 || !ok2 {
-			a.Text = fmt.Sprintf("cannot resolve %q / %q", q.Subject, q.Object)
-			return a, nil
-		}
-		fa.Known = ex.KG.HasFactWindow(s, q.Predicate, o, q.Window)
-		if fa.Known {
-			fmt.Fprintf(&b, "Yes: %s %s %s.\n", s, q.Predicate, o)
-			for _, f := range ex.KG.FactsAboutWindow(s, q.Window) {
-				if f.Predicate == q.Predicate && f.Object == o {
-					src := f.Provenance.Source
-					if f.Provenance.Sentence != "" {
-						src += ": " + f.Provenance.Sentence
-					}
-					fa.Provenance = append(fa.Provenance, src)
-					fmt.Fprintf(&b, "  evidence (p=%.2f): %s\n", f.Confidence, src)
-				}
-			}
-		} else {
-			fa.Plausible = 0.5
-			if ex.Model != nil {
-				fa.Plausible = ex.Model.Score(s, q.Predicate, o)
-			}
-			fmt.Fprintf(&b, "Not in the knowledge graph. Plausibility score: %.2f\n", fa.Plausible)
-		}
-	case q.Subject != "": // what does S p?
-		s, ok := ex.resolve(q.Subject)
-		if !ok {
-			a.Text = fmt.Sprintf("cannot resolve %q", q.Subject)
-			return a, nil
-		}
-		fa.Matches = ex.KG.ObjectsOfWindow(s, q.Predicate, q.Window)
-		fa.Known = len(fa.Matches) > 0
-		fmt.Fprintf(&b, "%s %s:\n", s, q.Predicate)
-		for _, m := range fa.Matches {
-			fmt.Fprintf(&b, "  %s (p=%.2f)\n", m.Name, m.Score)
-		}
-		if len(fa.Matches) == 0 {
-			b.WriteString("  (no known facts)\n")
-		}
-	case q.Object != "": // who p O?
-		o, ok := ex.resolve(q.Object)
-		if !ok {
-			a.Text = fmt.Sprintf("cannot resolve %q", q.Object)
-			return a, nil
-		}
-		fa.Matches = ex.KG.SubjectsOfWindow(q.Predicate, o, q.Window)
-		fa.Known = len(fa.Matches) > 0
-		fmt.Fprintf(&b, "%s %s:\n", q.Predicate, o)
-		for _, m := range fa.Matches {
-			fmt.Fprintf(&b, "  %s (p=%.2f)\n", m.Name, m.Score)
-		}
-		if len(fa.Matches) == 0 {
-			b.WriteString("  (no known facts)\n")
-		}
-	default:
-		return a, fmt.Errorf("qa: fact query without arguments")
-	}
-	a.Text = b.String()
-	return a, nil
-}
-
-// Classes returns the five supported query classes with an example each —
-// the content of the paper's Figure 5.
+// Classes returns the supported query classes with an example each — the
+// five classes of the paper's Figure 5 plus the temporal diff class the
+// planner adds.
 func Classes() []string {
 	out := []string{
 		string(ClassTrending) + `: "What is trending?"`,
@@ -371,6 +199,7 @@ func Classes() []string {
 		string(ClassRelationship) + `: "How is Windermere related to DJI via acquired?"`,
 		string(ClassPattern) + `: "What patterns are emerging?"`,
 		string(ClassFact) + `: "Did Amazon acquire Aeros?"`,
+		string(ClassDiff) + `: "What changed about DJI between 2015 and 2016?"`,
 	}
 	sort.Strings(out)
 	return out

@@ -33,16 +33,18 @@ func parseErrf(format string, args ...any) error {
 	return &parseError{msg: fmt.Sprintf(format, args...)}
 }
 
-// Class is one of the five query classes.
+// Class is one of the supported query classes.
 type Class string
 
-// The five query classes (Fig 5).
+// The five query classes of Fig 5, plus the temporal diff class the query
+// planner adds ("what changed about X between 2015 and 2016").
 const (
 	ClassTrending     Class = "trending"
 	ClassEntity       Class = "entity"
 	ClassRelationship Class = "relationship"
 	ClassPattern      Class = "pattern"
 	ClassFact         Class = "fact"
+	ClassDiff         Class = "diff"
 )
 
 // Query is a parsed question.
@@ -57,8 +59,12 @@ type Query struct {
 	K int
 	// Window is the temporal scope parsed from qualifiers such as "last
 	// week", "in 2015", "between 2014 and 2016" or "as of 2015-06-30". The
-	// zero Window is unbounded (timeless query).
+	// zero Window is unbounded (timeless query). Diff queries use it as the
+	// first ("before") window.
 	Window temporal.Window
+	// WindowB is the second ("after") window of a diff query; unused (zero)
+	// for every other class.
+	WindowB temporal.Window
 }
 
 // verbToPredicate maps question verbs to ontology predicates.
@@ -96,6 +102,16 @@ var (
 // qualifier is stripped from the question before classification, so
 // "Tell me about DJI last week" classifies exactly like "Tell me about DJI".
 const reDate = `(\d{4}(?:-\d{2}-\d{2})?)`
+
+// Diff question forms. They are matched against the raw question *before*
+// the single-window qualifier extraction, because a diff carries two
+// temporal arguments ("between 2015 and 2016" = compare the two periods,
+// not one merged window).
+var (
+	reDiffBetween = regexp.MustCompile(`(?i)^\s*what(?:\s+has\s+changed|\s+changed|\s+is\s+new|'s\s+new|\s+is\s+different|'s\s+different)\s*(?:about\s+(.+?))?\s+between\s+` + reDate + `\s+and\s+` + reDate + `\s*\??\s*$`)
+	reDiffHow     = regexp.MustCompile(`(?i)^\s*how\s+(?:did|has)\s+(.+?)\s+changed?\s+between\s+` + reDate + `\s+and\s+` + reDate + `\s*\??\s*$`)
+	reDiffSince   = regexp.MustCompile(`(?i)^\s*what(?:\s+has\s+changed|\s+changed|\s+is\s+new|'s\s+new)\s*(?:about\s+(.+?))?\s+since\s+` + reDate + `\s*\??\s*$`)
+)
 
 var (
 	reBetween  = regexp.MustCompile(`(?i)\b(?:between|from)\s+` + reDate + `\s+(?:and|to)\s+` + reDate + `\b`)
@@ -250,6 +266,13 @@ func ParseAt(question string, now time.Time) (Query, error) {
 	if q == "" {
 		return Query{}, parseErrf("qa: empty question")
 	}
+	// Diff questions first: they carry two temporal arguments, which the
+	// single-window qualifier stripping below would merge into one.
+	if dq, ok, err := parseDiff(q); err != nil {
+		return Query{}, err
+	} else if ok {
+		return dq, nil
+	}
 	q, window, err := extractWindow(q, now)
 	if err != nil {
 		return Query{}, err
@@ -260,6 +283,62 @@ func ParseAt(question string, now time.Time) (Query, error) {
 	}
 	parsed.Window = window
 	return parsed, nil
+}
+
+// periodOf resolves one diff date argument to the window it denotes: a bare
+// year covers that year, an ISO day covers that day.
+func periodOf(s string) (temporal.Window, error) {
+	a, err := parseDate(s, false)
+	if err != nil {
+		return temporal.Window{}, err
+	}
+	b, err := parseDate(s, true)
+	if err != nil {
+		return temporal.Window{}, err
+	}
+	return temporal.Between(a, b), nil
+}
+
+// parseDiff recognizes the temporal diff question forms:
+//
+//	What changed (about X)? between A and B   — compare period A to period B
+//	How did X change between A and B
+//	What is new (about X)? since D            — compare (-inf, D) to [D, +inf)
+//
+// ok is false when the question is not a diff form at all.
+func parseDiff(q string) (Query, bool, error) {
+	var entity, dateA, dateB string
+	if m := reDiffBetween.FindStringSubmatch(q); m != nil {
+		entity, dateA, dateB = m[1], m[2], m[3]
+	} else if m := reDiffHow.FindStringSubmatch(q); m != nil {
+		entity, dateA, dateB = m[1], m[2], m[3]
+	} else if m := reDiffSince.FindStringSubmatch(q); m != nil {
+		t, err := parseDate(m[2], false)
+		if err != nil {
+			return Query{}, true, err
+		}
+		return Query{
+			Class:   ClassDiff,
+			Subject: cleanArg(m[1]),
+			Window:  temporal.UntilTime(t),
+			WindowB: temporal.SinceTime(t),
+		}, true, nil
+	} else {
+		return Query{}, false, nil
+	}
+
+	wa, err := periodOf(dateA)
+	if err != nil {
+		return Query{}, true, err
+	}
+	wb, err := periodOf(dateB)
+	if err != nil {
+		return Query{}, true, err
+	}
+	if wa.Since >= wb.Since {
+		return Query{}, true, parseErrf("qa: diff range %q to %q is not increasing", dateA, dateB)
+	}
+	return Query{Class: ClassDiff, Subject: cleanArg(entity), Window: wa, WindowB: wb}, true, nil
 }
 
 // classify maps the (qualifier-stripped) question onto one of the five

@@ -270,8 +270,9 @@ func TestExecDegradesWithoutDeps(t *testing.T) {
 	}
 }
 
-func TestClassesListsFive(t *testing.T) {
-	if got := Classes(); len(got) != 5 {
+func TestClassesListsSix(t *testing.T) {
+	// Fig 5's five classes plus the planner's temporal diff class.
+	if got := Classes(); len(got) != 6 {
 		t.Fatalf("Classes() = %v", got)
 	}
 }

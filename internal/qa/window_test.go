@@ -288,3 +288,120 @@ func TestWindowedRelationshipQuery(t *testing.T) {
 		t.Fatalf("extracted hop visible outside its window:\n%s", a.Text)
 	}
 }
+
+func TestParseDiffForms(t *testing.T) {
+	y := func(yr int) int64 { return time.Date(yr, 1, 1, 0, 0, 0, 0, time.UTC).Unix() }
+	cases := []struct {
+		q       string
+		subject string
+		a, b    temporal.Window
+	}{
+		{"What changed about DJI between 2015 and 2016?", "DJI",
+			temporal.Window{Since: y(2015), Until: y(2016)}, temporal.Window{Since: y(2016), Until: y(2017)}},
+		{"what has changed between 2014 and 2016", "",
+			temporal.Window{Since: y(2014), Until: y(2015)}, temporal.Window{Since: y(2016), Until: y(2017)}},
+		{"How did DJI change between 2015 and 2016?", "DJI",
+			temporal.Window{Since: y(2015), Until: y(2016)}, temporal.Window{Since: y(2016), Until: y(2017)}},
+		{"What is new about DJI since 2015?", "DJI",
+			temporal.Window{Since: math.MinInt64, Until: y(2015)}, temporal.Window{Since: y(2015), Until: math.MaxInt64}},
+		{"What's new about DJI since 2015?", "DJI",
+			temporal.Window{Since: math.MinInt64, Until: y(2015)}, temporal.Window{Since: y(2015), Until: math.MaxInt64}},
+		{"What's different between 2015 and 2016?", "",
+			temporal.Window{Since: y(2015), Until: y(2016)}, temporal.Window{Since: y(2016), Until: y(2017)}},
+		{"What changed about DJI between 2015-06-01 and 2015-06-12?", "DJI",
+			temporal.Window{
+				Since: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC).Unix(),
+				Until: time.Date(2015, 6, 2, 0, 0, 0, 0, time.UTC).Unix()},
+			temporal.Window{
+				Since: time.Date(2015, 6, 12, 0, 0, 0, 0, time.UTC).Unix(),
+				Until: time.Date(2015, 6, 13, 0, 0, 0, 0, time.UTC).Unix()}},
+	}
+	for _, c := range cases {
+		got := mustParseAt(t, c.q)
+		if got.Class != ClassDiff || got.Subject != c.subject {
+			t.Errorf("%q parsed to %+v, want diff about %q", c.q, got, c.subject)
+			continue
+		}
+		if got.Window != c.a || got.WindowB != c.b {
+			t.Errorf("%q windows = %v / %v, want %v / %v", c.q, got.Window, got.WindowB, c.a, c.b)
+		}
+	}
+}
+
+func TestParseDiffRejectsNonIncreasingRange(t *testing.T) {
+	for _, q := range []string{
+		"What changed about DJI between 2016 and 2015?",
+		"What changed between 2015 and 2015?",
+	} {
+		_, err := ParseAt(q, parseNow)
+		if err == nil {
+			t.Fatalf("%q parsed", q)
+		}
+		if !errors.Is(err, ErrParse) {
+			t.Fatalf("%q error %v does not match ErrParse", q, err)
+		}
+	}
+}
+
+// TestPlanStatsConcurrentWithFirstAsk pins the lazy stats-sink creation:
+// reading PlanStats while another goroutine runs the executor's first query
+// must be race-free (both go through the same sync.Once).
+func TestPlanStatsConcurrentWithFirstAsk(t *testing.T) {
+	ex := buildExecutor(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			ex.PlanStats()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := ex.Ask("Tell me about DJI"); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	<-done
+	if st := ex.PlanStats(); st.Plans == 0 {
+		t.Fatal("no plans accounted")
+	}
+}
+
+// TestDiffEndToEnd executes a diff query against the window fixture: the
+// extracted facts are all dated 2015-06-01, so a 2014→2015 diff reports them
+// as added and the curated substrate as unchanged.
+func TestDiffEndToEnd(t *testing.T) {
+	ex := buildExecutor(t)
+	a, err := ex.Ask("What changed about Windermere between 2014 and 2015?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != ClassDiff || a.Diff == nil {
+		t.Fatalf("diff answer = %+v", a)
+	}
+	if len(a.Diff.Added) != 1 || a.Diff.Added[0].Predicate != "deploys" {
+		t.Fatalf("added = %+v, want the deploys extraction once (deduped)", a.Diff.Added)
+	}
+	if len(a.Diff.Removed) != 0 {
+		t.Fatalf("removed = %+v, want none", a.Diff.Removed)
+	}
+	if !strings.Contains(a.Text, "+ Windermere -[deploys]-> Phantom 3") {
+		t.Fatalf("text = %s", a.Text)
+	}
+	// Reverse direction: the extraction disappears.
+	b, err := ex.Ask("What changed about Windermere between 2015 and 2016?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Diff.Removed) != 1 || len(b.Diff.Added) != 0 {
+		t.Fatalf("reverse diff = %+v", b.Diff)
+	}
+	// Unknown entity degrades like the entity class.
+	c, err := ex.Ask("What changed about Zorblatt between 2014 and 2015?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Diff != nil || !strings.Contains(c.Text, "don't know") {
+		t.Fatalf("unknown entity diff = %+v", c)
+	}
+}

@@ -5,22 +5,32 @@
 // (mutating) pipeline: every handler is safe to run while ingestion writes
 // to the KG, and each request is bounded by a per-request timeout.
 //
-//	GET /api/ask?q=...            any of the five query classes
+//	GET /api/ask?q=...            any of the query classes
 //	GET /api/entity?name=...      entity summary (Fig 6)
 //	GET /api/trending?k=10        trending entities/predicates
 //	GET /api/patterns?k=10        closed frequent patterns (Fig 7)
 //	GET /api/explain?src=&dst=&predicate=&k=   relationship paths
-//	GET /api/stats                KG + stream + query-cache statistics
+//	GET /api/diff?entity=&asince=&auntil=&bsince=&buntil=  temporal diff
+//	GET /api/plan?q=...           the compiled logical plan for a question
+//	GET /api/stats                KG + stream + query-cache + plan statistics
 //	GET /api/graph?entity=A,B     subgraph as JSON
 //	GET /api/recent?k=20          newest facts in the window (time-index feed)
 //	GET /                         minimal HTML console
 //
-// /api/ask, /api/entity, /api/explain, /api/graph and /api/recent accept
-// since and until parameters (a bare year, unix seconds, YYYY-MM-DD or
-// RFC 3339) scoping the answer to the half-open window [since, until).
-// Curated facts are always in scope for the query endpoints; /api/recent is
-// a pure timestamp feed, so undated curated facts never appear in it.
-// Omitting both yields exactly the unwindowed answer.
+// /api/ask, /api/entity, /api/explain, /api/graph, /api/recent, /api/plan
+// and /api/trending accept since and until parameters (a bare year, unix
+// seconds, YYYY-MM-DD or RFC 3339) scoping the answer to the half-open
+// window [since, until). Curated facts are always in scope for the query
+// endpoints; /api/recent is a pure timestamp feed, so undated curated facts
+// never appear in it. Omitting both yields exactly the unwindowed answer.
+// A bounded window on /api/trending runs the planner's backfill scan —
+// bursts are scored in every bucket the window covers, off the temporal
+// index, not just the window's end bucket.
+//
+// /api/diff compares two windows: A = [asince, auntil), B = [bsince,
+// buntil), each end optional (unbounded when omitted, but each window needs
+// at least one bound). With entity set it diffs that entity's facts;
+// without, the whole extracted stream.
 package server
 
 import (
@@ -67,6 +77,8 @@ func NewWithTimeout(p *nous.Pipeline, timeout time.Duration) *Server {
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
 	mux.HandleFunc("GET /api/patterns", s.handlePatterns)
 	mux.HandleFunc("GET /api/explain", s.handleExplain)
+	mux.HandleFunc("GET /api/diff", s.handleDiff)
+	mux.HandleFunc("GET /api/plan", s.handlePlan)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/graph", s.handleGraph)
 	mux.HandleFunc("GET /api/recent", s.handleRecent)
@@ -147,6 +159,8 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case a.Entity != nil:
 		resp.Data = a.Entity
+	case a.Diff != nil:
+		resp.Data = a.Diff
 	case len(a.Trends) > 0:
 		resp.Data = a.Trends
 	case len(a.Paths) > 0:
@@ -188,7 +202,108 @@ func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	// A bounded window runs the planner's windowed backfill scan; the
+	// unwindowed path stays the live detector, byte-for-byte.
+	if win.Bounded() {
+		a, err := s.pipeline.TrendingWindow(win, k)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		trends := a.Trends
+		if trends == nil {
+			trends = []nous.Trend{}
+		}
+		writeJSON(w, http.StatusOK, trends)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.pipeline.Trending(k))
+}
+
+// handleDiff serves the temporal join "what changed between A and B".
+// Window A is [asince, auntil) and window B is [bsince, buntil); each bound
+// accepts the same formats as since/until and may be omitted (unbounded),
+// but each window needs at least one bound. entity is optional: empty diffs
+// the whole extracted stream.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	a, okA, err := halfWindow(r, "asince", "auntil")
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	b, okB, err := halfWindow(r, "bsince", "buntil")
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	if !okA || !okB {
+		badRequest(w, "diff needs both windows: asince/auntil and bsince/buntil (at least one bound each)")
+		return
+	}
+	entity := r.URL.Query().Get("entity")
+	ans, err := s.pipeline.Diff(entity, a, b)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if ans.Diff == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + entity})
+		return
+	}
+	writeJSON(w, http.StatusOK, askResponse{Class: string(ans.Class), Text: ans.Text, Data: ans.Diff})
+}
+
+// planResponse is the /api/plan body: the compiled logical plan for a
+// question, as an explain-style rendering plus the operator tree.
+type planResponse struct {
+	Question string        `json:"question"`
+	Class    string        `json:"class"`
+	Explain  string        `json:"explain"`
+	Root     nous.PlanNode `json:"root"`
+	Window   *windowJSON   `json:"window,omitempty"`
+	// WindowB is the second window of a diff question (the "after" side).
+	WindowB *windowJSON `json:"window_b,omitempty"`
+}
+
+type windowJSON struct {
+	Since int64 `json:"since"`
+	Until int64 `json:"until"`
+}
+
+// handlePlan compiles (without executing) the question's logical plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing q parameter; classes: "+strings.Join(nous.QueryClasses(), " | "))
+		return
+	}
+	win, err := windowParam(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	p, err := s.pipeline.PlanFor(q, win)
+	if err != nil {
+		if errors.Is(err, nous.ErrParse) {
+			badRequest(w, err.Error())
+		} else {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	resp := planResponse{Question: q, Class: p.Class, Explain: p.Explain(), Root: p.Describe()}
+	if p.Window.Bounded() {
+		resp.Window = &windowJSON{Since: p.Window.Since, Until: p.Window.Until}
+	}
+	if p.WindowB.Bounded() {
+		resp.WindowB = &windowJSON{Since: p.WindowB.Since, Until: p.WindowB.Until}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // patternJSON is the wire form of a mined pattern.
@@ -241,13 +356,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the /api/stats body: KG quality, stream counters, the
-// epoch-versioned query cache state and — when the pipeline is durable —
-// the persistence layer's snapshot/WAL state.
+// epoch-versioned query cache state, the query planner's execution counters
+// and — when the pipeline is durable — the persistence layer's snapshot/WAL
+// state.
 type statsResponse struct {
 	KG       nous.KGStats       `json:"kg"`
 	Stream   nous.StreamStats   `json:"stream"`
 	Query    nous.QueryStats    `json:"query"`
 	Temporal nous.TemporalStats `json:"temporal"`
+	Plan     nous.PlanStats     `json:"plan"`
 	Persist  *nous.PersistStats `json:"persist,omitempty"`
 }
 
@@ -257,6 +374,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stream:   s.pipeline.Stats(),
 		Query:    s.pipeline.QueryStats(),
 		Temporal: s.pipeline.TemporalStats(),
+		Plan:     s.pipeline.PlanStats(),
 	}
 	if ps, ok := s.pipeline.PersistStats(); ok {
 		resp.Persist = &ps
@@ -344,30 +462,38 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // ("2015-06-12T00:00:00Z"). until is the window's exclusive end. Omitting
 // both yields the unbounded window.
 func windowParam(r *http.Request) (nous.Window, error) {
-	sinceStr := r.URL.Query().Get("since")
-	untilStr := r.URL.Query().Get("until")
+	w, _, err := halfWindow(r, "since", "until")
+	return w, err
+}
+
+// halfWindow parses one named since/until parameter pair into a window. ok
+// reports whether either parameter was present; absent pairs return the
+// unbounded window.
+func halfWindow(r *http.Request, sinceName, untilName string) (nous.Window, bool, error) {
+	sinceStr := r.URL.Query().Get(sinceName)
+	untilStr := r.URL.Query().Get(untilName)
 	if sinceStr == "" && untilStr == "" {
-		return nous.Window{}, nil
+		return nous.Window{}, false, nil
 	}
 	w := nous.Window{Since: math.MinInt64, Until: math.MaxInt64}
 	if sinceStr != "" {
-		ts, err := timeParam("since", sinceStr)
+		ts, err := timeParam(sinceName, sinceStr)
 		if err != nil {
-			return nous.Window{}, err
+			return nous.Window{}, true, err
 		}
 		w.Since = ts
 	}
 	if untilStr != "" {
-		ts, err := timeParam("until", untilStr)
+		ts, err := timeParam(untilName, untilStr)
 		if err != nil {
-			return nous.Window{}, err
+			return nous.Window{}, true, err
 		}
 		w.Until = ts
 	}
 	if w.Since >= w.Until {
-		return nous.Window{}, fmt.Errorf("empty window: since %q is not before until %q", sinceStr, untilStr)
+		return nous.Window{}, true, fmt.Errorf("empty window: %s %q is not before %s %q", sinceName, sinceStr, untilName, untilStr)
 	}
-	return w, nil
+	return w, true, nil
 }
 
 func timeParam(name, v string) (int64, error) {

@@ -415,3 +415,125 @@ func TestStatsReportsPersistState(t *testing.T) {
 		t.Errorf("checkpoints = %v, want 1", ps["checkpoints"])
 	}
 }
+
+func TestDiffEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// The synthetic drone world spans 2010..2015; compare two in-corpus
+	// years over the whole stream.
+	body := getJSON(t, ts.URL+"/api/diff?asince=2011&auntil=2012&bsince=2014&buntil=2015", 200)
+	if body["class"] != "diff" {
+		t.Fatalf("class = %v", body["class"])
+	}
+	data, ok := body["data"].(map[string]any)
+	if !ok {
+		t.Fatalf("data = %v", body["data"])
+	}
+	for _, key := range []string{"added", "removed", "window_a", "window_b"} {
+		if _, ok := data[key]; !ok {
+			t.Fatalf("diff payload missing %q: %v", key, data)
+		}
+	}
+
+	// Entity-scoped diff.
+	body = getJSON(t, ts.URL+"/api/diff?entity=DJI&asince=2011&auntil=2012&bsince=2014&buntil=2015", 200)
+	if data := body["data"].(map[string]any); data["entity"] != "DJI" {
+		t.Fatalf("entity diff payload = %v", data)
+	}
+
+	// Error mapping: missing windows → 400, unknown entity → 404, malformed
+	// bound → 400, inverted window → 400.
+	getJSON(t, ts.URL+"/api/diff?asince=2011&auntil=2012", 400)
+	getJSON(t, ts.URL+"/api/diff", 400)
+	getJSON(t, ts.URL+"/api/diff?entity=Zorblatt+Unheard&asince=2011&auntil=2012&bsince=2014&buntil=2015", 404)
+	getJSON(t, ts.URL+"/api/diff?asince=notadate&auntil=2012&bsince=2014&buntil=2015", 400)
+	getJSON(t, ts.URL+"/api/diff?asince=2012&auntil=2011&bsince=2014&buntil=2015", 400)
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/plan?q=Tell+me+about+DJI&since=2014&until=2015", 200)
+	if body["class"] != "entity" {
+		t.Fatalf("class = %v", body["class"])
+	}
+	explain, _ := body["explain"].(string)
+	for _, want := range []string{"plan class=entity", "Summarize(", "WindowFilter(", "Scan("} {
+		if !strings.Contains(explain, want) {
+			t.Fatalf("explain missing %q:\n%s", want, explain)
+		}
+	}
+	root, ok := body["root"].(map[string]any)
+	if !ok || root["op"] != "Summarize" {
+		t.Fatalf("root = %v", body["root"])
+	}
+	if _, ok := body["window"]; !ok {
+		t.Fatalf("windowed plan response lacks window: %v", body)
+	}
+
+	// A diff question compiles to a Diff root with two inputs.
+	body = getJSON(t, ts.URL+"/api/plan?q=What+changed+about+DJI+between+2014+and+2015%3F", 200)
+	root = body["root"].(map[string]any)
+	if root["op"] != "Diff" || len(root["inputs"].([]any)) != 2 {
+		t.Fatalf("diff plan root = %v", root)
+	}
+
+	// Parse failures are the client's fault.
+	getJSON(t, ts.URL+"/api/plan?q=flarp+blonk+quux", 400)
+	getJSON(t, ts.URL+"/api/plan", 400)
+}
+
+func TestTrendingEndpointWindowedBackfill(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/trending?k=5&since=2011&until=2015")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var trends []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&trends); err != nil {
+		t.Fatal(err)
+	}
+	if len(trends) == 0 {
+		t.Fatal("windowed backfill found nothing in a four-year window")
+	}
+	if len(trends) > 5 {
+		t.Fatalf("k ignored: %d trends", len(trends))
+	}
+	// Malformed window still 400s.
+	getJSON(t, ts.URL+"/api/trending?since=2015&until=2011", 400)
+}
+
+func TestStatsReportsPlanCounters(t *testing.T) {
+	ts := testServer(t)
+	getJSON(t, ts.URL+"/api/ask?q=Tell+me+about+DJI", 200)
+	getJSON(t, ts.URL+"/api/ask?q=What+is+trending%3F", 200)
+	body := getJSON(t, ts.URL+"/api/stats", 200)
+	planStats, ok := body["plan"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats lack plan section: %v", body)
+	}
+	if n, _ := planStats["plans"].(float64); n < 2 {
+		t.Fatalf("plan counter = %v, want >= 2", planStats["plans"])
+	}
+	byClass, _ := planStats["by_class"].(map[string]any)
+	if byClass["entity"] == nil || byClass["trending"] == nil {
+		t.Fatalf("by_class = %v", byClass)
+	}
+	ops, _ := planStats["ops"].(map[string]any)
+	if ops["Scan"] == nil || ops["TrendScan"] == nil {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestAskEndpointDiffQuestion(t *testing.T) {
+	ts := testServer(t)
+	body := getJSON(t, ts.URL+"/api/ask?q=What+changed+about+DJI+between+2011+and+2014%3F", 200)
+	if body["class"] != "diff" {
+		t.Fatalf("class = %v", body["class"])
+	}
+	if _, ok := body["data"].(map[string]any); !ok {
+		t.Fatalf("diff data = %v", body["data"])
+	}
+}

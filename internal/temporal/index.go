@@ -9,11 +9,11 @@ import (
 	"nous/internal/graph"
 )
 
-// timeless is the edge timestamp a zero provenance time maps to
+// Timeless is the edge timestamp a zero provenance time maps to
 // (time.Time{}.Unix(), year 1) — what curated facts carry. Span and Stats
 // exclude timestamps at or before it so the reported span describes the
 // dated stream, not the background substrate.
-var timeless = time.Time{}.Unix()
+var Timeless = time.Time{}.Unix()
 
 // entry is one indexed edge: its timestamp and ID. Entries within a shard
 // are kept sorted by (ts, id).
@@ -22,12 +22,29 @@ type entry struct {
 	id graph.EdgeID
 }
 
+// entryLess is the (ts, id) order every shard maintains.
+func entryLess(a, b entry) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	return a.id < b.id
+}
+
 // ishard is one lock stripe of the index. Edges are assigned to the stripe
 // of their edge ID with the same mapping the graph's own shards use, so
 // contention under concurrent ingestion spreads the same way.
+//
+// entries[:sorted] is in (ts, id) order; entries[sorted:] is an unsorted
+// append tail. The live insert path only ever appends — in-order entries
+// (the roughly-chronological stream) extend the sorted run for free, while
+// out-of-order entries (reverse-chronological backfill) park in the tail and
+// are merged in one batch sort at the next read. That keeps the work done
+// under the writer's held shard lock O(1) instead of an O(stripe) memmove,
+// which made historical bulk import quadratic.
 type ishard struct {
 	mu      sync.RWMutex
-	entries []entry                // sorted by (ts, id)
+	entries []entry
+	sorted  int
 	byID    map[graph.EdgeID]int64 // id -> indexed timestamp, for removal
 }
 
@@ -97,6 +114,7 @@ func (ix *Index) Rebuild() {
 		s := &ix.shards[i]
 		s.mu.Lock()
 		s.entries = s.entries[:0]
+		s.sorted = 0
 		s.byID = make(map[graph.EdgeID]int64)
 		s.mu.Unlock()
 	}
@@ -129,12 +147,7 @@ func (ix *Index) scan() {
 			s.byID[en.id] = en.ts
 			s.entries = append(s.entries, en)
 		}
-		sort.Slice(s.entries, func(i, j int) bool {
-			if s.entries[i].ts != s.entries[j].ts {
-				return s.entries[i].ts < s.entries[j].ts
-			}
-			return s.entries[i].id < s.entries[j].id
-		})
+		s.flushLocked()
 		s.mu.Unlock()
 	}
 }
@@ -158,6 +171,10 @@ func (ix *Index) shardOf(id graph.EdgeID) *ishard {
 
 // insert indexes one edge. Inserting an already-indexed ID is a no-op, which
 // makes the attach-time scan idempotent against concurrently hooked inserts.
+// The write is an O(1) append: in-order entries extend the sorted run, and
+// out-of-order entries land in the unsorted tail flushed lazily by the next
+// read — a reverse-chronological backfill of n edges costs one O(n log n)
+// sort instead of n stripe-wide memmoves under the held lock.
 func (ix *Index) insert(id graph.EdgeID, ts int64) {
 	s := ix.shardOf(id)
 	s.mu.Lock()
@@ -166,13 +183,59 @@ func (ix *Index) insert(id graph.EdgeID, ts int64) {
 		return
 	}
 	s.byID[id] = ts
-	i := sort.Search(len(s.entries), func(i int) bool {
-		e := s.entries[i]
-		return e.ts > ts || (e.ts == ts && e.id >= id)
-	})
-	s.entries = append(s.entries, entry{})
-	copy(s.entries[i+1:], s.entries[i:])
-	s.entries[i] = entry{ts: ts, id: id}
+	en := entry{ts: ts, id: id}
+	s.entries = append(s.entries, en)
+	if s.sorted == len(s.entries)-1 && (s.sorted == 0 || !entryLess(en, s.entries[s.sorted-1])) {
+		s.sorted = len(s.entries)
+	}
+}
+
+// flushLocked merges the unsorted append tail into the sorted run. The tail
+// is sorted on its own (t log t) and merged with the prefix in one linear
+// pass; the caller holds the shard's write lock.
+func (s *ishard) flushLocked() {
+	if s.sorted == len(s.entries) {
+		return
+	}
+	tail := s.entries[s.sorted:]
+	sort.Slice(tail, func(i, j int) bool { return entryLess(tail[i], tail[j]) })
+	if s.sorted > 0 {
+		merged := make([]entry, 0, len(s.entries))
+		i, j := 0, s.sorted
+		for i < s.sorted && j < len(s.entries) {
+			if entryLess(s.entries[j], s.entries[i]) {
+				merged = append(merged, s.entries[j])
+				j++
+			} else {
+				merged = append(merged, s.entries[i])
+				i++
+			}
+		}
+		merged = append(merged, s.entries[i:s.sorted]...)
+		merged = append(merged, s.entries[j:]...)
+		s.entries = merged
+	}
+	s.sorted = len(s.entries)
+}
+
+// view runs fn with the shard locked and its entries fully sorted. The fast
+// path (no pending append tail) runs fn under the read lock so concurrent
+// readers proceed in parallel; when a flush is needed, fn runs under the
+// write lock taken to flush — re-downgrading to a read lock would open an
+// unbounded retry loop against a steady out-of-order writer appending
+// between the unlock and re-lock.
+func (s *ishard) view(fn func()) {
+	s.mu.RLock()
+	if s.sorted == len(s.entries) {
+		fn()
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.flushLocked()
+	fn()
+	s.mu.Unlock()
 }
 
 // remove drops one edge from the index. Removing an unindexed ID is a no-op.
@@ -185,12 +248,14 @@ func (ix *Index) remove(id graph.EdgeID) {
 		return
 	}
 	delete(s.byID, id)
+	s.flushLocked()
 	i := sort.Search(len(s.entries), func(i int) bool {
 		e := s.entries[i]
 		return e.ts > ts || (e.ts == ts && e.id >= id)
 	})
 	if i < len(s.entries) && s.entries[i].id == id {
 		s.entries = append(s.entries[:i], s.entries[i+1:]...)
+		s.sorted = len(s.entries)
 	}
 }
 
@@ -207,7 +272,8 @@ func (ix *Index) Len() int {
 }
 
 // rangeOf returns the half-open entry range of w within a shard's sorted
-// entries. The caller holds the shard's read lock.
+// entries. The caller holds the shard's read lock with the tail flushed
+// (view).
 func (s *ishard) rangeOf(w Window) (lo, hi int) {
 	if w.IsAll() {
 		return 0, len(s.entries)
@@ -229,10 +295,10 @@ func (ix *Index) Count(w Window) int {
 	n := 0
 	for i := range ix.shards {
 		s := &ix.shards[i]
-		s.mu.RLock()
-		lo, hi := s.rangeOf(w)
-		n += hi - lo
-		s.mu.RUnlock()
+		s.view(func() {
+			lo, hi := s.rangeOf(w)
+			n += hi - lo
+		})
 	}
 	return n
 }
@@ -243,17 +309,40 @@ func (ix *Index) EdgesIn(w Window) []graph.EdgeID {
 	var all []entry
 	for i := range ix.shards {
 		s := &ix.shards[i]
-		s.mu.RLock()
-		lo, hi := s.rangeOf(w)
-		all = append(all, s.entries[lo:hi]...)
-		s.mu.RUnlock()
+		s.view(func() {
+			lo, hi := s.rangeOf(w)
+			all = append(all, s.entries[lo:hi]...)
+		})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].ts != all[j].ts {
-			return all[i].ts < all[j].ts
-		}
-		return all[i].id < all[j].id
-	})
+	sort.Slice(all, func(i, j int) bool { return entryLess(all[i], all[j]) })
+	ids := make([]graph.EdgeID, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// DatedIn is EdgesIn restricted to dated edges: entries at or before the
+// timeless sentinel (zero provenance time, i.e. the curated substrate) are
+// skipped via the same sorted-prefix search Span uses, so a window unbounded
+// below never materializes the curated substrate. It is the right read for
+// stream-shaped consumers (eviction, whole-stream scans) for which curated
+// knowledge is timeless background, not part of the stream.
+func (ix *Index) DatedIn(w Window) []graph.EdgeID {
+	var all []entry
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		s.view(func() {
+			lo, hi := s.rangeOf(w)
+			if dated := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts > Timeless }); dated > lo {
+				lo = dated
+			}
+			if lo < hi {
+				all = append(all, s.entries[lo:hi]...)
+			}
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return entryLess(all[i], all[j]) })
 	ids := make([]graph.EdgeID, len(all))
 	for i, e := range all {
 		ids[i] = e.id
@@ -272,20 +361,15 @@ func (ix *Index) LatestIn(w Window, k int) []graph.EdgeID {
 	var all []entry
 	for i := range ix.shards {
 		s := &ix.shards[i]
-		s.mu.RLock()
-		lo, hi := s.rangeOf(w)
-		if hi-lo > k {
-			lo = hi - k
-		}
-		all = append(all, s.entries[lo:hi]...)
-		s.mu.RUnlock()
+		s.view(func() {
+			lo, hi := s.rangeOf(w)
+			if hi-lo > k {
+				lo = hi - k
+			}
+			all = append(all, s.entries[lo:hi]...)
+		})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].ts != all[j].ts {
-			return all[i].ts < all[j].ts
-		}
-		return all[i].id < all[j].id
-	})
+	sort.Slice(all, func(i, j int) bool { return entryLess(all[i], all[j]) })
 	if len(all) > k {
 		all = all[len(all)-k:]
 	}
@@ -304,19 +388,19 @@ func (ix *Index) Span() (min, max int64, ok bool) {
 	min, max = math.MaxInt64, math.MinInt64
 	for i := range ix.shards {
 		s := &ix.shards[i]
-		s.mu.RLock()
-		// Entries are sorted by timestamp; skip the timeless prefix.
-		lo := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts > timeless })
-		if lo < len(s.entries) {
-			ok = true
-			if first := s.entries[lo].ts; first < min {
-				min = first
+		s.view(func() {
+			// Entries are sorted by timestamp; skip the timeless prefix.
+			lo := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ts > Timeless })
+			if lo < len(s.entries) {
+				ok = true
+				if first := s.entries[lo].ts; first < min {
+					min = first
+				}
+				if last := s.entries[len(s.entries)-1].ts; last > max {
+					max = last
+				}
 			}
-			if last := s.entries[len(s.entries)-1].ts; last > max {
-				max = last
-			}
-		}
-		s.mu.RUnlock()
+		})
 	}
 	if !ok {
 		return 0, 0, false

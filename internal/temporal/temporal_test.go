@@ -188,7 +188,7 @@ func TestSpanExcludesTimelessSubstrate(t *testing.T) {
 	defer ix.Detach()
 	// A curated fact's edge carries the zero-provenance-time sentinel; it
 	// must not drag the reported span back to year 1.
-	if _, err := g.AddEdgeFull(a, b, "manufactures", 1, timeless, map[string]string{"curated": "true"}); err != nil {
+	if _, err := g.AddEdgeFull(a, b, "manufactures", 1, Timeless, map[string]string{"curated": "true"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := ix.Span(); ok {
@@ -207,6 +207,40 @@ func TestSpanExcludesTimelessSubstrate(t *testing.T) {
 	st := ix.Stats()
 	if st.Edges != 3 || st.MinTimestamp != 1000 || st.MaxTimestamp != 2000 {
 		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestDatedInSkipsTimelessSubstrate(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+	if _, err := g.AddEdgeFull(a, b, "manufactures", 1, Timeless, map[string]string{"curated": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := g.AddEdgeFull(a, b, "acquired", 1, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.AddEdgeFull(a, b, "acquired", 1, 2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window unbounded below spans the timeless sentinel; DatedIn must
+	// skip the substrate where EdgesIn would materialize it.
+	below := Window{Since: math.MinInt64, Until: 1500}
+	if ids := ix.DatedIn(below); len(ids) != 1 || ids[0] != e1 {
+		t.Fatalf("DatedIn(unbounded below) = %v, want just the dated edge %v", ids, e1)
+	}
+	if ids := ix.EdgesIn(below); len(ids) != 2 {
+		t.Fatalf("EdgesIn(unbounded below) = %v, want sentinel + dated", ids)
+	}
+	if ids := ix.DatedIn(Window{}); len(ids) != 2 || ids[0] != e1 || ids[1] != e2 {
+		t.Fatalf("DatedIn(all) = %v, want both dated edges in order", ids)
+	}
+	if ids := ix.DatedIn(Window{Since: 1500, Until: 2500}); len(ids) != 1 || ids[0] != e2 {
+		t.Fatalf("DatedIn(bounded) = %v, want %v", ids, e2)
 	}
 }
 
@@ -402,5 +436,97 @@ func TestIndexConcurrentAddRemove(t *testing.T) {
 		if _, ok := g.Edge(id); !ok {
 			t.Fatalf("index holds removed edge %d", id)
 		}
+	}
+}
+
+// TestIndexReverseChronologicalBackfill drives the worst case of the old
+// insertion-sort path — every insert lands in front of everything already
+// indexed — and checks reads still see a fully (ts, id)-ordered index. The
+// live path appends and defers sorting to the next read, so this is also the
+// correctness gate for the lazy per-stripe flush.
+func TestIndexReverseChronologicalBackfill(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+
+	const n = 500
+	ids := make([]graph.EdgeID, n)
+	for i := 0; i < n; i++ {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, int64(n-i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	got := ix.EdgesIn(All())
+	if len(got) != n {
+		t.Fatalf("EdgesIn = %d edges, want %d", len(got), n)
+	}
+	// Timestamps n..1 were inserted in reverse; sorted order is ids[n-1..0].
+	for i, id := range got {
+		if id != ids[n-1-i] {
+			t.Fatalf("EdgesIn[%d] = %v, want %v", i, id, ids[n-1-i])
+		}
+	}
+	if c := ix.Count(Window{Since: 1, Until: 11}); c != 10 {
+		t.Fatalf("Count = %d, want 10", c)
+	}
+	min, max, ok := ix.Span()
+	if !ok || min != 1 || max != int64(n) {
+		t.Fatalf("Span = (%d, %d, %v)", min, max, ok)
+	}
+}
+
+// TestIndexInterleavedOutOfOrderInsertAndRead alternates out-of-order writes
+// with reads so every read finds a fresh unsorted tail to flush.
+func TestIndexInterleavedOutOfOrderInsertAndRead(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+
+	want := 0
+	for i := 0; i < 100; i++ {
+		ts := int64(1000 - i) // strictly decreasing: always out of order
+		if _, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if got := ix.Count(Window{Since: ts, Until: 2000}); got != want {
+			t.Fatalf("after %d inserts Count = %d, want %d", want, got, want)
+		}
+	}
+}
+
+// TestIndexRemoveWithPendingTail removes an edge whose entry is still parked
+// in the unsorted append tail; the removal must flush and splice correctly.
+func TestIndexRemoveWithPendingTail(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	ix := Attach(g)
+	defer ix.Detach()
+
+	var ids []graph.EdgeID
+	for _, ts := range []int64{50, 10, 40, 20, 30} {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	g.RemoveEdge(ids[3]) // ts 20, never read since insertion
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	if c := ix.Count(Window{Since: 15, Until: 25}); c != 0 {
+		t.Fatalf("removed tail edge still counted (%d)", c)
+	}
+	in := ix.EdgesIn(All())
+	if len(in) != 4 || in[0] != ids[1] || in[1] != ids[4] || in[2] != ids[2] || in[3] != ids[0] {
+		t.Fatalf("EdgesIn after tail removal = %v", in)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nous/internal/core"
+	"nous/internal/temporal"
 )
 
 // Kind distinguishes what a trend is about.
@@ -90,12 +91,20 @@ func (d *Detector) OnEvent(ev core.Event) {
 	d.mu.Unlock()
 }
 
+// Config returns the detector's configuration (immutable after NewDetector),
+// so windowed backfill scans can bucket with the live detector's resolution.
+func (d *Detector) Config() Config { return d.cfg }
+
 func (d *Detector) bucketOf(t time.Time) int64 {
-	bucket := int64(d.cfg.Bucket / time.Second)
+	return bucketAt(d.cfg, t.Unix())
+}
+
+// bucketAt maps a unix timestamp onto a bucket index under cfg's resolution.
+func bucketAt(cfg Config, sec int64) int64 {
+	bucket := int64(cfg.Bucket / time.Second)
 	if bucket <= 0 {
 		bucket = 1
 	}
-	sec := t.Unix()
 	b := sec / bucket
 	// Integer division truncates toward zero; floor it so pre-1970
 	// timestamps land in the bucket containing them, not one bucket late.
@@ -114,6 +123,42 @@ func bump(m map[string]map[int64]int, name string, bucket int64) {
 	byBucket[bucket]++
 }
 
+// burstScore is the one burst formula: the smoothed ratio of a bucket's
+// count to its historical baseline, shared by the live detector's scan and
+// windowed Backfill.
+func burstScore(current int, baseline, smoothing float64) float64 {
+	return (float64(current) + smoothing) / (baseline + smoothing)
+}
+
+// burstAt scores byBucket[b] against the historical mean of the buckets
+// strictly before b.
+func burstAt(byBucket map[int64]int, b int64, smoothing float64) (current int, baseline, score float64) {
+	current = byBucket[b]
+	sum, n := 0, 0
+	for hb, hc := range byBucket {
+		if hb < b {
+			sum += hc
+			n++
+		}
+	}
+	if n > 0 {
+		baseline = float64(sum) / float64(n)
+	}
+	return current, baseline, burstScore(current, baseline, smoothing)
+}
+
+// trendLess is the canonical trend ordering: score desc, current desc, name
+// asc — shared by Trending and Backfill.
+func trendLess(a, b Trend) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Current != b.Current {
+		return a.Current > b.Current
+	}
+	return a.Name < b.Name
+}
+
 // Trending returns the top-k bursting entities and predicates for the
 // window containing now, ordered by descending burst score. When the
 // current window is quiet (no item reaches MinCurrent — streams are bursty
@@ -129,15 +174,7 @@ func (d *Detector) Trending(now time.Time, k int) []Trend {
 		}
 	}
 	d.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Current != out[j].Current {
-			return out[i].Current > out[j].Current
-		}
-		return out[i].Name < out[j].Name
-	})
+	sort.Slice(out, func(i, j int) bool { return trendLess(out[i], out[j]) })
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
@@ -188,29 +225,16 @@ func (d *Detector) TrendingEntities(now time.Time, k int) []Trend {
 func (d *Detector) scan(m map[string]map[int64]int, kind Kind, cur int64) []Trend {
 	var out []Trend
 	for name, byBucket := range m {
-		current := byBucket[cur]
-		if current < d.cfg.MinCurrent {
+		if byBucket[cur] < d.cfg.MinCurrent {
 			continue
 		}
-		// historical mean over buckets strictly before cur
-		sum, n := 0, 0
-		for b, c := range byBucket {
-			if b < cur {
-				sum += c
-				n++
-			}
-		}
-		baseline := 0.0
-		if n > 0 {
-			baseline = float64(sum) / float64(n)
-		}
-		s := d.cfg.Smoothing
+		current, baseline, score := burstAt(byBucket, cur, d.cfg.Smoothing)
 		out = append(out, Trend{
 			Name:     name,
 			Kind:     kind,
 			Current:  current,
 			Baseline: baseline,
-			Score:    (float64(current) + s) / (baseline + s),
+			Score:    score,
 		})
 	}
 	return out
@@ -233,6 +257,108 @@ func (d *Detector) Series(name string, now time.Time, n int) []int {
 	for i := 0; i < n; i++ {
 		b := cur - int64(n-1-i)
 		out[i] = entity[b] + pred[b]
+	}
+	return out
+}
+
+// Backfill scores bursts inside an arbitrary historical window from a replay
+// of dated facts — the windowed complement of the live detector, which only
+// scores the single bucket its clock sits in. The facts slice must contain
+// every dated fact up to the window's end (history before the window feeds
+// the baselines); callers typically materialize it from the temporal index.
+// Like the live detector, only extracted facts with a provenance time count.
+//
+// Each (name, bucket) pair whose bucket overlaps the window and whose count
+// reaches cfg.MinCurrent is burst-scored against the mean of that name's
+// buckets strictly before it; the best-scoring bucket per name wins. Results
+// are ordered like Trending (score desc, current desc, name asc) and
+// truncated to k (k <= 0 keeps everything).
+func Backfill(facts []core.Fact, w temporal.Window, cfg Config, k int) []Trend {
+	if cfg.Bucket <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Smoothing <= 0 {
+		cfg.Smoothing = 1
+	}
+	if w.IsEmpty() {
+		return nil
+	}
+	entityCounts := make(map[string]map[int64]int)
+	predCounts := make(map[string]map[int64]int)
+	for _, f := range facts {
+		if f.Curated || f.Provenance.Time.IsZero() {
+			continue
+		}
+		ts := f.Provenance.Time.Unix()
+		if !w.IsAll() && ts >= w.Until {
+			continue // beyond the window's end: not even baseline history
+		}
+		b := bucketAt(cfg, ts)
+		bump(entityCounts, f.Subject, b)
+		bump(entityCounts, f.Object, b)
+		bump(predCounts, f.Predicate, b)
+	}
+
+	bucketSec := int64(cfg.Bucket / time.Second)
+	if bucketSec <= 0 {
+		bucketSec = 1
+	}
+	// A bucket b covers [b*bucketSec, (b+1)*bucketSec); it overlaps the
+	// window when it starts before Until and ends after Since.
+	inWindow := func(b int64) bool {
+		if w.IsAll() {
+			return true
+		}
+		return b*bucketSec < w.Until && (b+1)*bucketSec > w.Since
+	}
+
+	var out []Trend
+	scanWindow := func(m map[string]map[int64]int, kind Kind) {
+		for name, byBucket := range m {
+			// Sweep the buckets in ascending order with a running prefix
+			// sum, so every bucket's strictly-before baseline mean falls out
+			// in O(B log B) per name instead of rescanning history per
+			// scored bucket.
+			keys := make([]int64, 0, len(byBucket))
+			for b := range byBucket {
+				keys = append(keys, b)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			best, found := Trend{}, false
+			sum, n := 0, 0
+			for _, b := range keys {
+				current := byBucket[b]
+				if current >= cfg.MinCurrent && inWindow(b) {
+					baseline := 0.0
+					if n > 0 {
+						baseline = float64(sum) / float64(n)
+					}
+					tr := Trend{
+						Name:     name,
+						Kind:     kind,
+						Current:  current,
+						Baseline: baseline,
+						Score:    burstScore(current, baseline, cfg.Smoothing),
+					}
+					if !found || tr.Score > best.Score ||
+						(tr.Score == best.Score && tr.Current > best.Current) {
+						best, found = tr, true
+					}
+				}
+				sum += current
+				n++
+			}
+			if found {
+				out = append(out, best)
+			}
+		}
+	}
+	scanWindow(entityCounts, KindEntity)
+	scanWindow(predCounts, KindPredicate)
+
+	sort.Slice(out, func(i, j int) bool { return trendLess(out[i], out[j]) })
+	if k > 0 && len(out) > k {
+		out = out[:k]
 	}
 	return out
 }

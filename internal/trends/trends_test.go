@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nous/internal/core"
+	"nous/internal/temporal"
 )
 
 func day(n int) time.Time {
@@ -211,5 +212,130 @@ func TestSeriesSharedNameSumsEntityAndPredicate(t *testing.T) {
 	p := d.Series("deploys", day(0), 1)
 	if p[0] != 1 {
 		t.Fatalf("predicate series = %v, want [1]", p)
+	}
+}
+
+func fact(s, p, o string, t time.Time, curated bool) core.Fact {
+	return core.Fact{Triple: core.Triple{
+		Subject: s, Predicate: p, Object: o, Curated: curated,
+		Provenance: core.Provenance{Time: t, Source: "wsj"},
+	}}
+}
+
+// TestBackfillScoresInsideWindow plants a burst in a historical bucket that
+// is NOT the window's end bucket: the live detector anchored at the window's
+// end would miss it, the backfill scan must find it.
+func TestBackfillScoresInsideWindow(t *testing.T) {
+	cfg := Config{Bucket: 7 * 24 * time.Hour, Smoothing: 1, MinCurrent: 2}
+	var facts []core.Fact
+	// Baseline: one DJI mention per week for weeks 0..3.
+	for wk := 0; wk < 4; wk++ {
+		facts = append(facts, fact("DJI", "acquired", "Tiny Co", day(wk*7), false))
+	}
+	// Burst: five mentions in week 4.
+	for i := 0; i < 5; i++ {
+		facts = append(facts, fact("DJI", "acquired", "Aeros", day(28), false))
+	}
+	// Quiet again in weeks 5..7 (one mention each) — the window's end bucket
+	// is NOT the burst bucket.
+	for wk := 5; wk < 8; wk++ {
+		facts = append(facts, fact("DJI", "acquired", "Tiny Co", day(wk*7), false))
+	}
+
+	w := temporal.Between(day(21), day(56)) // weeks 3..7
+	got := Backfill(facts, w, cfg, 10)
+	var dji *Trend
+	for i := range got {
+		if got[i].Name == "DJI" && got[i].Kind == KindEntity {
+			dji = &got[i]
+		}
+	}
+	if dji == nil {
+		t.Fatalf("backfill missed the in-window burst: %+v", got)
+	}
+	// The best bucket is the week-4 burst (5+5=10 mentions of DJI as
+	// subject... DJI appears once per fact), not the quiet end bucket.
+	if dji.Current != 5 {
+		t.Fatalf("backfill picked current=%d, want the 5-mention burst bucket", dji.Current)
+	}
+	if dji.Score <= 1 {
+		t.Fatalf("burst not scored as a burst: %+v", dji)
+	}
+}
+
+// TestBackfillRespectsWindowAndHistory: buckets outside the window never
+// produce trends, but history before the window still feeds baselines, and
+// facts after the window's end are invisible entirely.
+func TestBackfillRespectsWindowAndHistory(t *testing.T) {
+	cfg := Config{Bucket: 7 * 24 * time.Hour, Smoothing: 1, MinCurrent: 2}
+	var facts []core.Fact
+	// Big pre-window history for Windermere: 4/week for weeks 0..3.
+	for wk := 0; wk < 4; wk++ {
+		for i := 0; i < 4; i++ {
+			facts = append(facts, fact("Windermere", "deploys", "Phantom", day(wk*7), false))
+		}
+	}
+	// In-window: Windermere at its usual rate (no burst), GoPro bursting.
+	for i := 0; i < 4; i++ {
+		facts = append(facts, fact("Windermere", "deploys", "Phantom", day(28), false))
+	}
+	for i := 0; i < 6; i++ {
+		facts = append(facts, fact("GoPro", "acquired", "Aeros", day(28), false))
+	}
+	// Post-window burst that must not leak in.
+	for i := 0; i < 50; i++ {
+		facts = append(facts, fact("Parrot", "acquired", "Aeros", day(70), false))
+	}
+
+	w := temporal.Between(day(28), day(35)) // week 4 only
+	got := Backfill(facts, w, cfg, 0)
+	for _, tr := range got {
+		if tr.Name == "Parrot" {
+			t.Fatalf("post-window fact leaked into backfill: %+v", tr)
+		}
+	}
+	var wind, gopro *Trend
+	for i := range got {
+		switch got[i].Name {
+		case "Windermere":
+			wind = &got[i]
+		case "GoPro":
+			gopro = &got[i]
+		}
+	}
+	if gopro == nil || wind == nil {
+		t.Fatalf("missing expected trends: %+v", got)
+	}
+	// Windermere's baseline (4/week history) flattens its score; GoPro's
+	// fresh burst must outrank it.
+	if gopro.Score <= wind.Score {
+		t.Fatalf("baseline-aware ranking wrong: gopro=%+v wind=%+v", gopro, wind)
+	}
+	if wind.Baseline != 4 {
+		t.Fatalf("pre-window history not feeding baseline: %+v", wind)
+	}
+}
+
+// TestBackfillIgnoresCuratedAndTimelessAndEmpty mirrors the live detector's
+// admission rule and the empty-window contract.
+func TestBackfillIgnoresCuratedAndTimelessAndEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	facts := []core.Fact{
+		fact("DJI", "acquired", "Aeros", day(0), true),       // curated
+		fact("DJI", "acquired", "Aeros", time.Time{}, false), // timeless
+		fact("DJI", "acquired", "Aeros", day(0), false),
+		fact("DJI", "acquired", "Aeros", day(0), false),
+	}
+	got := Backfill(facts, temporal.Between(day(0), day(7)), cfg, 0)
+	for _, tr := range got {
+		if tr.Name == "DJI" && tr.Current != 2 {
+			t.Fatalf("curated/timeless facts counted: %+v", tr)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("extracted facts not counted at all")
+	}
+	if out := Backfill(facts, temporal.Empty(), cfg, 0); len(out) != 0 {
+		t.Fatalf("empty window produced trends: %+v", out)
 	}
 }

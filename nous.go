@@ -38,6 +38,7 @@ import (
 	"nous/internal/ontology"
 	"nous/internal/pathsearch"
 	"nous/internal/persist"
+	"nous/internal/plan"
 	"nous/internal/qa"
 	"nous/internal/stream"
 	"nous/internal/temporal"
@@ -97,6 +98,17 @@ type (
 	// TemporalStats reports the time index's state (indexed edges and
 	// timestamp span).
 	TemporalStats = temporal.Stats
+	// QueryPlan is a compiled logical query plan — the operator tree a
+	// question lowers into before execution (GET /api/plan renders it).
+	QueryPlan = plan.Plan
+	// PlanNode is the JSON-able shape of one plan operator.
+	PlanNode = plan.NodeDesc
+	// PlanStats reports the planner's execution counters (plans by class,
+	// operators by kind).
+	PlanStats = plan.Stats
+	// DiffAnswer is the payload of a temporal diff query: facts visible only
+	// in the second window (added) or only in the first (removed).
+	DiffAnswer = qa.DiffAnswer
 )
 
 // ErrParse marks questions Ask could not parse (or whose temporal qualifiers
@@ -207,12 +219,12 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 		}
 	})
 
-	// The temporal index subscribes to the graph's mutation stream and
-	// back-fills whatever the graph already holds (the curated substrate
-	// here; the recovered graph when assembled through Open). It powers the
-	// windowed read paths: "tell me about X last week", windowed exports,
-	// windowed PageRank.
-	p.tindex = temporal.Attach(kg.Graph())
+	// The temporal index is owned by the KG (attached at construction,
+	// re-scanned by Rebuild after recovery) and shared here. It powers the
+	// windowed read paths — "tell me about X last week", windowed exports,
+	// windowed PageRank — plus index-driven eviction, windowed trend
+	// backfill and whole-stream diffs.
+	p.tindex = kg.TemporalIndex()
 
 	p.stream = stream.NewWith(kg, cfg.Stream, p.analytics)
 	p.searcher = pathsearch.New(kg.Graph(), nil)
@@ -224,6 +236,7 @@ func NewPipeline(kg *KG, cfg Config) *Pipeline {
 		Model:     p.stream.Model(),
 		Linker:    p.stream.Linker(),
 		Analytics: p.analytics,
+		TIndex:    p.tindex,
 		Now:       p.now,
 	}
 	return p
@@ -466,6 +479,36 @@ func (p *Pipeline) Run(q Query) (Answer, error) {
 // pipeline clock.
 func (p *Pipeline) Trending(k int) []Trend {
 	return p.detector.Trending(p.now(), k)
+}
+
+// TrendingWindow answers "what was trending in this window": a bounded
+// window runs the planner's TrendScan backfill, scoring bursts in every
+// bucket the window covers straight off the temporal index (history before
+// the window feeds the baselines); the unbounded window is the live
+// detector's view, exactly Trending.
+func (p *Pipeline) TrendingWindow(w Window, k int) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassTrending, K: k, Window: w})
+}
+
+// Diff answers the temporal join "what changed about entity between A and
+// B": facts visible in window B but not A (added) and vice versa (removed),
+// matched by (subject, predicate, object). An empty entity diffs the whole
+// extracted stream off the temporal index. Curated facts are visible in
+// every window and therefore never appear as changes.
+func (p *Pipeline) Diff(entity string, a, b Window) (Answer, error) {
+	return p.exec.Run(Query{Class: qa.ClassDiff, Subject: entity, Window: a, WindowB: b})
+}
+
+// PlanFor parses a question and compiles it into its logical plan without
+// executing it — the explain view of the query planner. The window
+// intersects like AskWindow's.
+func (p *Pipeline) PlanFor(question string, w Window) (*QueryPlan, error) {
+	return p.exec.Plan(question, w)
+}
+
+// PlanStats reports the query planner's execution counters.
+func (p *Pipeline) PlanStats() PlanStats {
+	return p.exec.PlanStats()
 }
 
 // Patterns returns the top-k closed frequent patterns in the current

@@ -54,7 +54,8 @@ func TestAllFiveQueryClasses(t *testing.T) {
 			t.Fatalf("Ask(%q) returned empty text", q)
 		}
 	}
-	if len(QueryClasses()) != 5 {
+	// Fig 5's five classes plus the planner's diff class.
+	if len(QueryClasses()) != 6 {
 		t.Fatal("query class listing broken")
 	}
 }
@@ -134,5 +135,81 @@ func TestPatternTransitions(t *testing.T) {
 	entered, left := p.PatternTransitions()
 	if len(entered) != 0 || len(left) != 0 {
 		t.Fatalf("spurious transitions: %d entered, %d left", len(entered), len(left))
+	}
+}
+
+// TestDiffAndBackfillEndToEnd drives the two planner-enabled temporal
+// workloads through the public facade: Diff (temporal join) and
+// TrendingWindow (windowed trend backfill), both against a generated corpus.
+func TestDiffAndBackfillEndToEnd(t *testing.T) {
+	p, w := buildSystem(t, 200)
+	var lo, hi time.Time
+	for _, a := range GenerateArticles(w, DefaultArticleConfig(200)) {
+		if lo.IsZero() || a.Date.Before(lo) {
+			lo = a.Date
+		}
+		if a.Date.After(hi) {
+			hi = a.Date
+		}
+	}
+	span := hi.Sub(lo)
+	early := Window{Since: lo.Unix(), Until: lo.Add(span / 3).Unix()}
+	late := Window{Since: lo.Add(2 * span / 3).Unix(), Until: hi.Unix() + 1}
+
+	// Whole-stream diff between the first and last third of the corpus.
+	a, err := p.Diff("", early, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Diff == nil {
+		t.Fatalf("no diff payload: %s", a.Text)
+	}
+	if len(a.Diff.Added)+len(a.Diff.Removed) == 0 {
+		t.Fatalf("a two-thirds-apart stream diff found no changes:\n%s", a.Text)
+	}
+	for _, f := range append(append([]Fact{}, a.Diff.Added...), a.Diff.Removed...) {
+		if f.Curated {
+			t.Fatalf("curated fact in stream diff: %+v", f)
+		}
+	}
+
+	// Windowed trend backfill over the full corpus span: must find bursts
+	// and must NOT be the live detector's end-bucket view.
+	full := Window{Since: lo.Unix(), Until: hi.Unix() + 1}
+	tr, err := p.TrendingWindow(full, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Trends) == 0 {
+		t.Fatalf("backfill over the whole corpus found nothing:\n%s", tr.Text)
+	}
+	if !strings.Contains(tr.Text, "windowed backfill") {
+		t.Fatalf("TrendingWindow did not use backfill:\n%s", tr.Text)
+	}
+	// The unbounded window stays the live detector path.
+	live, err := p.TrendingWindow(Window{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(live.Text, "Trending now:") {
+		t.Fatalf("unbounded TrendingWindow text:\n%s", live.Text)
+	}
+
+	// Ask-path diff question + plan stats accounting.
+	if _, err := p.Ask("What changed between 2011 and 2014?"); err != nil {
+		t.Fatal(err)
+	}
+	st := p.PlanStats()
+	if st.Plans == 0 || st.ByClass["diff"] == 0 {
+		t.Fatalf("plan stats = %+v", st)
+	}
+
+	// PlanFor compiles without executing.
+	pl, err := p.PlanFor("Tell me about DJI in 2014", Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Class != "entity" || !strings.Contains(pl.Explain(), "WindowFilter") {
+		t.Fatalf("PlanFor explain:\n%s", pl.Explain())
 	}
 }
