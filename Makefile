@@ -1,0 +1,42 @@
+# Developer entry points mirroring what CI enforces (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test lint nouslint fmt bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# lint = everything CI's static gates run: gofmt, go vet, the nouslint
+# invariant suite, and staticcheck when it is installed locally.
+lint: nouslint
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# nouslint builds the repo's own analyzer suite and runs it through go vet so
+# test packages are covered and results are build-cached.
+nouslint:
+	$(GO) build -o bin/nouslint ./cmd/nouslint
+	$(GO) vet -vettool=$(CURDIR)/bin/nouslint ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+clean:
+	rm -rf bin

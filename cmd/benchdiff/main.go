@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -42,25 +43,42 @@ func load(path string) (benchFile, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "committed baseline BENCH_<artifact>.json (required)")
-	currentPath := flag.String("current", "", "freshly generated BENCH_<artifact>.json (required)")
-	threshold := flag.Float64("threshold", 0.20, "allowed regression fraction: fail when current < baseline*(1-threshold)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected: exit code 0 within budget,
+// 1 on regression/missing metric/load failure, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "committed baseline BENCH_<artifact>.json (required)")
+	currentPath := fs.String("current", "", "freshly generated BENCH_<artifact>.json (required)")
+	threshold := fs.Float64("threshold", 0.20, "allowed regression fraction: fail when current < baseline*(1-threshold)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *baselinePath == "" || *currentPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if *threshold < 0 || *threshold >= 1 {
-		fmt.Fprintf(os.Stderr, "benchdiff: threshold %v outside [0,1)\n", *threshold)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: threshold %v outside [0,1)\n", *threshold)
+		return 2
 	}
 
 	base, err := load(*baselinePath)
-	fatalIf(err)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
 	cur, err := load(*currentPath)
-	fatalIf(err)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
 	if base.Artifact != cur.Artifact {
-		fatalIf(fmt.Errorf("artifact mismatch: baseline %q vs current %q", base.Artifact, cur.Artifact))
+		fmt.Fprintf(stderr, "benchdiff: artifact mismatch: baseline %q vs current %q\n", base.Artifact, cur.Artifact)
+		return 1
 	}
 
 	names := make([]string, 0, len(base.Metrics))
@@ -69,14 +87,14 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("artifact %q, regression threshold %.0f%%\n", base.Artifact, *threshold*100)
-	fmt.Printf("%-36s %14s %14s %8s  %s\n", "metric", "baseline", "current", "ratio", "verdict")
+	fmt.Fprintf(stdout, "artifact %q, regression threshold %.0f%%\n", base.Artifact, *threshold*100)
+	fmt.Fprintf(stdout, "%-36s %14s %14s %8s  %s\n", "metric", "baseline", "current", "ratio", "verdict")
 	failed := false
 	for _, name := range names {
 		b := base.Metrics[name]
 		c, ok := cur.Metrics[name]
 		if !ok {
-			fmt.Printf("%-36s %14.1f %14s %8s  MISSING\n", name, b, "-", "-")
+			fmt.Fprintf(stdout, "%-36s %14.1f %14s %8s  MISSING\n", name, b, "-", "-")
 			failed = true
 			continue
 		}
@@ -91,23 +109,22 @@ func main() {
 		} else if ratio > 1 {
 			verdict = "improved"
 		}
-		fmt.Printf("%-36s %14.1f %14.1f %7.2fx  %s\n", name, b, c, ratio, verdict)
+		fmt.Fprintf(stdout, "%-36s %14.1f %14.1f %7.2fx  %s\n", name, b, c, ratio, verdict)
 	}
+	extra := make([]string, 0)
 	for name := range cur.Metrics {
 		if _, ok := base.Metrics[name]; !ok {
-			fmt.Printf("%-36s %14s %14.1f %8s  new (not gated; add to baseline)\n", name, "-", cur.Metrics[name], "-")
+			extra = append(extra, name)
 		}
 	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(stdout, "%-36s %14s %14.1f %8s  new (not gated; add to baseline)\n", name, "-", cur.Metrics[name], "-")
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs %s\n", *threshold*100, *baselinePath)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: throughput regressed more than %.0f%% vs %s\n", *threshold*100, *baselinePath)
+		return 1
 	}
-	fmt.Println("benchdiff: within budget")
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
+	fmt.Fprintln(stdout, "benchdiff: within budget")
+	return 0
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, artifact string, metrics map[string]float64) string {
+	t.Helper()
+	raw, err := json.Marshal(benchFile{Artifact: artifact, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diff runs benchdiff against the given metric maps and returns the exit
+// code plus captured stdout and stderr.
+func diff(t *testing.T, baseline, current map[string]float64, extraArgs ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := writeBench(t, dir, "base.json", "query", baseline)
+	c := writeBench(t, dir, "cur.json", "query", current)
+	var out, errOut strings.Builder
+	args := append([]string{"-baseline", b, "-current", c}, extraArgs...)
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestWithinBudgetPasses(t *testing.T) {
+	code, out, _ := diff(t,
+		map[string]float64{"qps": 100},
+		map[string]float64{"qps": 95}) // -5%: inside the default 20% budget
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "within budget") {
+		t.Errorf("output missing within-budget verdict:\n%s", out)
+	}
+}
+
+func TestRegressionBeyondThresholdFails(t *testing.T) {
+	code, out, errOut := diff(t,
+		map[string]float64{"qps": 100},
+		map[string]float64{"qps": 79}) // -21%: past the default 20% budget
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("output missing REGRESSED verdict:\n%s", out)
+	}
+	if !strings.Contains(errOut, "regressed more than 20%") {
+		t.Errorf("stderr missing gate message: %q", errOut)
+	}
+}
+
+func TestExactThresholdBoundaryPasses(t *testing.T) {
+	// current == baseline*(1-threshold) is not strictly below the floor.
+	code, out, _ := diff(t,
+		map[string]float64{"qps": 100},
+		map[string]float64{"qps": 80})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 at the exact boundary; output:\n%s", code, out)
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	code, _, _ := diff(t,
+		map[string]float64{"qps": 100},
+		map[string]float64{"qps": 95},
+		"-threshold", "0.02") // -5% against a 2% budget
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 with tightened threshold", code)
+	}
+}
+
+func TestRatioMath(t *testing.T) {
+	_, out, _ := diff(t,
+		map[string]float64{"qps": 200},
+		map[string]float64{"qps": 300})
+	if !strings.Contains(out, "1.50x") {
+		t.Errorf("output missing computed 1.50x ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("output missing improved verdict:\n%s", out)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	code, out, _ := diff(t,
+		map[string]float64{"qps": 100, "p50": 10},
+		map[string]float64{"qps": 100})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 when a baseline metric disappears", code)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("output missing MISSING verdict:\n%s", out)
+	}
+}
+
+func TestNewMetricNotGated(t *testing.T) {
+	code, out, _ := diff(t,
+		map[string]float64{"qps": 100},
+		map[string]float64{"qps": 100, "p50": 10})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0: new metrics are reported, not gated", code)
+	}
+	if !strings.Contains(out, "not gated") {
+		t.Errorf("output missing new-metric note:\n%s", out)
+	}
+}
+
+func TestArtifactMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	b := writeBench(t, dir, "base.json", "query", map[string]float64{"qps": 1})
+	c := writeBench(t, dir, "cur.json", "ingest", map[string]float64{"qps": 1})
+	var out, errOut strings.Builder
+	code := run([]string{"-baseline", b, "-current", c}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on artifact mismatch", code)
+	}
+	if !strings.Contains(errOut.String(), "artifact mismatch") {
+		t.Errorf("stderr missing mismatch message: %q", errOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 with no flags", code)
+	}
+	dir := t.TempDir()
+	b := writeBench(t, dir, "base.json", "query", map[string]float64{"qps": 1})
+	if code := run([]string{"-baseline", b, "-current", b, "-threshold", "1.5"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 for threshold outside [0,1)", code)
+	}
+}
+
+func TestLoadFailures(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBench(t, dir, "base.json", "query", map[string]float64{"qps": 1})
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", good, "-current", filepath.Join(dir, "absent.json")}, &out, &errOut); code != 1 {
+		t.Errorf("exit = %d, want 1 for a missing current file", code)
+	}
+
+	empty := writeBench(t, dir, "empty.json", "query", nil)
+	if code := run([]string{"-baseline", empty, "-current", good}, &out, &errOut); code != 1 {
+		t.Errorf("exit = %d, want 1 for a baseline with no metrics", code)
+	}
+}

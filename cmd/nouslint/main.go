@@ -1,0 +1,388 @@
+// Command nouslint is the multichecker for NOUS's invariant suite: five
+// analyzers that mechanically enforce the concurrency and architecture
+// rules the codebase depends on but ordinary tests cannot pin down
+// (deadlock-free shard-lock ordering, mutation-stream emission under held
+// locks, the PageRank cache gate, time-window threading, and plan
+// determinism). See internal/analysis/<rule> for what each rule guards and
+// why.
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/nouslint ./...   # the vet unit-checker protocol
+//	nouslint ./...                              # standalone, loads packages itself
+//
+// The vet protocol (config files, export data, -V/-flags handshake) is
+// implemented here directly against cmd/go's contract, because this module
+// is deliberately dependency-free and cannot vendor
+// golang.org/x/tools/go/analysis/unitchecker; the protocol is small and
+// stable, and implementing it keeps `go vet` integration (build caching,
+// test packages, per-package export data) for free.
+//
+// Findings are suppressed line-by-line with
+//
+//	//nouslint:allow <rule> -- <reason>
+//
+// on the flagged line or the line above; the reason is mandatory and
+// suppression counts are reported in standalone mode.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"nous/internal/analysis"
+	"nous/internal/analysis/hookunderlock"
+	"nous/internal/analysis/noclock"
+	"nous/internal/analysis/prgate"
+	"nous/internal/analysis/shardorder"
+	"nous/internal/analysis/windowthread"
+)
+
+var allAnalyzers = []*analysis.Analyzer{
+	shardorder.Analyzer,
+	hookunderlock.Analyzer,
+	prgate.Analyzer,
+	windowthread.Analyzer,
+	noclock.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("nouslint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (vet protocol handshake)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol handshake)")
+	printPath := fs.Bool("print-path", false, "print the path of this executable and exit")
+	enabled := make(map[string]*bool, len(allAnalyzers))
+	for _, a := range allAnalyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *versionFlag != "":
+		// cmd/go parses this as "<name> version <version>"; the version
+		// carries a content hash of the binary so vet's result cache
+		// invalidates when the analyzers change.
+		fmt.Printf("nouslint version v1.0.0-%s\n", selfHash())
+		return 0
+	case *flagsFlag:
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range allAnalyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, _ := json.Marshal(out)
+		fmt.Println(string(data))
+		return 0
+	case *printPath:
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nouslint:", err)
+			return 1
+		}
+		fmt.Println(exe)
+		return 0
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range allAnalyzers {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnitchecker(analyzers, rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(analyzers, rest)
+}
+
+// selfHash fingerprints the running binary for the vet build cache.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// --- vet unit-checker protocol ---------------------------------------------
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig, the JSON the go command
+// hands a -vettool for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nouslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The tool computes no cross-package facts, but writing the output file
+	// lets the go command cache this run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("nouslint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nouslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency package analyzed only for facts; nothing to do.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint:", err)
+		return 1
+	}
+	gc := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := &mappedImporter{underlying: gc, importMap: cfg.ImportMap}
+	pkg, info, err := typecheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "nouslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, _, err := runAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint:", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		printDiags(fset, diags)
+		return 2
+	}
+	return 0
+}
+
+// mappedImporter applies a vet config's ImportMap before delegating to the
+// export-data importer, and short-circuits "unsafe".
+type mappedImporter struct {
+	underlying types.Importer
+	importMap  map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.underlying.Import(path)
+}
+
+// --- standalone driver ------------------------------------------------------
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Module     *struct{ Path string }
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone loads the requested packages (and their export data) through
+// `go list -deps -export` and analyzes every non-dependency package in the
+// main module. Test files are not loaded in this mode; the vet protocol path
+// covers them.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint: go list:", err)
+		return 1
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "nouslint: decoding go list output:", err)
+			return 1
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "nouslint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly && p.Module != nil {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := &mappedImporter{underlying: gc}
+
+	exit := 0
+	totalSuppressed := 0
+	for _, p := range targets {
+		var names []string
+		names = append(names, p.GoFiles...)
+		names = append(names, p.CgoFiles...)
+		for i, n := range names {
+			names[i] = p.Dir + string(os.PathSeparator) + n
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nouslint:", err)
+			return 1
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, "", files, imp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nouslint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		diags, suppressed, err := runAnalyzers(analyzers, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nouslint:", err)
+			return 1
+		}
+		totalSuppressed += suppressed
+		if len(diags) > 0 {
+			printDiags(fset, diags)
+			exit = 2
+		}
+	}
+	if totalSuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "nouslint: %d finding(s) suppressed by //nouslint:allow\n", totalSuppressed)
+	}
+	return exit
+}
+
+// --- shared core ------------------------------------------------------------
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(fset *token.FileSet, path, goVersion string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	if strings.HasPrefix(goVersion, "go") {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, int, error) {
+	var diags []analysis.Diagnostic
+	suppressed := 0
+	for _, a := range analyzers {
+		d, s, err := analysis.Run(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := range d {
+			d[i].Message = d[i].Message + " (" + a.Name + ")"
+		}
+		diags = append(diags, d...)
+		suppressed += s
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, suppressed, nil
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+}

@@ -1,0 +1,176 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that nouslint's analyzers
+// program against. The container this repo builds in has no module proxy
+// access and the module is deliberately stdlib-only, so instead of vendoring
+// x/tools we keep the analyzers written to the upstream shape (Analyzer,
+// Pass, Diagnostic) and supply the ~150 lines of harness they need. If the
+// module ever grows a real x/tools dependency, each analyzer ports by
+// changing one import line.
+//
+// On top of the upstream shape this package adds the //nouslint:allow
+// suppression protocol shared by every analyzer:
+//
+//	//nouslint:allow <rule> -- <reason>
+//
+// placed on the flagged line or the line immediately above suppresses a
+// diagnostic from analyzer <rule>. The reason is mandatory: an allow without
+// one is itself reported. Suppressions are counted per Pass so drivers can
+// surface how many findings are being waived.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one nouslint rule: a name (also the rule token accepted
+// by //nouslint:allow), documentation, and the function that runs it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, positioned inside Pass.Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. It is pre-wired by NewPass to apply
+	// //nouslint:allow suppression before forwarding to the sink.
+	Report func(Diagnostic)
+
+	// Suppressed counts diagnostics waived by a well-formed allow
+	// directive during this pass.
+	Suppressed int
+
+	allows map[string][]*allowDirective // file name -> directives
+	sink   func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowDirective is one parsed //nouslint:allow comment.
+type allowDirective struct {
+	line   int // line the directive suppresses (the comment line; also covers line+1)
+	ownLn  int // line the comment itself sits on, for error reporting
+	pos    token.Pos
+	rules  []string
+	reason string
+}
+
+var allowRe = regexp.MustCompile(`^//nouslint:allow\s+([a-z, ]+?)\s*(?:--\s*(.*))?$`)
+
+// NewPass builds a Pass for one package, scanning its files for
+// //nouslint:allow directives and wiring Report through the suppression
+// filter into sink. A directive naming the pass's analyzer with an empty
+// reason is reported immediately as malformed.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		allows:    make(map[string][]*allowDirective),
+		sink:      sink,
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//nouslint:") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(text)
+				pos := fset.Position(c.Pos())
+				if m == nil {
+					sink(Diagnostic{Pos: c.Pos(), Message: "malformed nouslint directive (want //nouslint:allow <rule> -- <reason>)"})
+					continue
+				}
+				d := &allowDirective{line: pos.Line, ownLn: pos.Line, pos: c.Pos(), reason: strings.TrimSpace(m[2])}
+				for _, r := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' }) {
+					if r != "" {
+						d.rules = append(d.rules, r)
+					}
+				}
+				if d.matches(a.Name) && d.reason == "" {
+					sink(Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf("//nouslint:allow %s needs a reason (append `-- <why>`)", a.Name)})
+					continue
+				}
+				p.allows[pos.Filename] = append(p.allows[pos.Filename], d)
+			}
+		}
+	}
+	p.Report = func(d Diagnostic) {
+		if p.suppress(d) {
+			p.Suppressed++
+			return
+		}
+		p.sink(d)
+	}
+	return p
+}
+
+func (d *allowDirective) matches(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppress reports whether a well-formed allow directive for this analyzer
+// covers the diagnostic: the directive sits on the same line (trailing
+// comment) or on the line immediately above.
+func (p *Pass) suppress(d Diagnostic) bool {
+	pos := p.Fset.Position(d.Pos)
+	for _, a := range p.allows[pos.Filename] {
+		if !a.matches(p.Analyzer.Name) || a.reason == "" {
+			continue
+		}
+		if a.line == pos.Line || a.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one analyzer over one package and returns the surviving
+// diagnostics plus the count of allow-suppressed ones.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (diags []Diagnostic, suppressed int, err error) {
+	pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) { diags = append(diags, d) })
+	if _, err := a.Run(pass); err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, pass.Suppressed, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// lineReporter flags every statement line, giving the directive tests a
+// diagnostic stream to suppress.
+var lineReporter = &Analyzer{
+	Name: "linereport",
+	Doc:  "test analyzer that reports every statement",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				for _, stmt := range fd.Body.List {
+					pass.Reportf(stmt.Pos(), "statement")
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func runOn(t *testing.T, src string) ([]Diagnostic, int) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, suppressed, err := Run(lineReporter, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, suppressed
+}
+
+func TestAllowSuppressesSameLineAndLineAbove(t *testing.T) {
+	diags, suppressed := runOn(t, `package p
+
+func f() {
+	_ = 1 //nouslint:allow linereport -- same-line waiver
+	//nouslint:allow linereport -- line-above waiver
+	_ = 2
+	_ = 3
+}
+`)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly the unwaived statement", diags)
+	}
+}
+
+func TestAllowRequiresReason(t *testing.T) {
+	diags, suppressed := runOn(t, `package p
+
+func f() {
+	//nouslint:allow linereport
+	_ = 1
+}
+`)
+	if suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0: a reason-less allow must not suppress", suppressed)
+	}
+	var needsReason, stmt int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			needsReason++
+		}
+		if d.Message == "statement" {
+			stmt++
+		}
+	}
+	if needsReason != 1 || stmt != 1 {
+		t.Errorf("got %v; want one needs-a-reason report and one surviving statement report", diags)
+	}
+}
+
+func TestAllowOtherRuleDoesNotSuppress(t *testing.T) {
+	diags, suppressed := runOn(t, `package p
+
+func f() {
+	_ = 1 //nouslint:allow otherrule -- aimed at a different analyzer
+}
+`)
+	if suppressed != 0 || len(diags) != 1 {
+		t.Errorf("diags=%v suppressed=%d; a directive for another rule must not apply", diags, suppressed)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diags, _ := runOn(t, `package p
+
+//nouslint:alow linereport -- typo in the verb
+func f() {}
+`)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed nouslint directive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diags = %v, want a malformed-directive report", diags)
+	}
+}
+
+func TestMultiRuleDirective(t *testing.T) {
+	diags, suppressed := runOn(t, `package p
+
+func f() {
+	_ = 1 //nouslint:allow otherrule, linereport -- covers both rules
+}
+`)
+	if suppressed != 1 || len(diags) != 0 {
+		t.Errorf("diags=%v suppressed=%d; a comma list naming this rule must suppress", diags, suppressed)
+	}
+}

@@ -1,0 +1,311 @@
+// Package hookunderlock implements the nouslint rule guarding the mutation
+// stream's ordering contract in internal/graph (see graph.MutationHook):
+// edge mutations must be emitted to hooks while the write's shard locks are
+// still held, and every epoch bump must be paired with an emitted,
+// epoch-stamped mutation record.
+//
+// The contract is load-bearing twice over. First, emitting an edge mutation
+// after the locks drop lets a concurrent remover slip its MutRemoveEdge into
+// the stream ahead of the insertion's MutAddEdges — the WAL-replay
+// resurrection hazard PR 4 fixed: replay applies add after remove and a
+// deleted edge comes back from the dead. Second, a write path that bumps the
+// epoch without emitting (or emits a record without its epoch) silently
+// desynchronizes every subscriber — the WAL loses the write, the temporal
+// index drifts from the graph, and epoch-keyed caches serve stale artifacts
+// tagged as fresh.
+//
+// Concretely, inside internal/graph the analyzer checks per function:
+//
+//   - an emit of an edge-kind mutation (MutAddEdges, MutRemoveEdge,
+//     MutSetEdgeProp, MutSetEdgeWeight — or a record of unknown kind) must
+//     sit between shard-lock acquisition and release; deferred unlocks keep
+//     the locks held to the end of the function.
+//   - on such edge write paths, the epoch bump must also happen under the
+//     locks (the bump-under-lock rule that stops readers from being tagged
+//     with an epoch newer than the state they saw).
+//   - every bump() must be followed by an emit in the same function, and
+//     every emit must be preceded by a bump.
+//   - the emitted record must carry its epoch: a Mutation literal needs an
+//     explicit Epoch field; a record variable needs a `.Epoch =` assignment
+//     before the emit.
+//
+// Vertex-kind mutations intentionally deliver after the locks drop (vertex
+// writes touch one shard; there is no cross-record ordering to protect), so
+// they are exempt from the under-lock requirement but not from the
+// bump/emit pairing.
+package hookunderlock
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"nous/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hookunderlock",
+	Doc: "in internal/graph, edge mutations must be emitted (epoch-stamped) while the " +
+		"write's shard locks are held, preserving add-before-remove per edge",
+	Run: run,
+}
+
+const gatedPkg = "internal/graph"
+
+var edgeKinds = map[string]bool{
+	"MutAddEdges":      true,
+	"MutRemoveEdge":    true,
+	"MutSetEdgeProp":   true,
+	"MutSetEdgeWeight": true,
+}
+
+var vertexKinds = map[string]bool{
+	"MutAddVertex":     true,
+	"MutSetVertexProp": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PkgPathIs(pass.Pkg.Path(), gatedPkg) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evDeferUnlock
+	evBump
+	evEmit
+)
+
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	call *ast.CallExpr // for evEmit
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var events []event
+	// Loops that sweep stripe locks count as one acquisition/release at the
+	// loop's position (the AddEdges bulk-write idiom); dedup by loop node.
+	loopSeen := make(map[ast.Node]eventKind)
+
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.DeferStmt:
+			if kind, ok := classifyLockCall(pass, n.Call); ok && kind == evUnlock {
+				events = append(events, event{kind: evDeferUnlock, pos: n.Pos()})
+			}
+			return false // a deferred Lock would be nonsense; don't descend
+		case *ast.CallExpr:
+			if kind, ok := classifyLockCall(pass, n); ok {
+				if loop := innermostLoop(loops, n.Pos()); loop != nil {
+					if prev, seen := loopSeen[loop]; !seen || prev != kind {
+						loopSeen[loop] = kind
+						events = append(events, event{kind: kind, pos: loop.Pos()})
+					}
+					return true
+				}
+				events = append(events, event{kind: kind, pos: n.Pos()})
+				return true
+			}
+			switch analysis.CalleeName(n) {
+			case "bump":
+				events = append(events, event{kind: evBump, pos: n.Pos()})
+			case "emit":
+				events = append(events, event{kind: evEmit, pos: n.Pos(), call: n})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	edgePath := false
+	for _, ev := range events {
+		if ev.kind == evEmit && emitKindIsEdge(pass, ev.call) {
+			edgePath = true
+			break
+		}
+	}
+
+	depth, bumps, emits := 0, 0, 0
+	var lastBumpPos token.Pos
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			depth++
+		case evUnlock:
+			if depth > 0 {
+				depth--
+			}
+		case evDeferUnlock:
+			// Keeps the locks held until return; no depth change.
+		case evBump:
+			bumps++
+			lastBumpPos = ev.pos
+			if edgePath && depth == 0 {
+				pass.Reportf(ev.pos, "epoch bump outside the shard locks on an edge write path: readers could be tagged with an epoch newer than the state they observed")
+			}
+		case evEmit:
+			emits++
+			if bumps == 0 {
+				pass.Reportf(ev.pos, "mutation emitted without a preceding epoch bump in this function")
+			}
+			if emitKindIsEdge(pass, ev.call) && depth == 0 {
+				pass.Reportf(ev.pos, "edge mutation emitted after the shard locks were released: a concurrent remover can reorder the stream (add-before-remove per edge is lost, WAL replay may resurrect the edge)")
+			}
+			checkEpochStamp(pass, fd, ev.call)
+		}
+	}
+	if bumps > emits {
+		pass.Reportf(lastBumpPos, "epoch bumped %d time(s) but only %d mutation(s) emitted: WAL and temporal subscribers will miss a write", bumps, emits)
+	}
+}
+
+// classifyLockCall recognizes shard-lock acquisition/release: the
+// lock*/unlock* helper methods (lockEdgeShards) and direct indexed
+// stripe[i].mu.Lock()/Unlock() calls. Read locks are not write barriers for
+// the mutation stream and are ignored.
+func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (eventKind, bool) {
+	name := analysis.CalleeName(call)
+	if strings.HasPrefix(name, "lock") {
+		return evLock, true
+	}
+	if strings.HasPrefix(name, "unlock") {
+		return evUnlock, true
+	}
+	if name != "Lock" && name != "Unlock" {
+		return 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[muSel]
+	if !ok || !analysis.IsSyncMutex(tv.Type) {
+		return 0, false
+	}
+	if _, ok := ast.Unparen(muSel.X).(*ast.IndexExpr); !ok {
+		return 0, false // not a stripe lock (hookMu and friends)
+	}
+	if name == "Lock" {
+		return evLock, true
+	}
+	return evUnlock, true
+}
+
+func innermostLoop(loops []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, l := range loops {
+		if l.Pos() <= pos && pos <= l.End() {
+			if best == nil || l.Pos() > best.Pos() {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// emitKindIsEdge classifies the mutation record passed to emit. Unknown
+// kinds (records built elsewhere and passed in, like mutateEdge's parameter)
+// are conservatively treated as edge mutations.
+func emitKindIsEdge(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		return true
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+			if val, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+				if vertexKinds[val.Name] {
+					return false
+				}
+				return true
+			}
+			if val, ok := ast.Unparen(kv.Value).(*ast.SelectorExpr); ok {
+				if vertexKinds[val.Sel.Name] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return true
+}
+
+// checkEpochStamp verifies the emitted record carries its epoch: a Mutation
+// literal must set Epoch explicitly; a record variable must receive a
+// `.Epoch =` assignment earlier in the function.
+func checkEpochStamp(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	switch arg := arg.(type) {
+	case *ast.CompositeLit:
+		for _, el := range arg.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Epoch" {
+					return
+				}
+			}
+		}
+		pass.Reportf(call.Pos(), "mutation emitted without an Epoch stamp: subscribers cannot totally order the stream")
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[arg]
+		stamped := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if stamped || (n != nil && n.Pos() >= call.Pos()) {
+				return !stamped
+			}
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, l := range asg.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Epoch" {
+					continue
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					stamped = true
+				}
+			}
+			return true
+		})
+		if !stamped {
+			pass.Reportf(call.Pos(), "mutation record %s emitted without a .Epoch assignment in this function", arg.Name)
+		}
+	}
+}

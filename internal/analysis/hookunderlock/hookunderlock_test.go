@@ -1,0 +1,12 @@
+package hookunderlock_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/hookunderlock"
+)
+
+func TestHookUnderLock(t *testing.T) {
+	analysistest.Run(t, "testdata", hookunderlock.Analyzer, "nous/internal/graph")
+}

@@ -1,0 +1,145 @@
+// Fixture for the hookunderlock analyzer: a miniature of internal/graph's
+// write paths — stripe locks, epoch bump, mutation emission — with the
+// orderings the rule permits and the ones it must catch.
+package graph
+
+import "sync"
+
+type MutationKind int
+
+const (
+	MutAddEdges MutationKind = iota
+	MutRemoveEdge
+	MutSetEdgeProp
+	MutSetEdgeWeight
+	MutAddVertex
+	MutSetVertexProp
+)
+
+type Mutation struct {
+	Kind  MutationKind
+	Epoch uint64
+}
+
+type shard struct{ mu sync.RWMutex }
+
+type Graph struct {
+	shards [4]shard
+	epoch  uint64
+}
+
+func (g *Graph) bump() uint64 { g.epoch++; return g.epoch }
+
+func (g *Graph) emit(m Mutation) {}
+
+func (g *Graph) lockEdgeShards(a, b int) {}
+
+func (g *Graph) unlockEdgeShards(a, b int) {}
+
+// goodAddEdge: bump and emit both under the helper-held locks.
+func (g *Graph) goodAddEdge(a, b int) {
+	g.lockEdgeShards(a, b)
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: ep})
+	g.unlockEdgeShards(a, b)
+}
+
+// goodDeferred: a deferred unlock keeps the locks held to function end.
+func (g *Graph) goodDeferred(a, b int) {
+	g.lockEdgeShards(a, b)
+	defer g.unlockEdgeShards(a, b)
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: ep})
+}
+
+// goodVertexAfterUnlock: vertex-kind mutations may deliver after the locks
+// drop; only the bump/emit pairing is enforced.
+func (g *Graph) goodVertexAfterUnlock(i int) {
+	g.shards[i].mu.Lock()
+	ep := g.bump()
+	g.shards[i].mu.Unlock()
+	g.emit(Mutation{Kind: MutAddVertex, Epoch: ep})
+}
+
+// goodBulk: the AddEdges idiom — a stripe-lock sweep counts as one
+// acquisition at the loop, held until the unlock sweep.
+func (g *Graph) goodBulk(need []bool) {
+	for si := range need {
+		if need[si] {
+			g.shards[si].mu.Lock()
+		}
+	}
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: ep})
+	for si := len(need) - 1; si >= 0; si-- {
+		if need[si] {
+			g.shards[si].mu.Unlock()
+		}
+	}
+}
+
+// goodStampedVar: a record variable is fine once it gets a .Epoch assignment.
+func (g *Graph) goodStampedVar(a, b int) {
+	m := Mutation{Kind: MutSetEdgeWeight}
+	g.lockEdgeShards(a, b)
+	m.Epoch = g.bump()
+	g.emit(m)
+	g.unlockEdgeShards(a, b)
+}
+
+func (g *Graph) badEmitAfterUnlock(a, b int) {
+	g.lockEdgeShards(a, b)
+	ep := g.bump()
+	g.unlockEdgeShards(a, b)
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: ep}) // want `after the shard locks were released`
+}
+
+func (g *Graph) badStripeEmit(i int) {
+	g.shards[i].mu.Lock()
+	ep := g.bump()
+	g.shards[i].mu.Unlock()
+	g.emit(Mutation{Kind: MutSetEdgeProp, Epoch: ep}) // want `after the shard locks were released`
+}
+
+func (g *Graph) badBumpOutside(a, b int) {
+	ep := g.bump() // want `epoch bump outside the shard locks`
+	g.lockEdgeShards(a, b)
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: ep})
+	g.unlockEdgeShards(a, b)
+}
+
+func (g *Graph) badEmitWithoutBump(a, b int) {
+	g.lockEdgeShards(a, b)
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: 1}) // want `without a preceding epoch bump`
+	g.unlockEdgeShards(a, b)
+}
+
+func (g *Graph) badSilentBump(a, b int) {
+	g.lockEdgeShards(a, b)
+	g.bump() // want `but only 0 mutation`
+	g.unlockEdgeShards(a, b)
+}
+
+func (g *Graph) badUnstampedLiteral(a, b int) {
+	g.lockEdgeShards(a, b)
+	g.bump()
+	g.emit(Mutation{Kind: MutAddEdges}) // want `without an Epoch stamp`
+	g.unlockEdgeShards(a, b)
+}
+
+func (g *Graph) badUnstampedVar(a, b int) {
+	m := Mutation{Kind: MutAddEdges}
+	g.lockEdgeShards(a, b)
+	g.bump()
+	g.emit(m) // want `without a .Epoch assignment`
+	g.unlockEdgeShards(a, b)
+}
+
+// allowedReplay: a justified waiver suppresses the finding.
+func (g *Graph) allowedReplay(a, b int) {
+	g.lockEdgeShards(a, b)
+	ep := g.bump()
+	g.unlockEdgeShards(a, b)
+	//nouslint:allow hookunderlock -- replay harness re-emits a recorded stream
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: ep})
+}

@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/noclock"
+)
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", noclock.Analyzer, "nous/internal/qa")
+}

@@ -1,0 +1,44 @@
+// Fixture qa package: the injected reference-time seam and the raw clock
+// reads the rule bans.
+package qa
+
+import "time"
+
+type Answer struct{}
+
+func ParseAt(q string, ref time.Time) Answer { return Answer{} }
+
+// Parse reifies the wall clock straight into the seam: allowed.
+func Parse(q string) Answer {
+	return ParseAt(q, time.Now())
+}
+
+type Executor struct {
+	Now func() time.Time
+}
+
+// now is the injected-clock fallback seam itself: allowed.
+func (ex *Executor) now() time.Time {
+	if ex.Now != nil {
+		return ex.Now()
+	}
+	return time.Now()
+}
+
+func (ex *Executor) goodSeam(q string) Answer {
+	return ParseAt(q, ex.now())
+}
+
+func (ex *Executor) badStamp() time.Time {
+	return time.Now() // want `breaks plan determinism`
+}
+
+func badWindowEnd() int64 {
+	t := time.Now() // want `breaks plan determinism`
+	return t.Unix()
+}
+
+func allowedLatencyProbe() time.Time {
+	//nouslint:allow noclock -- latency metric only, never reaches an answer
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Fixture analytics package: the one place allowed to recompute PageRank.
+package analytics
+
+import "nous/internal/graph"
+
+type Cache struct {
+	g *graph.Graph
+}
+
+func (c *Cache) Recompute() map[string]float64 {
+	return c.g.PageRank(0.85, 20) // allowed: this is the memoization point
+}

@@ -1,0 +1,12 @@
+// Fixture graph package exposing the gated PageRank entry points.
+package graph
+
+type Graph struct{}
+
+func (g *Graph) PageRank(damping float64, iters int) map[string]float64 { return nil }
+
+func (g *Graph) PageRankFiltered(damping float64, iters int, keep func(string) bool) map[string]float64 {
+	return nil
+}
+
+func (g *Graph) Degree(name string) int { return 0 }

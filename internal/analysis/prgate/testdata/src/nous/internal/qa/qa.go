@@ -1,0 +1,28 @@
+// Fixture query package: PageRank calls here bypass the epoch-memoized cache.
+package qa
+
+import "nous/internal/graph"
+
+func rank(g *graph.Graph) map[string]float64 {
+	return g.PageRank(0.85, 20) // want `outside internal/analytics`
+}
+
+func filtered(g *graph.Graph, keep func(string) bool) map[string]float64 {
+	return g.PageRankFiltered(0.85, 20, keep) // want `outside internal/analytics`
+}
+
+func degree(g *graph.Graph) int {
+	return g.Degree("ada") // ungated graph reads are fine
+}
+
+// PageRank with the same name in another package is not the gated one.
+func PageRank() int { return 0 }
+
+func localRank() int {
+	return PageRank()
+}
+
+func batch(g *graph.Graph) map[string]float64 {
+	//nouslint:allow prgate -- offline batch export, not on the query path
+	return g.PageRank(0.85, 20)
+}

@@ -1,0 +1,455 @@
+// Package shardorder implements the nouslint rule behind the graph store's
+// deadlock freedom: every multi-shard writer acquires stripe locks in
+// ascending shard index (see internal/graph's package comment). Two writers
+// acquiring overlapping stripe sets in different orders deadlock only under
+// contention, so a violation passes every functional test and the race
+// detector, then wedges the server in production.
+//
+// The analyzer looks at acquisitions of the form base[i].mu.Lock() (or
+// RLock) where mu is a sync.Mutex/RWMutex living in an indexed slice or
+// array — the lock-striping idiom — and demands a proof of ascending order
+// for every function that acquires more than one:
+//
+//   - acquisitions driven by a loop variable are fine in `for i := range`
+//     and ascending three-clause loops, and flagged in descending or
+//     unclassifiable loops;
+//   - straight-line sequences of constant indexes must be strictly
+//     increasing;
+//   - straight-line sequences of variable indexes must take them, in result
+//     order, from a single call to a verified ordering helper — a function
+//     in the same package whose body is a conditional-swap sorting network
+//     (like graph.sorted3), which the analyzer verifies by simulating it
+//     over every input permutation;
+//   - anything else (conditional acquisition order, indexes of unknown
+//     provenance) cannot be proven ascending and is flagged.
+//
+// Unlock order is irrelevant to deadlock freedom and is not checked.
+package shardorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"nous/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardorder",
+	Doc: "functions locking more than one lock-striped shard (shards[i].mu) must acquire " +
+		"the stripes in ascending index order",
+	Run: run,
+}
+
+// lockEvent is one base[idx].mu.Lock()/RLock() acquisition.
+type lockEvent struct {
+	pos  token.Pos
+	base string   // printed form of the indexed expression, e.g. "g.shards"
+	idx  ast.Expr // the index expression
+}
+
+// loopInfo describes one for/range statement enclosing lock events.
+type loopInfo struct {
+	node ast.Node
+	v    types.Object // loop index variable (nil when none)
+	dir  int          // +1 ascending, -1 descending, 0 unknown
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, f, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+	var loops []loopInfo
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			var v types.Object
+			if id, ok := n.Key.(*ast.Ident); ok {
+				v = pass.TypesInfo.Defs[id]
+				if v == nil {
+					v = pass.TypesInfo.Uses[id]
+				}
+			}
+			loops = append(loops, loopInfo{node: n, v: v, dir: +1})
+		case *ast.ForStmt:
+			loops = append(loops, classifyFor(pass, n))
+		case *ast.CallExpr:
+			if ev, ok := asLockEvent(pass, n); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Split loop-driven acquisitions from straight-line ones.
+	straight := make(map[string][]lockEvent) // base -> ordered events
+	for _, ev := range events {
+		if loop := innermostLoop(loops, ev); loop != nil && loop.v != nil && analysis.MentionsIdent(pass.TypesInfo, ev.idx, loop.v) {
+			switch loop.dir {
+			case +1: // ascending loop: the canonical stripe sweep
+			case -1:
+				pass.Reportf(ev.pos, "%s locked under a descending loop: stripe locks must be acquired in ascending shard index", ev.base)
+			default:
+				pass.Reportf(ev.pos, "%s locked under a loop whose direction cannot be proven ascending", ev.base)
+			}
+			continue
+		}
+		straight[ev.base] = append(straight[ev.base], ev)
+	}
+
+	for base, evs := range straight {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		if len(evs) < 2 {
+			continue
+		}
+		checkStraightLine(pass, file, base, evs)
+	}
+}
+
+// checkStraightLine proves (or refutes) ascending order for a straight-line
+// multi-lock sequence on one base.
+func checkStraightLine(pass *analysis.Pass, file *ast.File, base string, evs []lockEvent) {
+	// All-constant indexes: require strictly increasing.
+	if vals, ok := constIndexes(pass, evs); ok {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				pass.Reportf(evs[i].pos, "%s[%d] locked after %s[%d]: stripe locks must be acquired in ascending shard index",
+					base, vals[i], base, vals[i-1])
+			}
+		}
+		return
+	}
+	// Variable indexes: every index must be a plain identifier, all defined
+	// by one `a, b, c := orderer(...)` assignment, locked in result order.
+	if objs, ok := identIndexes(pass, evs); ok {
+		if src := commonOrdererAssign(pass, file, objs); src != nil {
+			for i, obj := range objs {
+				if src.results[i] != obj {
+					pass.Reportf(evs[i].pos, "%s[%s] locked out of the order returned by %s: acquire stripes in the helper's (ascending) result order",
+						base, obj.Name(), src.fn.Name.Name)
+					return
+				}
+			}
+			return
+		}
+	}
+	pass.Reportf(evs[1].pos, "cannot prove ascending acquisition order for %s stripe locks: take indexes, in result order, from an ascending-ordering helper like sorted3, or lock in an ascending loop",
+		base)
+}
+
+// asLockEvent matches base[idx].mu.Lock() / base[idx].mu.RLock().
+func asLockEvent(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return lockEvent{}, false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	if tv, ok := pass.TypesInfo.Types[muSel]; !ok || !analysis.IsSyncMutex(tv.Type) {
+		return lockEvent{}, false
+	}
+	idxExpr, ok := ast.Unparen(muSel.X).(*ast.IndexExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), base: analysis.ExprString(idxExpr.X), idx: idxExpr.Index}, true
+}
+
+func classifyFor(pass *analysis.Pass, n *ast.ForStmt) loopInfo {
+	info := loopInfo{node: n}
+	assign, ok := n.Init.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return info
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return info
+	}
+	info.v = pass.TypesInfo.Defs[id]
+	if info.v == nil {
+		info.v = pass.TypesInfo.Uses[id]
+	}
+	cond, _ := n.Cond.(*ast.BinaryExpr)
+	switch post := n.Post.(type) {
+	case *ast.IncDecStmt:
+		up := post.Tok == token.INC
+		if cond == nil {
+			return info
+		}
+		if up && (cond.Op == token.LSS || cond.Op == token.LEQ) {
+			info.dir = +1
+		} else if !up && (cond.Op == token.GEQ || cond.Op == token.GTR) {
+			info.dir = -1
+		}
+	}
+	return info
+}
+
+func innermostLoop(loops []loopInfo, ev lockEvent) *loopInfo {
+	var best *loopInfo
+	for i := range loops {
+		l := &loops[i]
+		if l.node.Pos() <= ev.pos && ev.pos <= l.node.End() {
+			if best == nil || l.node.Pos() > best.node.Pos() {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+func constIndexes(pass *analysis.Pass, evs []lockEvent) ([]int64, bool) {
+	vals := make([]int64, len(evs))
+	for i, ev := range evs {
+		tv, ok := pass.TypesInfo.Types[ev.idx]
+		if !ok || tv.Value == nil {
+			return nil, false
+		}
+		n, err := strconv.ParseInt(tv.Value.ExactString(), 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		vals[i] = n
+	}
+	return vals, true
+}
+
+func identIndexes(pass *analysis.Pass, evs []lockEvent) ([]types.Object, bool) {
+	objs := make([]types.Object, len(evs))
+	for i, ev := range evs {
+		id, ok := ast.Unparen(ev.idx).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil, false
+		}
+		objs[i] = obj
+	}
+	return objs, true
+}
+
+// ordererAssign ties a lock sequence's index variables to the single
+// multi-assignment that produced them from a verified ordering helper.
+type ordererAssign struct {
+	fn      *ast.FuncDecl
+	results []types.Object // assignment LHS objects, in result order
+}
+
+// commonOrdererAssign finds the one `a, b, c := f(...)` statement defining
+// every object in objs, with f a verified ascending orderer declared in this
+// package, and returns the LHS objects in declaration order.
+func commonOrdererAssign(pass *analysis.Pass, file *ast.File, objs []types.Object) *ordererAssign {
+	var found *ordererAssign
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var lhs []types.Object
+		for _, l := range assign.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lhs = append(lhs, pass.TypesInfo.Defs[id])
+		}
+		// Every locked index must come from this assignment.
+		defined := make(map[types.Object]bool, len(lhs))
+		for _, o := range lhs {
+			defined[o] = true
+		}
+		for _, o := range objs {
+			if !defined[o] {
+				return true
+			}
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		decl := funcDeclOf(pass, fn)
+		if decl == nil || !isAscendingOrderer(decl) {
+			return true
+		}
+		found = &ordererAssign{fn: decl, results: lhs}
+		return false
+	})
+	return found
+}
+
+// funcDeclOf finds the declaration of fn inside the package under analysis.
+func funcDeclOf(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// isAscendingOrderer verifies that fd is a pure conditional-swap sorting
+// network over its parameters — a sequence of `if x > y { x, y = y, x }`
+// (or `<` mirrored) statements followed by `return p1, ..., pn` — and that
+// simulating it over every permutation of n distinct values yields ascending
+// output. For the stripe counts in question n is tiny, so exhaustive
+// simulation is exact and instant.
+func isAscendingOrderer(fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil || fd.Type.Results == nil || fd.Recv != nil {
+		return false
+	}
+	var params []string
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, name.Name)
+		}
+	}
+	n := len(params)
+	if n < 2 || n > 6 || fd.Type.Results.NumFields() == 0 {
+		return false
+	}
+	idx := make(map[string]int, n)
+	for i, p := range params {
+		idx[p] = i
+	}
+
+	// Parse the body into swap steps and the returned variable order.
+	type swap struct {
+		l, r    int         // compared variables
+		op      token.Token // token.GTR or token.LSS
+		targets [2]int      // assignment order: targets[0], targets[1] = src[0], src[1]
+		sources [2]int
+	}
+	var steps []swap
+	var ret []int
+	body := fd.Body.List
+	for i, stmt := range body {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			cond, ok := s.Cond.(*ast.BinaryExpr)
+			if !ok || (cond.Op != token.GTR && cond.Op != token.LSS) || s.Else != nil || s.Init != nil {
+				return false
+			}
+			l, lok := paramIdx(cond.X, idx)
+			r, rok := paramIdx(cond.Y, idx)
+			if !lok || !rok {
+				return false
+			}
+			if len(s.Body.List) != 1 {
+				return false
+			}
+			asg, ok := s.Body.List[0].(*ast.AssignStmt)
+			if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 2 || len(asg.Rhs) != 2 {
+				return false
+			}
+			var sw swap
+			sw.l, sw.r, sw.op = l, r, cond.Op
+			for j := 0; j < 2; j++ {
+				t, tok := paramIdx(asg.Lhs[j], idx)
+				src, sok := paramIdx(asg.Rhs[j], idx)
+				if !tok || !sok {
+					return false
+				}
+				sw.targets[j], sw.sources[j] = t, src
+			}
+			steps = append(steps, sw)
+		case *ast.ReturnStmt:
+			if i != len(body)-1 {
+				return false
+			}
+			for _, res := range s.Results {
+				p, ok := paramIdx(res, idx)
+				if !ok {
+					return false
+				}
+				ret = append(ret, p)
+			}
+		default:
+			return false
+		}
+	}
+	if len(ret) == 0 {
+		return false
+	}
+
+	// Exhaustively simulate every permutation of n distinct values.
+	vals := make([]int, n)
+	var permute func(depth int, used uint) bool
+	run := func() bool {
+		env := make([]int, n)
+		copy(env, vals)
+		for _, sw := range steps {
+			take := false
+			if sw.op == token.GTR {
+				take = env[sw.l] > env[sw.r]
+			} else {
+				take = env[sw.l] < env[sw.r]
+			}
+			if take {
+				a, b := env[sw.sources[0]], env[sw.sources[1]]
+				env[sw.targets[0]], env[sw.targets[1]] = a, b
+			}
+		}
+		prev := -1 << 62
+		for _, p := range ret {
+			if env[p] < prev {
+				return false
+			}
+			prev = env[p]
+		}
+		return true
+	}
+	permute = func(depth int, used uint) bool {
+		if depth == n {
+			return run()
+		}
+		for v := 0; v < n; v++ {
+			if used&(1<<v) != 0 {
+				continue
+			}
+			vals[depth] = v
+			if !permute(depth+1, used|1<<v) {
+				return false
+			}
+		}
+		return true
+	}
+	return permute(0, 0)
+}
+
+func paramIdx(e ast.Expr, idx map[string]int) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	i, ok := idx[id.Name]
+	return i, ok
+}

@@ -1,0 +1,12 @@
+package shardorder_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/shardorder"
+)
+
+func TestShardOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", shardorder.Analyzer, "a")
+}

@@ -1,0 +1,130 @@
+// Fixture for the shardorder analyzer: lock-striped shards with ascending
+// (good) and non-ascending (flagged) acquisition shapes.
+package a
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type Graph struct {
+	shards [8]shard
+}
+
+// sorted3 is the canonical ascending conditional-swap network; the analyzer
+// verifies it by exhaustive simulation.
+func sorted3(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// reversed3 sorts descending and must NOT pass verification.
+func reversed3(a, b, c int) (int, int, int) {
+	if a < b {
+		a, b = b, a
+	}
+	if b < c {
+		b, c = c, b
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+func (g *Graph) goodRangeSweep() {
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+	for i := range g.shards {
+		g.shards[i].mu.Unlock()
+	}
+}
+
+func (g *Graph) goodAscendingFor(n int) {
+	for i := 0; i < n; i++ {
+		g.shards[i].mu.RLock()
+	}
+	for i := 0; i < n; i++ {
+		g.shards[i].mu.RUnlock()
+	}
+}
+
+func (g *Graph) goodConstPair() {
+	g.shards[1].mu.Lock()
+	g.shards[3].mu.Lock()
+	g.shards[3].mu.Unlock()
+	g.shards[1].mu.Unlock()
+}
+
+func (g *Graph) goodSortedTriple(x, y, z int) {
+	a, b, c := sorted3(x, y, z)
+	g.shards[a].mu.Lock()
+	g.shards[b].mu.Lock()
+	g.shards[c].mu.Lock()
+	g.shards[c].mu.Unlock()
+	g.shards[b].mu.Unlock()
+	g.shards[a].mu.Unlock()
+}
+
+func (g *Graph) goodSingle(i int) {
+	g.shards[i].mu.Lock()
+	g.shards[i].mu.Unlock()
+}
+
+func (g *Graph) badDescendingLoop() {
+	for i := len(g.shards) - 1; i >= 0; i-- {
+		g.shards[i].mu.Lock() // want `descending loop`
+	}
+}
+
+func (g *Graph) badConstPair() {
+	g.shards[3].mu.Lock()
+	g.shards[1].mu.Lock() // want `ascending shard index`
+	g.shards[1].mu.Unlock()
+	g.shards[3].mu.Unlock()
+}
+
+func (g *Graph) badSortedOutOfOrder(x, y, z int) {
+	a, b, c := sorted3(x, y, z)
+	g.shards[c].mu.Lock() // want `out of the order returned by sorted3`
+	g.shards[b].mu.Lock()
+	g.shards[a].mu.Lock()
+	g.shards[a].mu.Unlock()
+	g.shards[b].mu.Unlock()
+	g.shards[c].mu.Unlock()
+}
+
+func (g *Graph) badUnknownProvenance(x, y int) {
+	g.shards[x].mu.Lock()
+	g.shards[y].mu.Lock() // want `cannot prove ascending acquisition order`
+	g.shards[y].mu.Unlock()
+	g.shards[x].mu.Unlock()
+}
+
+func (g *Graph) badDescendingHelper(x, y, z int) {
+	a, b, c := reversed3(x, y, z)
+	g.shards[a].mu.Lock()
+	g.shards[b].mu.Lock() // want `cannot prove ascending acquisition order`
+	g.shards[c].mu.Lock()
+	g.shards[c].mu.Unlock()
+	g.shards[b].mu.Unlock()
+	g.shards[a].mu.Unlock()
+}
+
+func (g *Graph) allowedByDirective(x, y int) {
+	g.shards[x].mu.Lock()
+	//nouslint:allow shardorder -- caller contract guarantees x < y
+	g.shards[y].mu.Lock()
+	g.shards[y].mu.Unlock()
+	g.shards[x].mu.Unlock()
+}

@@ -1,0 +1,56 @@
+// Fixture core package: the M / MWindow delegation convention with threaded
+// (good) and dropped (flagged) windows.
+package core
+
+import "nous/internal/temporal"
+
+type Fact struct{}
+
+type KG struct{}
+
+// FactsAbout has no window parameter, so its temporal.All() delegation is the
+// convention, not a violation.
+func (k *KG) FactsAbout(name string) []Fact {
+	return k.FactsAboutWindow(name, temporal.All())
+}
+
+func (k *KG) FactsAboutWindow(name string, w temporal.Window) []Fact { return nil }
+
+func (k *KG) goodThreaded(name string, w temporal.Window) int {
+	return len(k.FactsAboutWindow(name, w))
+}
+
+func (k *KG) goodDerived(name string, w temporal.Window) int {
+	ww := w
+	return len(k.FactsAboutWindow(name, ww))
+}
+
+func (k *KG) goodRebuilt(name string, w temporal.Window) int {
+	return len(k.FactsAboutWindow(name, temporal.Window{Since: w.Since, Until: w.Until}))
+}
+
+func (k *KG) badSibling(name string, w temporal.Window) int {
+	return len(k.FactsAbout(name)) // want `unwindowed FactsAbout`
+}
+
+func (k *KG) badFreshAll(name string, w temporal.Window) int {
+	return len(k.FactsAboutWindow(name, temporal.All())) // want `fresh unbounded window`
+}
+
+func (k *KG) badFreshLiteral(name string, w temporal.Window) int {
+	return len(k.FactsAboutWindow(name, temporal.Window{Since: 0, Until: 1 << 62})) // want `fresh unbounded window`
+}
+
+func (k *KG) allowedTrendBaseline(name string, w temporal.Window) int {
+	//nouslint:allow windowthread -- trend baseline deliberately reads all history
+	return len(k.FactsAboutWindow(name, temporal.All()))
+}
+
+// Package-scope sibling pair.
+func Export(k *KG) int { return ExportWindow(k, temporal.All()) }
+
+func ExportWindow(k *KG, w temporal.Window) int { return 0 }
+
+func badExport(k *KG, w temporal.Window) int {
+	return Export(k) // want `unwindowed Export`
+}

@@ -1,0 +1,38 @@
+// Fixture pathsearch package: the Options-bag form of window carrying, plus
+// the plan-node counterexample that must NOT count as a window parameter.
+package pathsearch
+
+import "nous/internal/temporal"
+
+type Options struct {
+	MaxDepth int
+	Window   temporal.Window
+}
+
+type Graph struct{}
+
+func (g *Graph) neighbors(name string) []string { return nil }
+
+func (g *Graph) neighborsWindow(name string, w temporal.Window) []string { return nil }
+
+func SearchGood(g *Graph, from string, opt Options) []string {
+	return g.neighborsWindow(from, opt.Window)
+}
+
+func SearchBadSibling(g *Graph, from string, opt Options) []string {
+	return g.neighbors(from) // want `unwindowed neighbors`
+}
+
+func SearchBadFresh(g *Graph, from string, opt Options) []string {
+	return g.neighborsWindow(from, temporal.All()) // want `fresh unbounded window`
+}
+
+// node is operator *data*, not a read view: a struct with a Window field that
+// is not an Options bag does not make its holder window-accepting.
+type node struct {
+	Window temporal.Window
+}
+
+func evalNode(g *Graph, n node) []string {
+	return g.neighborsWindow("x", temporal.All())
+}

@@ -1,0 +1,9 @@
+// Fixture temporal package: the window type the rule tracks.
+package temporal
+
+type Window struct {
+	Since int64
+	Until int64
+}
+
+func All() Window { return Window{} }

@@ -1,0 +1,217 @@
+// Package windowthread implements the nouslint rule that keeps time windows
+// threaded through the read stack. The windowed read layer (PR 4) works by
+// convention: every store read has an unwindowed form M and a windowed form
+// MWindow, with M delegating to MWindow(temporal.All()). A function that
+// accepts a window but calls the unwindowed form of a callee — or passes a
+// fresh temporal.All() where the caller's window should flow — silently
+// widens the read to all time. Nothing crashes: "what did X do in 2015" just
+// quietly answers from the whole stream, and the (epoch, window) cache keys
+// stop meaning what they say.
+//
+// Inside internal/core, internal/plan and internal/pathsearch, for every
+// function that accepts a window — a temporal.Window parameter directly, or
+// an Options-style struct parameter carrying a temporal.Window field
+// (pathsearch.Options) — the analyzer flags:
+//
+//   - calls to a callee M when a windowed sibling MWindow exists on the same
+//     receiver (or in the same package): the window must be threaded through
+//     the windowed form;
+//   - window-typed call arguments built from whole cloth — temporal.All(),
+//     temporal.Window{} literals — that do not mention any of the function's
+//     window parameters: the caller's window is being dropped.
+//
+// Functions without a window parameter are unconstrained: reads that are
+// *supposed* to be unbounded (Diff children evaluate under their own
+// windows, trend baselines read all history) simply don't take a window.
+// Plan operator nodes also carry windows as fields, but a node parameter is
+// plan *data*, not a read view — the executor's ambient window parameter is
+// where threading is enforced — so struct parameters only count when they
+// are an Options-style bag (type name ending in "Options").
+package windowthread
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nous/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "windowthread",
+	Doc: "functions accepting a temporal.Window must thread it through every windowed " +
+		"callee (no unwindowed-sibling calls, no fresh temporal.All() args)",
+	Run: run,
+}
+
+var scopedPkgs = []string{"internal/core", "internal/plan", "internal/pathsearch"}
+
+const temporalPkg = "internal/temporal"
+
+func run(pass *analysis.Pass) (any, error) {
+	scoped := false
+	for _, p := range scopedPkgs {
+		if analysis.PkgPathIs(pass.Pkg.Path(), p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isWindowType reports whether t is temporal.Window.
+func isWindowType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Window" && obj.Pkg() != nil && analysis.PkgPathIs(obj.Pkg().Path(), temporalPkg)
+}
+
+// carriesWindow reports whether t is temporal.Window or a (pointer to an)
+// Options-style struct with a temporal.Window field, like pathsearch.Options.
+func carriesWindow(t types.Type) bool {
+	if isWindowType(t) {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Options") {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isWindowType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Collect the window-carrying parameters.
+	var winParams []types.Object
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && carriesWindow(obj.Type()) {
+					winParams = append(winParams, obj)
+				}
+			}
+		}
+	}
+	if len(winParams) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkSibling(pass, fd, call)
+		for _, arg := range call.Args {
+			checkFreshWindowArg(pass, winParams, call, arg)
+		}
+		return true
+	})
+}
+
+// checkSibling flags calls to M when a windowed sibling MWindow exists.
+func checkSibling(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if strings.HasSuffix(name, "Window") {
+		return
+	}
+	// If the callee already accepts a window, the fresh-arg rule covers it.
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isWindowType(sig.Params().At(i).Type()) {
+				return
+			}
+		}
+	}
+	sibling := name + "Window"
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		// Method: look for the sibling in the receiver's method set.
+		ms := types.NewMethodSet(recv.Type())
+		if ms.Lookup(fn.Pkg(), sibling) == nil {
+			// Exported siblings are also visible cross-package.
+			found := false
+			for i := 0; i < ms.Len(); i++ {
+				if ms.At(i).Obj().Name() == sibling {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+		}
+	} else {
+		// Package function: look for the sibling in the callee's package.
+		if fn.Pkg() == nil || fn.Pkg().Scope().Lookup(sibling) == nil {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s accepts a time window but calls unwindowed %s (windowed sibling %s exists): the read silently covers all time",
+		fd.Name.Name, name, sibling)
+}
+
+// checkFreshWindowArg flags window-typed arguments conjured from nothing —
+// temporal.All() or a Window literal — that ignore the function's window
+// parameters.
+func checkFreshWindowArg(pass *analysis.Pass, winParams []types.Object, call *ast.CallExpr, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || !isWindowType(tv.Type) {
+		return
+	}
+	fresh := false
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if fn := analysis.CalleeFunc(pass.TypesInfo, a); fn != nil &&
+			fn.Name() == "All" && analysis.PkgPathIs(analysis.FuncPkgPath(fn), temporalPkg) {
+			fresh = true
+		}
+	case *ast.CompositeLit:
+		fresh = true
+	}
+	if !fresh {
+		return
+	}
+	for _, p := range winParams {
+		if analysis.MentionsIdent(pass.TypesInfo, arg, p) {
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"window-accepting function passes a fresh unbounded window to %s instead of threading its own: the caller's window is dropped",
+		analysis.ExprString(call.Fun))
+}

@@ -1,0 +1,13 @@
+package windowthread_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/windowthread"
+)
+
+func TestWindowThread(t *testing.T) {
+	analysistest.Run(t, "testdata", windowthread.Analyzer,
+		"nous/internal/core", "nous/internal/pathsearch")
+}
