@@ -36,10 +36,10 @@ import (
 )
 
 func main() {
-	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query, persist, temporal")
+	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query, persist, temporal, memory")
 	n := flag.Int("n", 800, "number of articles for corpus-driven artifacts")
 	seed := flag.Int64("seed", 42, "world seed")
-	jsonOut := flag.String("json", "", "write the artifact's machine-readable metrics (BENCH_<artifact>.json shape) to this file; supported by query, persist and temporal")
+	jsonOut := flag.String("json", "", "write the artifact's machine-readable metrics (BENCH_<artifact>.json shape) to this file; supported by query, persist, temporal and memory")
 	flag.Parse()
 
 	runners := map[string]func(int, int64){
@@ -48,14 +48,15 @@ func main() {
 		"3x": claim3x, "closed": claimClosed, "bpr": claimBPR,
 		"coherence": claimCoherence, "aida": claimAIDA, "scale": claimScale,
 		"query": claimQuery, "persist": claimPersist, "temporal": claimTemporal,
+		"memory": claimMemory,
 	}
 	if *artifact == "all" {
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "-json needs a single metric artifact (query, persist or temporal), not all")
+			fmt.Fprintln(os.Stderr, "-json needs a single metric artifact (query, persist, temporal or memory), not all")
 			os.Exit(2)
 		}
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"3x", "closed", "bpr", "coherence", "aida", "scale", "query", "persist", "temporal"} {
+			"3x", "closed", "bpr", "coherence", "aida", "scale", "query", "persist", "temporal", "memory"} {
 			runners[name](*n, *seed)
 		}
 		return

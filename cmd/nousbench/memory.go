@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"nous/internal/graph"
+	"nous/internal/persist"
+)
+
+// claimMemory — the memory-lean graph core: resident bytes per fact for the
+// interned, columnar slab layout; sequential edge-scan bandwidth against an
+// in-artifact pointer-chasing baseline; and cold-restore throughput (snapshot
+// to a fully rebuilt graph).
+//
+// Facts are prop-less edges, the dominant population of a corpus-built KG.
+// The targets come from the storage-layout budget: <= 64 bytes/fact, and a
+// sequential slab scan >= 2x a heap-of-Edge-structs traversal.
+func claimMemory(n int, seed int64) {
+	header("Claim C10 — memory-lean graph core: bytes/fact, scan bandwidth, cold restore")
+
+	// Corpus shape: a fixed vertex population with an edge stream over a
+	// small predicate vocabulary, like an ingested article corpus. Scale the
+	// edge count with -n (default n=800 -> 1M edges).
+	edges := n * 1250
+	if edges < 100_000 {
+		edges = 100_000
+	}
+	const vertices = 20_000
+	labels := []string{"acquired", "partnersWith", "invests", "manufactures", "employs", "suppliesTo"}
+	rng := rand.New(rand.NewSource(seed))
+
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	before := heap()
+	g := graph.New()
+	ids := make([]graph.VertexID, vertices)
+	for i := range ids {
+		ids[i] = g.AddVertex("Company")
+	}
+	const perBatch = 512
+	specs := make([]graph.EdgeSpec, perBatch)
+	buildStart := time.Now()
+	for done := 0; done < edges; done += perBatch {
+		b := perBatch
+		if edges-done < b {
+			b = edges - done
+		}
+		for j := 0; j < b; j++ {
+			specs[j] = graph.EdgeSpec{
+				Src:       ids[rng.Intn(vertices)],
+				Dst:       ids[rng.Intn(vertices)],
+				Label:     labels[rng.Intn(len(labels))],
+				Weight:    1,
+				Timestamp: int64(done + j),
+			}
+		}
+		if _, err := g.AddEdges(specs[:b]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+	}
+	buildDur := time.Since(buildStart)
+	after := heap()
+
+	facts := g.NumEdges()
+	bytesPerFact := float64(after-before) / float64(facts)
+	fmt.Printf("graph: %d vertices, %d facts, built in %s (%.0f facts/s)\n",
+		g.NumVertices(), facts, buildDur.Round(time.Millisecond), float64(facts)/buildDur.Seconds())
+	fmt.Printf("resident:       %8.1f MiB  (%5.1f bytes/fact, budget <= 64)\n",
+		float64(after-before)/(1<<20), bytesPerFact)
+	record("facts_per_mib", float64(facts)/(float64(after-before)/(1<<20)))
+
+	// Sequential slab scan: every live edge via the zero-copy view. The
+	// byte figure counts the columnar payload a scan actually reads per edge
+	// (src, dst, label, weight, timestamp, liveness).
+	const scanBytesPerEdge = 4 + 4 + 4 + 8 + 8 + 1
+	scan := func() (float64, int) {
+		sum, count := 0.0, 0
+		g.ScanEdges(func(e *graph.EdgeScan) bool {
+			sum += e.Weight
+			count++
+			return true
+		})
+		return sum, count
+	}
+	scan() // warm
+	const scanIters = 5
+	start := time.Now()
+	var visited int
+	for i := 0; i < scanIters; i++ {
+		_, visited = scan()
+	}
+	scanDur := time.Since(start) / scanIters
+	scanRate := float64(visited) / scanDur.Seconds()
+	fmt.Printf("slab scan:      %10s  (%8.1f Medges/s, %6.2f GB/s columnar payload)\n",
+		scanDur.Round(time.Microsecond), scanRate/1e6, scanRate*scanBytesPerEdge/1e9)
+	record("edge_scan_edges_per_sec", scanRate)
+
+	// Pointer-chasing baseline: the pre-slab layout — a map from edge ID to
+	// an individually heap-allocated record — traversed the way the old scan
+	// paths did, by map iteration plus a pointer dereference per edge.
+	heapEdges := make(map[graph.EdgeID]*graph.Edge, visited)
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		m := e.Materialize()
+		heapEdges[m.ID] = &m
+		return true
+	})
+	chase := func() float64 {
+		sum := 0.0
+		for _, e := range heapEdges {
+			sum += e.Weight
+		}
+		return sum
+	}
+	chase() // warm
+	start = time.Now()
+	for i := 0; i < scanIters; i++ {
+		chase()
+	}
+	chaseDur := time.Since(start) / scanIters
+	chaseRate := float64(len(heapEdges)) / chaseDur.Seconds()
+	speedup := scanRate / chaseRate
+	fmt.Printf("pointer chase:  %10s  (%8.1f Medges/s, map + per-edge dereference)\n", chaseDur.Round(time.Microsecond), chaseRate/1e6)
+	fmt.Printf("scan speedup:   %9.1fx  (target >= 2x)\n", speedup)
+	record("scan_speedup_vs_pointer_chasing", speedup)
+	heapEdges = nil
+	runtime.GC() // drop the baseline's heap before timing restores under normal GC pressure
+
+	// Cold restore: snapshot the graph, then rebuild a fresh one from disk —
+	// the parallel per-stripe slab reconstruction path.
+	dir, err := os.MkdirTemp("", "nous-memory-bench-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	quiet := persist.Options{DisableAutoCheckpoint: true, FlushInterval: time.Hour}
+	st, err := persist.Open(dir, g, quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if err := st.Checkpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	const restoreIters = 3
+	var g2 *graph.Graph
+	start = time.Now()
+	for i := 0; i < restoreIters; i++ {
+		g2 = graph.New()
+		st2, err := persist.Open(dir, g2, quiet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		st2.Close()
+	}
+	restoreDur := time.Since(start) / restoreIters
+	if g2.NumEdges() != facts {
+		fmt.Fprintf(os.Stderr, "cold restore lost facts: %d != %d\n", g2.NumEdges(), facts)
+		return
+	}
+	restoreRate := float64(facts) / restoreDur.Seconds()
+	fmt.Printf("cold restore:   %10s  (%8.0f facts/s, snapshot -> live slabs)\n",
+		restoreDur.Round(time.Millisecond), restoreRate)
+	record("cold_restore_facts_per_sec", restoreRate)
+
+	fmt.Println("\nshape target: <= 64 bytes/fact resident; sequential scan >= 2x pointer chasing")
+	runtime.KeepAlive(g)
+}

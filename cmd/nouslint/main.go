@@ -1,10 +1,10 @@
-// Command nouslint is the multichecker for NOUS's invariant suite: five
+// Command nouslint is the multichecker for NOUS's invariant suite: six
 // analyzers that mechanically enforce the concurrency and architecture
 // rules the codebase depends on but ordinary tests cannot pin down
 // (deadlock-free shard-lock ordering, mutation-stream emission under held
-// locks, the PageRank cache gate, time-window threading, and plan
-// determinism). See internal/analysis/<rule> for what each rule guards and
-// why.
+// locks, the PageRank cache gate, time-window threading, plan determinism,
+// and symbol-interned graph index keys). See internal/analysis/<rule> for
+// what each rule guards and why.
 //
 // It runs two ways:
 //
@@ -44,6 +44,7 @@ import (
 
 	"nous/internal/analysis"
 	"nous/internal/analysis/hookunderlock"
+	"nous/internal/analysis/internedkeys"
 	"nous/internal/analysis/noclock"
 	"nous/internal/analysis/prgate"
 	"nous/internal/analysis/shardorder"
@@ -56,6 +57,7 @@ var allAnalyzers = []*analysis.Analyzer{
 	prgate.Analyzer,
 	windowthread.Analyzer,
 	noclock.Analyzer,
+	internedkeys.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,13 @@
+package internedkeys_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/internedkeys"
+)
+
+func TestInternedKeys(t *testing.T) {
+	analysistest.Run(t, "testdata", internedkeys.Analyzer,
+		"nous/internal/graph", "nous/internal/graph/symtab", "nous/internal/qa")
+}

@@ -1,0 +1,43 @@
+// Fixture for the internedkeys analyzer: a miniature of internal/graph's
+// storage types — interned indexes the rule permits, raw string keys it must
+// catch, and the exported API types it must leave alone.
+package graph
+
+type symID uint32
+
+// Vertex is exported API: string props are the materialization contract at
+// the package boundary, so the rule stays silent here.
+type Vertex struct {
+	ID    int64
+	Props map[string]string
+}
+
+// propMap models the interned property side table: SymID keys are fine.
+type propMap map[symID]string
+
+// shard models a lock stripe's index state.
+type shard struct {
+	out     map[int64][]uint32
+	byLabel map[symID][]uint32
+	names   map[string]int64 // want `symtab.SymID`
+}
+
+// labelIndex is an unexported named map with a raw string key.
+type labelIndex map[string][]uint32 // want `symtab.SymID`
+
+// aliasKey is string-based, so keying by it is still a raw-string key.
+type aliasKey string
+
+type aliasIndex map[aliasKey][]uint32 // want `symtab.SymID`
+
+// waived documents a deliberate exception through the allow protocol.
+type waived struct {
+	//nouslint:allow internedkeys -- migration shim keyed by legacy predicate text
+	legacy map[string]symID
+}
+
+var _ = propMap{}
+var _ = shard{}
+var _ = labelIndex{}
+var _ = aliasIndex{}
+var _ = waived{}

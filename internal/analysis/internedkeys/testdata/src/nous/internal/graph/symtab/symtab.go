@@ -1,0 +1,11 @@
+// Fixture: the symtab subpackage owns the string<->SymID boundary, so its
+// string-keyed interner map must not be flagged.
+package symtab
+
+type SymID uint32
+
+type table struct {
+	ids map[string]SymID
+}
+
+var _ = table{}

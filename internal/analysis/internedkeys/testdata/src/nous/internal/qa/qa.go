@@ -1,0 +1,9 @@
+// Fixture: packages outside internal/graph may key maps however they like;
+// the rule only guards the graph core's resident state.
+package qa
+
+type planCache struct {
+	byQuestion map[string]int
+}
+
+var _ = planCache{}

@@ -240,7 +240,7 @@ func (c *Cache) WindowedPageRank(w temporal.Window) map[graph.VertexID]float64 {
 	now := c.Epoch()
 	v, hit, computed := m.get(now, c.MaxLag, func() map[graph.VertexID]float64 {
 		c.windowedComputes.Add(1)
-		return graph.PageRankFiltered(c.kg.Graph(), c.Damping, c.Iters, w.ContainsEdge)
+		return graph.PageRankFiltered(c.kg.Graph(), c.Damping, c.Iters, w.ContainsScan)
 	})
 	c.account(hit, computed)
 	return v

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"nous/internal/graph/symtab"
+)
 
 // EdgeSpec describes one edge for batch insertion via AddEdges.
 type EdgeSpec struct {
@@ -44,10 +48,13 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 	n := int64(len(specs))
 	base := g.nextEdge.Add(n) - n
 	ids := make([]EdgeID, len(specs))
-	edges := make([]*Edge, len(specs))
+	// Interned labels and props are prepared before the locks are taken —
+	// interning may grow the symbol table and must not extend lock hold time.
+	syms := make([]symtab.SymID, len(specs))
+	props := make([]propMap, len(specs))
 	// Hook records are built here, before insertion: once the shard locks
-	// drop, the stored *Edge structs are reachable by concurrent mutators
-	// and may no longer be read without a lock.
+	// drop, the slab slots are reachable by concurrent mutators and may no
+	// longer be read without a lock.
 	var recs []Edge
 	if g.hooked() {
 		recs = make([]Edge, len(specs))
@@ -57,11 +64,11 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 		sp := &specs[i]
 		id := EdgeID(base + int64(i))
 		ids[i] = id
-		edges[i] = &Edge{ID: id, Src: sp.Src, Dst: sp.Dst, Label: sp.Label,
-			Weight: sp.Weight, Timestamp: sp.Timestamp, Props: copyProps(sp.Props)}
+		syms[i] = symtab.Intern(sp.Label)
+		props[i] = internProps(sp.Props)
 		if recs != nil {
-			recs[i] = *edges[i]
-			recs[i].Props = copyProps(sp.Props)
+			recs[i] = Edge{ID: id, Src: sp.Src, Dst: sp.Dst, Label: sp.Label,
+				Weight: sp.Weight, Timestamp: sp.Timestamp, Props: copyProps(sp.Props)}
 		}
 		need[shardIdx(uint64(sp.Src))] = true
 		need[shardIdx(uint64(sp.Dst))] = true
@@ -75,8 +82,9 @@ func (g *Graph) AddEdges(specs []EdgeSpec) ([]EdgeID, error) {
 			g.shards[si].mu.Lock()
 		}
 	}
-	for _, e := range edges {
-		g.insertEdgeLocked(e)
+	for i := range specs {
+		sp := &specs[i]
+		g.insertEdgeLocked(ids[i], sp.Src, sp.Dst, syms[i], sp.Weight, sp.Timestamp, props[i])
 	}
 	// Bump and emit before releasing the shard locks (as RemoveEdge does),
 	// so no concurrent remover's MutRemoveEdge can reach subscribers ahead

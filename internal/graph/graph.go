@@ -13,6 +13,14 @@
 // shard, the destination's shard and the edge's shard) acquire the distinct
 // shards in ascending index order, which makes multi-shard writers
 // deadlock-free.
+//
+// Memory layout: strings (labels, predicates, prop keys) are interned into
+// dense SymIDs (internal/graph/symtab) and edge records live in per-shard
+// columnar slabs (slab.go) addressed by compact 4-byte refs, not as
+// individually heap-allocated *Edge values. The exported API still traffics
+// in Vertex/Edge values with plain strings — they are materialized on demand
+// at the API boundary, and scan.go provides slab-native iteration for hot
+// consumers that don't want the materialization cost.
 package graph
 
 import (
@@ -20,6 +28,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"nous/internal/graph/symtab"
 )
 
 // VertexID identifies a vertex. IDs are assigned densely by the graph and
@@ -53,24 +63,35 @@ type Edge struct {
 
 // numShards is the lock-stripe count. A power of two so ID → shard is a
 // mask; 16 stripes keep contention low well past the core counts this
-// process-local store targets.
-const numShards = 16
+// process-local store targets. Must equal 1<<shardBits (slab.go), which ties
+// the EdgeID ↔ (shard, seq) split to the stripe count.
+const numShards = 1 << shardBits
+
+// vertexRec is a vertex's stored form: interned label, interned-key props.
+type vertexRec struct {
+	label symtab.SymID
+	props propMap
+}
 
 // shard is one lock stripe. Vertices (with their adjacency lists) are owned
-// by the shard of their VertexID; edge records and the per-label index
-// entries are owned by the shard of their EdgeID.
+// by the shard of their VertexID; edge records (slab slots) and the
+// per-label index entries are owned by the shard of their EdgeID.
 //
-// Invariant: an *Edge is reachable from three shards — its own (edges,
+// Invariant: an edge is reachable from three shards — its own (slab via idx,
 // byLabel), its source's (out) and its destination's (in). Any write to an
-// edge record or to the lists referencing it holds all three shard locks,
-// so a reader holding any one of them observes a consistent record.
+// edge's slab cells or to the structures referencing it holds all three
+// shard locks, so a reader holding any one of them observes a consistent
+// record — including when it dereferences an edgeRef into another shard's
+// slab without taking that shard's lock.
 type shard struct {
 	mu       sync.RWMutex
-	vertices map[VertexID]*Vertex
-	out      map[VertexID][]*Edge
-	in       map[VertexID][]*Edge
-	edges    map[EdgeID]*Edge
-	byLabel  map[string]map[EdgeID]*Edge // edge label -> edges owned here
+	vertices map[VertexID]vertexRec
+	out      map[VertexID][]edgeRef
+	in       map[VertexID][]edgeRef
+	slab     edgeSlab
+	idx      []uint32 // seq -> slab slot + 1; 0 = absent
+	byLabel  map[symtab.SymID]*labelSet
+	live     int // edges owned here that are not tombstoned
 }
 
 // Graph is a mutable directed multigraph. All exported methods are safe for
@@ -114,11 +135,10 @@ func New() *Graph {
 	g := &Graph{}
 	for i := range g.shards {
 		s := &g.shards[i]
-		s.vertices = make(map[VertexID]*Vertex)
-		s.out = make(map[VertexID][]*Edge)
-		s.in = make(map[VertexID][]*Edge)
-		s.edges = make(map[EdgeID]*Edge)
-		s.byLabel = make(map[string]map[EdgeID]*Edge)
+		s.vertices = make(map[VertexID]vertexRec)
+		s.out = make(map[VertexID][]edgeRef)
+		s.in = make(map[VertexID][]edgeRef)
+		s.byLabel = make(map[symtab.SymID]*labelSet)
 	}
 	return g
 }
@@ -176,9 +196,10 @@ func (g *Graph) AddVertex(label string) VertexID {
 // atomically: no reader can observe the vertex without them.
 func (g *Graph) AddVertexWithProps(label string, props map[string]string) VertexID {
 	id := VertexID(g.nextVertex.Add(1) - 1)
+	rec := vertexRec{label: symtab.Intern(label), props: internProps(props)}
 	s := g.vshard(id)
 	s.mu.Lock()
-	s.vertices[id] = &Vertex{ID: id, Label: label, Props: copyProps(props)}
+	s.vertices[id] = rec
 	s.mu.Unlock()
 	ep := g.bump()
 	if g.hooked() {
@@ -191,17 +212,19 @@ func (g *Graph) AddVertexWithProps(label string, props map[string]string) Vertex
 // SetVertexProp sets one property on a vertex. It reports whether the vertex
 // exists.
 func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
+	sym := symtab.Intern(key)
 	s := g.vshard(id)
 	s.mu.Lock()
-	v, ok := s.vertices[id]
+	rec, ok := s.vertices[id]
 	if !ok {
 		s.mu.Unlock()
 		return false
 	}
-	if v.Props == nil {
-		v.Props = make(map[string]string)
+	if rec.props == nil {
+		rec.props = make(propMap, 1)
+		s.vertices[id] = rec
 	}
-	v.Props[key] = value
+	rec.props[sym] = value
 	s.mu.Unlock()
 	ep := g.bump()
 	g.emit(Mutation{Kind: MutSetVertexProp, Epoch: ep, VertexID: id, Key: key, Value: value})
@@ -210,14 +233,18 @@ func (g *Graph) SetVertexProp(id VertexID, key, value string) bool {
 
 // VertexProp returns a property of a vertex.
 func (g *Graph) VertexProp(id VertexID, key string) (string, bool) {
+	sym, known := symtab.Lookup(key)
+	if !known {
+		return "", false // a never-interned key is set on no element
+	}
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v, ok := s.vertices[id]
-	if !ok || v.Props == nil {
+	rec, ok := s.vertices[id]
+	if !ok || rec.props == nil {
 		return "", false
 	}
-	val, ok := v.Props[key]
+	val, ok := rec.props[sym]
 	return val, ok
 }
 
@@ -226,13 +253,11 @@ func (g *Graph) Vertex(id VertexID) (Vertex, bool) {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v, ok := s.vertices[id]
+	rec, ok := s.vertices[id]
 	if !ok {
 		return Vertex{}, false
 	}
-	cp := *v
-	cp.Props = copyProps(v.Props)
-	return cp, true
+	return Vertex{ID: id, Label: symtab.Resolve(rec.label), Props: exportProps(rec.props)}, true
 }
 
 // HasVertex reports whether the vertex exists.
@@ -261,9 +286,10 @@ func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts 
 		return 0, fmt.Errorf("graph: add edge %q: destination vertex %d does not exist", label, dst)
 	}
 	id := EdgeID(g.nextEdge.Add(1) - 1)
-	e := &Edge{ID: id, Src: src, Dst: dst, Label: label, Weight: weight, Timestamp: ts, Props: copyProps(props)}
+	sym := symtab.Intern(label)
+	ip := internProps(props)
 	g.lockEdgeShards(src, dst, id)
-	g.insertEdgeLocked(e)
+	g.insertEdgeLocked(id, src, dst, sym, weight, ts, ip)
 	// Bump and emit before releasing the shard locks (as RemoveEdge does):
 	// once the locks drop, a concurrent remover can find the edge and emit
 	// its MutRemoveEdge — subscribers (the WAL, the temporal index) must
@@ -278,19 +304,32 @@ func (g *Graph) AddEdgeFull(src, dst VertexID, label string, weight float64, ts 
 	return id, nil
 }
 
-// insertEdgeLocked wires an edge into all indexes. The caller holds the
-// write locks of the source's, destination's and edge's shards.
-func (g *Graph) insertEdgeLocked(e *Edge) {
-	es := g.eshard(e.ID)
-	es.edges[e.ID] = e
-	g.vshard(e.Src).out[e.Src] = append(g.vshard(e.Src).out[e.Src], e)
-	g.vshard(e.Dst).in[e.Dst] = append(g.vshard(e.Dst).in[e.Dst], e)
-	idx, ok := es.byLabel[e.Label]
-	if !ok {
-		idx = make(map[EdgeID]*Edge)
-		es.byLabel[e.Label] = idx
+// insertEdgeLocked appends an edge into its owning shard's slab and wires it
+// into every index. The caller holds the write locks of the source's,
+// destination's and edge's shards. props (interned form) is retained, not
+// copied — callers pass a private map.
+func (g *Graph) insertEdgeLocked(id EdgeID, src, dst VertexID, label symtab.SymID, weight float64, ts int64, props propMap) {
+	si := shardIdx(uint64(id))
+	es := &g.shards[si]
+	seq := seqOf(id)
+	slot := es.slab.append(seq, src, dst, label, weight, ts)
+	if props != nil {
+		c, off := es.slab.chunk(slot)
+		c.setProps(off, props)
 	}
-	idx[e.ID] = e
+	es.setIdx(seq, slot)
+	ls := es.byLabel[label]
+	if ls == nil {
+		ls = &labelSet{}
+		es.byLabel[label] = ls
+	}
+	ls.slots = append(ls.slots, slot)
+	ls.live++
+	es.live++
+	ref := makeRef(si, slot)
+	ss, ds := g.vshard(src), g.vshard(dst)
+	ss.out[src] = append(ss.out[src], ref)
+	ds.in[dst] = append(ds.in[dst], ref)
 }
 
 // edgeEndpoints resolves an edge's immutable endpoints so the caller can
@@ -299,11 +338,12 @@ func (g *Graph) edgeEndpoints(id EdgeID) (src, dst VertexID, ok bool) {
 	es := g.eshard(id)
 	es.mu.RLock()
 	defer es.mu.RUnlock()
-	e, ok := es.edges[id]
+	slot, ok := es.lookup(seqOf(id))
 	if !ok {
 		return 0, 0, false
 	}
-	return e.Src, e.Dst, true
+	c, off := es.slab.chunk(slot)
+	return VertexID(c.src[off]), VertexID(c.dst[off]), true
 }
 
 // RemoveEdge deletes an edge. It reports whether the edge existed.
@@ -314,24 +354,48 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 	}
 	g.lockEdgeShards(src, dst, id)
 	defer g.unlockEdgeShards(src, dst, id)
-	es := g.eshard(id)
-	e, ok := es.edges[id] // may have raced with another remover
+	si := shardIdx(uint64(id))
+	es := &g.shards[si]
+	seq := seqOf(id)
+	slot, ok := es.lookup(seq) // may have raced with another remover
 	if !ok {
 		return false
 	}
-	delete(es.edges, id)
-	ss, ds := g.vshard(e.Src), g.vshard(e.Dst)
-	ss.out[e.Src] = removeEdgeFrom(ss.out[e.Src], id)
-	ds.in[e.Dst] = removeEdgeFrom(ds.in[e.Dst], id)
-	if idx := es.byLabel[e.Label]; idx != nil {
-		delete(idx, id)
-		if len(idx) == 0 {
-			delete(es.byLabel, e.Label)
+	c, off := es.slab.chunk(slot)
+	label := c.label[off]
+	c.dead[off] = true
+	if arr := c.props.Load(); arr != nil {
+		arr[off] = nil // release the props map; the slot is never reused
+	}
+	es.clearIdx(seq)
+	es.live--
+	if ls := es.byLabel[label]; ls != nil {
+		ls.live--
+		if ls.live == 0 {
+			delete(es.byLabel, label)
+		} else if len(ls.slots) >= 2*ls.live+chunkSize {
+			es.compactLabelLocked(ls)
 		}
 	}
+	ref := makeRef(si, slot)
+	ss, ds := g.vshard(src), g.vshard(dst)
+	ss.out[src] = removeRef(ss.out[src], ref)
+	ds.in[dst] = removeRef(ds.in[dst], ref)
 	ep := g.bump()
 	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: ep, EdgeID: id})
 	return true
+}
+
+// compactLabelLocked drops tombstoned slots from a label set. Caller holds
+// the owning shard's write lock.
+func (s *shard) compactLabelLocked(ls *labelSet) {
+	kept := ls.slots[:0]
+	for _, slot := range ls.slots {
+		if c, off := s.slab.chunk(slot); !c.dead[off] {
+			kept = append(kept, slot)
+		}
+	}
+	ls.slots = kept
 }
 
 // Edge returns a copy of the edge with the given ID.
@@ -339,48 +403,75 @@ func (g *Graph) Edge(id EdgeID) (Edge, bool) {
 	es := g.eshard(id)
 	es.mu.RLock()
 	defer es.mu.RUnlock()
-	e, ok := es.edges[id]
+	slot, ok := es.lookup(seqOf(id))
 	if !ok {
 		return Edge{}, false
 	}
-	cp := *e
-	cp.Props = copyProps(e.Props)
-	return cp, true
+	c, off := es.slab.chunk(slot)
+	return materializeEdge(shardIdx(uint64(id)), c, off), true
+}
+
+// materializeEdge builds an exported Edge value from a slab slot. The caller
+// holds a lock through which the slot is reachable.
+func materializeEdge(si int, c *edgeChunk, off int) Edge {
+	return Edge{
+		ID:        idOf(si, c.seq[off]),
+		Src:       VertexID(c.src[off]),
+		Dst:       VertexID(c.dst[off]),
+		Label:     symtab.Resolve(c.label[off]),
+		Weight:    c.weight[off],
+		Timestamp: c.ts[off],
+		Props:     exportProps(c.propsAt(off)),
+	}
+}
+
+// edgeAt materializes the edge an adjacency ref points to. The caller holds
+// a shard lock through which ref was read; the target slab's cells are
+// consistent under it per the three-shard invariant.
+func (g *Graph) edgeAt(ref edgeRef) Edge {
+	si := ref.shard()
+	c, off := g.shards[si].slab.chunk(ref.slot())
+	return materializeEdge(si, c, off)
 }
 
 // SetEdgeProp sets one property on an edge. It reports whether the edge
 // exists.
 func (g *Graph) SetEdgeProp(id EdgeID, key, value string) bool {
-	return g.mutateEdge(id, func(e *Edge) {
-		if e.Props == nil {
-			e.Props = make(map[string]string)
+	sym := symtab.Intern(key)
+	return g.mutateEdge(id, func(c *edgeChunk, off int) {
+		p := c.propsAt(off)
+		if p == nil {
+			c.setProps(off, propMap{sym: value})
+			return
 		}
-		e.Props[key] = value
+		p[sym] = value
 	}, Mutation{Kind: MutSetEdgeProp, EdgeID: id, Key: key, Value: value})
 }
 
 // SetEdgeWeight updates an edge's weight. It reports whether the edge exists.
 func (g *Graph) SetEdgeWeight(id EdgeID, w float64) bool {
-	return g.mutateEdge(id, func(e *Edge) { e.Weight = w },
+	return g.mutateEdge(id, func(c *edgeChunk, off int) { c.weight[off] = w },
 		Mutation{Kind: MutSetEdgeWeight, EdgeID: id, Weight: w})
 }
 
-// mutateEdge applies fn to an edge record under every shard lock through
-// which the record is reachable, so no concurrent reader can observe a
-// half-applied mutation. On success the mutation record m (stamped with the
+// mutateEdge applies fn to an edge's slab cells under every shard lock
+// through which the record is reachable, so no concurrent reader can observe
+// a half-applied mutation. On success the mutation record m (stamped with the
 // new epoch) is delivered to the hook.
-func (g *Graph) mutateEdge(id EdgeID, fn func(*Edge), m Mutation) bool {
+func (g *Graph) mutateEdge(id EdgeID, fn func(c *edgeChunk, off int), m Mutation) bool {
 	src, dst, ok := g.edgeEndpoints(id)
 	if !ok {
 		return false
 	}
 	g.lockEdgeShards(src, dst, id)
 	defer g.unlockEdgeShards(src, dst, id)
-	e, ok := g.eshard(id).edges[id]
+	es := g.eshard(id)
+	slot, ok := es.lookup(seqOf(id))
 	if !ok {
 		return false
 	}
-	fn(e)
+	c, off := es.slab.chunk(slot)
+	fn(c, off)
 	m.Epoch = g.bump()
 	g.emit(m)
 	return true
@@ -404,7 +495,7 @@ func (g *Graph) NumEdges() int {
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.RLock()
-		n += len(s.edges)
+		n += s.live
 		s.mu.RUnlock()
 	}
 	return n
@@ -439,7 +530,7 @@ func (g *Graph) OutEdges(id VertexID) []Edge {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return copyEdges(s.out[id])
+	return g.materializeRefs(s.out[id])
 }
 
 // InEdges returns copies of the incoming edges of a vertex.
@@ -447,7 +538,7 @@ func (g *Graph) InEdges(id VertexID) []Edge {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return copyEdges(s.in[id])
+	return g.materializeRefs(s.in[id])
 }
 
 // Edges returns copies of all edges incident to the vertex (both directions).
@@ -456,11 +547,11 @@ func (g *Graph) Edges(id VertexID) []Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	all := make([]Edge, 0, len(s.out[id])+len(s.in[id]))
-	for _, e := range s.out[id] {
-		all = append(all, copyEdge(e))
+	for _, ref := range s.out[id] {
+		all = append(all, g.edgeAt(ref))
 	}
-	for _, e := range s.in[id] {
-		all = append(all, copyEdge(e))
+	for _, ref := range s.in[id] {
+		all = append(all, g.edgeAt(ref))
 	}
 	return all
 }
@@ -471,11 +562,13 @@ func (g *Graph) Neighbors(id VertexID) []VertexID {
 	s := g.vshard(id)
 	s.mu.RLock()
 	seen := make(map[VertexID]struct{})
-	for _, e := range s.out[id] {
-		seen[e.Dst] = struct{}{}
+	for _, ref := range s.out[id] {
+		c, off := g.shards[ref.shard()].slab.chunk(ref.slot())
+		seen[VertexID(c.dst[off])] = struct{}{}
 	}
-	for _, e := range s.in[id] {
-		seen[e.Src] = struct{}{}
+	for _, ref := range s.in[id] {
+		c, off := g.shards[ref.shard()].slab.chunk(ref.slot())
+		seen[VertexID(c.src[off])] = struct{}{}
 	}
 	s.mu.RUnlock()
 	delete(seen, id)
@@ -489,12 +582,20 @@ func (g *Graph) Neighbors(id VertexID) []VertexID {
 
 // EdgesByLabel returns copies of all edges carrying the given label.
 func (g *Graph) EdgesByLabel(label string) []Edge {
+	sym, known := symtab.Lookup(label)
+	if !known {
+		return nil
+	}
 	var es []Edge
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.RLock()
-		for _, e := range s.byLabel[label] {
-			es = append(es, copyEdge(e))
+		if ls := s.byLabel[sym]; ls != nil {
+			for _, slot := range ls.slots {
+				if c, off := s.slab.chunk(slot); !c.dead[off] {
+					es = append(es, materializeEdge(i, c, off))
+				}
+			}
 		}
 		s.mu.RUnlock()
 	}
@@ -504,18 +605,18 @@ func (g *Graph) EdgesByLabel(label string) []Edge {
 
 // EdgeLabels returns the distinct edge labels present in the graph, sorted.
 func (g *Graph) EdgeLabels() []string {
-	seen := make(map[string]struct{})
+	seen := make(map[symtab.SymID]struct{})
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.RLock()
-		for l := range s.byLabel {
-			seen[l] = struct{}{}
+		for sym := range s.byLabel {
+			seen[sym] = struct{}{}
 		}
 		s.mu.RUnlock()
 	}
 	labels := make([]string, 0, len(seen))
-	for l := range seen {
-		labels = append(labels, l)
+	for sym := range seen {
+		labels = append(labels, symtab.Resolve(sym))
 	}
 	sort.Strings(labels)
 	return labels
@@ -542,8 +643,10 @@ func (g *Graph) EdgeIDs() []EdgeID {
 	for i := range g.shards {
 		s := &g.shards[i]
 		s.mu.RLock()
-		for id := range s.edges {
-			ids = append(ids, id)
+		for slot := uint32(0); slot < s.slab.len; slot++ {
+			if c, off := s.slab.chunk(slot); !c.dead[off] {
+				ids = append(ids, idOf(i, c.seq[off]))
+			}
 		}
 		s.mu.RUnlock()
 	}
@@ -554,13 +657,23 @@ func (g *Graph) EdgeIDs() []EdgeID {
 // FindEdges returns copies of edges from src to dst with the given label.
 // An empty label matches any label.
 func (g *Graph) FindEdges(src, dst VertexID, label string) []Edge {
+	var sym symtab.SymID
+	any := label == ""
+	if !any {
+		var known bool
+		sym, known = symtab.Lookup(label)
+		if !known {
+			return nil
+		}
+	}
 	s := g.vshard(src)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Edge
-	for _, e := range s.out[src] {
-		if e.Dst == dst && (label == "" || e.Label == label) {
-			out = append(out, copyEdge(e))
+	for _, ref := range s.out[src] {
+		c, off := g.shards[ref.shard()].slab.chunk(ref.slot())
+		if VertexID(c.dst[off]) == dst && (any || c.label[off] == sym) {
+			out = append(out, materializeEdge(ref.shard(), c, off))
 		}
 	}
 	return out
@@ -572,8 +685,8 @@ func (g *Graph) ForEachOutEdge(id VertexID, fn func(Edge) bool) {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.out[id] {
-		if !fn(copyEdge(e)) {
+	for _, ref := range s.out[id] {
+		if !fn(g.edgeAt(ref)) {
 			return
 		}
 	}
@@ -586,13 +699,13 @@ func (g *Graph) ForEachIncidentEdge(id VertexID, fn func(Edge) bool) {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.out[id] {
-		if !fn(copyEdge(e)) {
+	for _, ref := range s.out[id] {
+		if !fn(g.edgeAt(ref)) {
 			return
 		}
 	}
-	for _, e := range s.in[id] {
-		if !fn(copyEdge(e)) {
+	for _, ref := range s.in[id] {
+		if !fn(g.edgeAt(ref)) {
 			return
 		}
 	}
@@ -604,16 +717,28 @@ func (g *Graph) ForEachInEdge(id VertexID, fn func(Edge) bool) {
 	s := g.vshard(id)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.in[id] {
-		if !fn(copyEdge(e)) {
+	for _, ref := range s.in[id] {
+		if !fn(g.edgeAt(ref)) {
 			return
 		}
 	}
 }
 
-func removeEdgeFrom(list []*Edge, id EdgeID) []*Edge {
-	for i, e := range list {
-		if e.ID == id {
+// materializeRefs copies the edges behind a ref list. Caller holds the shard
+// lock the list was read under.
+func (g *Graph) materializeRefs(refs []edgeRef) []Edge {
+	out := make([]Edge, len(refs))
+	for i, ref := range refs {
+		out[i] = g.edgeAt(ref)
+	}
+	return out
+}
+
+// removeRef drops one ref from an adjacency list by swap-with-last, the same
+// order-destroying removal the pointer-based layout used.
+func removeRef(list []edgeRef, ref edgeRef) []edgeRef {
+	for i, r := range list {
+		if r == ref {
 			list[i] = list[len(list)-1]
 			return list[:len(list)-1]
 		}
@@ -621,24 +746,11 @@ func removeEdgeFrom(list []*Edge, id EdgeID) []*Edge {
 	return list
 }
 
-func copyEdges(list []*Edge) []Edge {
-	out := make([]Edge, len(list))
-	for i, e := range list {
-		out[i] = copyEdge(e)
-	}
-	return out
-}
-
-// copyEdge snapshots an edge record, including its props map, so callers
-// can use the copy outside the shard lock.
-func copyEdge(e *Edge) Edge {
-	cp := *e
-	cp.Props = copyProps(e.Props)
-	return cp
-}
-
+// copyProps clones an exported props map, returning nil when the input is
+// nil or empty: prop-less elements carry a nil map at the API boundary, not
+// an allocated empty one.
 func copyProps(p map[string]string) map[string]string {
-	if p == nil {
+	if len(p) == 0 {
 		return nil
 	}
 	cp := make(map[string]string, len(p))

@@ -3,7 +3,10 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
+
+	"nous/internal/graph/symtab"
 )
 
 // MutationKind names the write operations a Graph can perform. Every exported
@@ -153,11 +156,46 @@ func (g *Graph) emit(m Mutation) {
 // that already contains the vertex converges, because every later property
 // write is also re-applied from the log.
 func (g *Graph) RestoreVertex(v Vertex) {
+	rec := vertexRec{label: symtab.Intern(v.Label), props: internProps(v.Props)}
 	s := g.vshard(v.ID)
 	s.mu.Lock()
-	s.vertices[v.ID] = &Vertex{ID: v.ID, Label: v.Label, Props: copyProps(v.Props)}
+	s.vertices[v.ID] = rec
 	s.mu.Unlock()
 	advancePast(&g.nextVertex, int64(v.ID))
+}
+
+// RestoreVertices bulk-loads vertices, grouping them by owning shard so each
+// shard lock is taken once per group instead of once per vertex. Semantics
+// per vertex match RestoreVertex.
+func (g *Graph) RestoreVertices(vs []Vertex) {
+	var groups [numShards][]int
+	maxID := int64(-1)
+	for i := range vs {
+		si := shardIdx(uint64(vs[i].ID))
+		groups[si] = append(groups[si], i)
+		if int64(vs[i].ID) > maxID {
+			maxID = int64(vs[i].ID)
+		}
+	}
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		// Interning may grow the symbol table; do it outside the shard lock.
+		recs := make([]vertexRec, len(idxs))
+		for j, i := range idxs {
+			recs[j] = vertexRec{label: symtab.Intern(vs[i].Label), props: internProps(vs[i].Props)}
+		}
+		s := &g.shards[si]
+		s.mu.Lock()
+		for j, i := range idxs {
+			s.vertices[vs[i].ID] = recs[j]
+		}
+		s.mu.Unlock()
+	}
+	if maxID >= 0 {
+		advancePast(&g.nextVertex, maxID)
+	}
 }
 
 // RestoreEdge inserts an edge with an explicit ID and advances the edge ID
@@ -165,23 +203,172 @@ func (g *Graph) RestoreVertex(v Vertex) {
 // idempotence); an edge whose endpoints are missing is an error, because a
 // well-formed snapshot + log always restores endpoints first.
 func (g *Graph) RestoreEdge(e Edge) error {
+	if !edgeFits(&e) {
+		return fmt.Errorf("graph: restore edge %d: ID or endpoints exceed storable range", e.ID)
+	}
 	if !g.HasVertex(e.Src) {
 		return fmt.Errorf("graph: restore edge %d: source vertex %d does not exist", e.ID, e.Src)
 	}
 	if !g.HasVertex(e.Dst) {
 		return fmt.Errorf("graph: restore edge %d: destination vertex %d does not exist", e.ID, e.Dst)
 	}
+	sym := symtab.Intern(e.Label)
+	ip := internProps(e.Props)
 	g.lockEdgeShards(e.Src, e.Dst, e.ID)
 	es := g.eshard(e.ID)
-	if _, ok := es.edges[e.ID]; ok {
+	if _, ok := es.lookup(seqOf(e.ID)); ok {
 		g.unlockEdgeShards(e.Src, e.Dst, e.ID)
 		return nil
 	}
-	cp := e
-	cp.Props = copyProps(e.Props)
-	g.insertEdgeLocked(&cp)
+	g.insertEdgeLocked(e.ID, e.Src, e.Dst, sym, e.Weight, e.Timestamp, ip)
 	g.unlockEdgeShards(e.Src, e.Dst, e.ID)
 	advancePast(&g.nextEdge, int64(e.ID))
+	return nil
+}
+
+// RestoreEdges bulk-loads a snapshot's edges, rebuilding the columnar slabs
+// in parallel per stripe. byOwner must be indexed by owning shard (ShardCount
+// groups, edge ID mod ShardCount == group index), the per-shard layout
+// snapshots already use. Endpoints must all exist (vertices restore first).
+//
+// Unlike RestoreEdge, the bulk load is not atomic per edge: it must not run
+// concurrently with mutators or with another RestoreEdges call (recovery
+// loads before the graph starts serving writes, which is the only caller).
+//
+// The load runs in two phases so no worker ever holds two shard locks:
+// phase one appends each shard's edges into its slab and label index under
+// that shard's lock alone; phase two distributes adjacency refs, each worker
+// owning one target shard and appending its refs sorted by edge ID — a
+// deterministic order regardless of worker scheduling. Edges whose ID is
+// already present are skipped (idempotence), matching RestoreEdge.
+func (g *Graph) RestoreEdges(byOwner [][]Edge) error {
+	if len(byOwner) != numShards {
+		return fmt.Errorf("graph: restore edges: got %d shard groups, want %d", len(byOwner), numShards)
+	}
+	// Validate ownership, ranges and endpoints before touching any shard:
+	// workers below hold write locks and must not block on reads.
+	maxID := int64(-1)
+	for si, es := range byOwner {
+		for i := range es {
+			e := &es[i]
+			if shardIdx(uint64(e.ID)) != si {
+				return fmt.Errorf("graph: restore edges: edge %d in shard group %d", e.ID, si)
+			}
+			if !edgeFits(e) {
+				return fmt.Errorf("graph: restore edge %d: ID or endpoints exceed storable range", e.ID)
+			}
+			if !g.HasVertex(e.Src) {
+				return fmt.Errorf("graph: restore edge %d: source vertex %d does not exist", e.ID, e.Src)
+			}
+			if !g.HasVertex(e.Dst) {
+				return fmt.Errorf("graph: restore edge %d: destination vertex %d does not exist", e.ID, e.Dst)
+			}
+			if int64(e.ID) > maxID {
+				maxID = int64(e.ID)
+			}
+		}
+	}
+
+	// Phase one: per owning shard, append slab slots + label-index entries.
+	// Each inserted edge's ref is collected for phase two.
+	type pendingRef struct {
+		id  EdgeID
+		ref edgeRef
+	}
+	inserted := make([][]pendingRef, numShards)
+	var wg sync.WaitGroup
+	for si := 0; si < numShards; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			es := byOwner[si]
+			if len(es) == 0 {
+				return
+			}
+			syms := make([]symtab.SymID, len(es))
+			props := make([]propMap, len(es))
+			for i := range es {
+				syms[i] = symtab.Intern(es[i].Label)
+				props[i] = internProps(es[i].Props)
+			}
+			refs := make([]pendingRef, 0, len(es))
+			s := &g.shards[si]
+			s.mu.Lock()
+			for i := range es {
+				e := &es[i]
+				seq := seqOf(e.ID)
+				if _, ok := s.lookup(seq); ok {
+					continue // already present: replay idempotence
+				}
+				slot := s.slab.append(seq, e.Src, e.Dst, syms[i], e.Weight, e.Timestamp)
+				if props[i] != nil {
+					c, off := s.slab.chunk(slot)
+					c.setProps(off, props[i])
+				}
+				s.setIdx(seq, slot)
+				ls := s.byLabel[syms[i]]
+				if ls == nil {
+					ls = &labelSet{}
+					s.byLabel[syms[i]] = ls
+				}
+				ls.slots = append(ls.slots, slot)
+				ls.live++
+				s.live++
+				refs = append(refs, pendingRef{id: e.ID, ref: makeRef(si, slot)})
+			}
+			s.mu.Unlock()
+			inserted[si] = refs
+		}(si)
+	}
+	wg.Wait()
+
+	// Phase two: distribute adjacency refs. Worker t owns target shard t and
+	// appends every inserted edge's out-ref (source owned by t) and in-ref
+	// (destination owned by t), sorted by edge ID so adjacency order is
+	// deterministic and matches ascending-ID insertion.
+	for t := 0; t < numShards; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			type adj struct {
+				id   EdgeID
+				v    VertexID
+				ref  edgeRef
+				isIn bool
+			}
+			var mine []adj
+			for si := range inserted {
+				for _, pr := range inserted[si] {
+					c, off := g.shards[si].slab.chunk(pr.ref.slot())
+					src, dst := VertexID(c.src[off]), VertexID(c.dst[off])
+					if shardIdx(uint64(src)) == t {
+						mine = append(mine, adj{id: pr.id, v: src, ref: pr.ref})
+					}
+					if shardIdx(uint64(dst)) == t {
+						mine = append(mine, adj{id: pr.id, v: dst, ref: pr.ref, isIn: true})
+					}
+				}
+			}
+			if len(mine) == 0 {
+				return
+			}
+			sort.Slice(mine, func(i, j int) bool { return mine[i].id < mine[j].id })
+			s := &g.shards[t]
+			s.mu.Lock()
+			for _, a := range mine {
+				if a.isIn {
+					s.in[a.v] = append(s.in[a.v], a.ref)
+				} else {
+					s.out[a.v] = append(s.out[a.v], a.ref)
+				}
+			}
+			s.mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	if maxID >= 0 {
+		advancePast(&g.nextEdge, maxID)
+	}
 	return nil
 }
 
@@ -246,14 +433,14 @@ func (g *Graph) Snapshot() *GraphSnapshot {
 	for i := range g.shards {
 		s := &g.shards[i]
 		vs := make([]Vertex, 0, len(s.vertices))
-		for _, v := range s.vertices {
-			cp := *v
-			cp.Props = copyProps(v.Props)
-			vs = append(vs, cp)
+		for id, rec := range s.vertices {
+			vs = append(vs, Vertex{ID: id, Label: symtab.Resolve(rec.label), Props: exportProps(rec.props)})
 		}
-		es := make([]Edge, 0, len(s.edges))
-		for _, e := range s.edges {
-			es = append(es, copyEdge(e))
+		es := make([]Edge, 0, s.live)
+		for slot := uint32(0); slot < s.slab.len; slot++ {
+			if c, off := s.slab.chunk(slot); !c.dead[off] {
+				es = append(es, materializeEdge(i, c, off))
+			}
 		}
 		snap.Vertices[i] = vs
 		snap.Edges[i] = es

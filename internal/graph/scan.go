@@ -1,0 +1,165 @@
+package graph
+
+import "nous/internal/graph/symtab"
+
+// This file is the slab-native read path. The classic iteration API
+// (ForEachOutEdge and friends) materializes a full Edge value — resolved
+// label string, copied props map — per visited edge, which is exactly the
+// allocation the columnar layout exists to avoid. Hot consumers (PageRank,
+// pathsearch beam expansion, temporal window scans) iterate EdgeScan views
+// instead: a stack-allocated projection of the slab columns, valid only
+// inside the callback, with properties readable by interned key without
+// copying the map.
+
+// EdgeScan is a read-only view of one edge's slab record. It is valid only
+// for the duration of the callback it is passed to: the graph retains
+// ownership of the underlying storage, and the view must not be retained or
+// leaked past the callback (copy the fields out, or call Materialize).
+type EdgeScan struct {
+	ID        EdgeID
+	Src, Dst  VertexID
+	Label     symtab.SymID // interned predicate; resolve via LabelName
+	Weight    float64
+	Timestamp int64
+	props     propMap
+}
+
+// LabelName resolves the edge's predicate to its canonical string.
+func (e *EdgeScan) LabelName() string { return symtab.Resolve(e.Label) }
+
+// Prop returns one property by interned key without materializing the map.
+func (e *EdgeScan) Prop(key symtab.SymID) (string, bool) {
+	if e.props == nil {
+		return "", false
+	}
+	v, ok := e.props[key]
+	return v, ok
+}
+
+// PropEquals reports whether the edge carries key with exactly value.
+func (e *EdgeScan) PropEquals(key symtab.SymID, value string) bool {
+	if e.props == nil {
+		return false
+	}
+	return e.props[key] == value
+}
+
+// HasProps reports whether the edge carries any properties.
+func (e *EdgeScan) HasProps() bool { return len(e.props) > 0 }
+
+// Materialize copies the view into an owned Edge value that remains valid
+// after the callback returns.
+func (e *EdgeScan) Materialize() Edge {
+	return Edge{
+		ID:        e.ID,
+		Src:       e.Src,
+		Dst:       e.Dst,
+		Label:     symtab.Resolve(e.Label),
+		Weight:    e.Weight,
+		Timestamp: e.Timestamp,
+		Props:     exportProps(e.props),
+	}
+}
+
+// fill loads a slab slot into the view.
+func (e *EdgeScan) fill(si int, c *edgeChunk, off int) {
+	e.ID = idOf(si, c.seq[off])
+	e.Src = VertexID(c.src[off])
+	e.Dst = VertexID(c.dst[off])
+	e.Label = c.label[off]
+	e.Weight = c.weight[off]
+	e.Timestamp = c.ts[off]
+	e.props = c.propsAt(off)
+}
+
+// scanRefs iterates a ref list into a reused view. Caller holds the shard
+// lock the list was read under.
+func (g *Graph) scanRefs(refs []edgeRef, ev *EdgeScan, fn func(*EdgeScan) bool) bool {
+	for _, ref := range refs {
+		si := ref.shard()
+		c, off := g.shards[si].slab.chunk(ref.slot())
+		ev.fill(si, c, off)
+		if !fn(ev) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachOutScan calls fn with a view of each outgoing edge of id while fn
+// returns true. fn must not mutate the graph or retain the view.
+func (g *Graph) ForEachOutScan(id VertexID, fn func(*EdgeScan) bool) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ev EdgeScan
+	g.scanRefs(s.out[id], &ev, fn)
+}
+
+// ForEachInScan calls fn with a view of each incoming edge of id while fn
+// returns true. fn must not mutate the graph or retain the view.
+func (g *Graph) ForEachInScan(id VertexID, fn func(*EdgeScan) bool) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ev EdgeScan
+	g.scanRefs(s.in[id], &ev, fn)
+}
+
+// ForEachIncidentScan calls fn with a view of each edge incident to id —
+// outgoing first, then incoming, each in insertion order (the order
+// ForEachIncidentEdge uses) — while fn returns true. fn must not mutate the
+// graph or retain the view.
+func (g *Graph) ForEachIncidentScan(id VertexID, fn func(*EdgeScan) bool) {
+	s := g.vshard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ev EdgeScan
+	if !g.scanRefs(s.out[id], &ev, fn) {
+		return
+	}
+	g.scanRefs(s.in[id], &ev, fn)
+}
+
+// ScanEdges calls fn with a view of every live edge while fn returns true —
+// shard by shard, in slab (insertion) order within each shard. This is the
+// sequential-memory whole-graph scan: one pass over the columnar chunks with
+// no per-edge allocation. fn must not mutate the graph or retain the view.
+func (g *Graph) ScanEdges(fn func(*EdgeScan) bool) {
+	for si := range g.shards {
+		if !g.scanShard(si, fn) {
+			return
+		}
+	}
+}
+
+// scanShard scans one shard's live slots under its read lock. It reports
+// whether the scan should continue into the next shard.
+func (g *Graph) scanShard(si int, fn func(*EdgeScan) bool) bool {
+	s := &g.shards[si]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.slab.len
+	if n == 0 {
+		return true
+	}
+	chunks := *s.slab.chunks.Load()
+	var ev EdgeScan
+	for ci := 0; uint32(ci<<chunkBits) < n; ci++ {
+		c := chunks[ci]
+		end := chunkSize
+		if rem := int(n) - ci<<chunkBits; rem < end {
+			end = rem
+		}
+		for off := 0; off < end; off++ {
+			if c.dead[off] {
+				continue
+			}
+			ev.fill(si, c, off)
+			if !fn(&ev) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"nous/internal/graph/symtab"
+)
+
+// This file implements the columnar slab that stores edge records. Edges are
+// not heap-allocated one by one; each shard appends them into fixed-size
+// chunks of parallel arrays (one column per field), so a whole-graph edge
+// scan is a sequential walk over dense memory and the per-edge footprint is
+// the sum of the column widths (~33 bytes) instead of a pointer-chased
+// ~200-byte Edge struct plus allocator overhead.
+//
+// Concurrency: chunks are fixed-size and never move once published, so a
+// slot's address is stable for the graph's lifetime. The chunk directory is
+// copy-on-write behind an atomic pointer (appending a chunk publishes a new
+// directory; old directories stay valid). Slot cells are written only by
+// writers holding the edge's full shard-lock trio (source's, destination's
+// and the edge's own shard), and readers reach a slot only through a
+// lock-guarded structure (an adjacency list, the seq index, the label index
+// or slab.len) protected by one of those same three locks — so the lock
+// handoff orders every cell write before any reader's access, and readers
+// never need a second lock to touch a slot in another shard's slab.
+
+const (
+	// shardBits ties the edge-ID layout to the stripe count: an EdgeID is
+	// seq<<shardBits | shard, because IDs are allocated round-robin from one
+	// global counter. numShards (graph.go) must equal 1<<shardBits.
+	shardBits = 4
+
+	// chunkBits sizes slab chunks at 512 slots (~17KB of columns), small
+	// enough that sparsely-used graphs don't overpay and large enough that
+	// scans are effectively sequential.
+	chunkBits = 9
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+
+	// maxSlot bounds slots per shard so an edgeRef packs slot and shard into
+	// one uint32: 28 bits of slot, shardBits of shard — ~268M edges per
+	// shard, ~4.3B per graph.
+	maxSlot = 1<<(32-shardBits) - 1
+
+	// maxSlabVertex bounds vertex IDs representable in the slab's 32-bit
+	// src/dst columns.
+	maxSlabVertex = 1<<32 - 1
+)
+
+// propMap is the interned-key in-memory form of an element's properties.
+// Values stay plain strings (they are near-unique provenance payloads —
+// sentences, doc IDs — and would bloat an interner).
+type propMap map[symtab.SymID]string
+
+// propsArray is one chunk's property column, allocated lazily on the first
+// edge in the chunk that actually has props.
+type propsArray [chunkSize]propMap
+
+// edgeChunk is one fixed-capacity block of columnar edge storage. A slot's
+// live fields are immutable after insertion except weight (SetEdgeWeight),
+// the props cell (SetEdgeProp) and the dead flag (RemoveEdge) — all mutated
+// under the edge's shard-lock trio.
+type edgeChunk struct {
+	seq    [chunkSize]uint32       // EdgeID >> shardBits
+	src    [chunkSize]uint32       // source VertexID (fits 32 bits, see maxSlabVertex)
+	dst    [chunkSize]uint32       // destination VertexID
+	label  [chunkSize]symtab.SymID // interned predicate
+	weight [chunkSize]float64
+	ts     [chunkSize]int64
+	dead   [chunkSize]bool // tombstone; dead slots are skipped by scans, reclaimed never (IDs are not reused)
+	props  atomic.Pointer[propsArray]
+}
+
+// setProps stores an edge's props into the chunk's lazily-allocated property
+// column. Caller holds the owning shard's write lock (which serializes the
+// allocate-and-publish among writers; the pointer itself is atomic for
+// lock-free chunk readers).
+func (c *edgeChunk) setProps(off int, p propMap) {
+	arr := c.props.Load()
+	if arr == nil {
+		arr = new(propsArray)
+		c.props.Store(arr)
+	}
+	arr[off] = p
+}
+
+// propsAt returns the props map at off, or nil.
+func (c *edgeChunk) propsAt(off int) propMap {
+	if arr := c.props.Load(); arr != nil {
+		return arr[off]
+	}
+	return nil
+}
+
+// edgeSlab is one shard's append-only columnar edge store.
+type edgeSlab struct {
+	chunks atomic.Pointer[[]*edgeChunk]
+	len    uint32 // slots in use; written under the shard's write lock
+}
+
+// append claims the next slot, allocating and publishing a fresh chunk when
+// the current one fills. Caller holds the owning shard's write lock. The
+// returned slot is not yet reachable by readers; the caller wires it into
+// the shard's indexes before unlocking.
+func (s *edgeSlab) append(seq uint32, src, dst VertexID, label symtab.SymID, weight float64, ts int64) uint32 {
+	slot := s.len
+	if slot > maxSlot {
+		panic("graph: edge slab full (2^28 edges in one shard)")
+	}
+	ci, off := int(slot>>chunkBits), int(slot&chunkMask)
+	var chunks []*edgeChunk
+	if p := s.chunks.Load(); p != nil {
+		chunks = *p
+	}
+	if ci == len(chunks) {
+		next := make([]*edgeChunk, ci+1)
+		copy(next, chunks)
+		next[ci] = &edgeChunk{}
+		s.chunks.Store(&next)
+		chunks = next
+	}
+	c := chunks[ci]
+	c.seq[off] = seq
+	c.src[off] = uint32(src)
+	c.dst[off] = uint32(dst)
+	c.label[off] = label
+	c.weight[off] = weight
+	c.ts[off] = ts
+	c.dead[off] = false
+	s.len = slot + 1
+	return slot
+}
+
+// chunk resolves a slot to its chunk and in-chunk offset.
+func (s *edgeSlab) chunk(slot uint32) (*edgeChunk, int) {
+	chunks := *s.chunks.Load()
+	return chunks[slot>>chunkBits], int(slot & chunkMask)
+}
+
+// edgeRef is a compact cross-shard edge reference: the owning shard index in
+// the low shardBits, the slab slot above. Adjacency lists hold these 4-byte
+// refs instead of *Edge pointers.
+type edgeRef uint32
+
+func makeRef(shardIdx int, slot uint32) edgeRef {
+	return edgeRef(slot<<shardBits | uint32(shardIdx))
+}
+
+func (r edgeRef) shard() int   { return int(r & (numShards - 1)) }
+func (r edgeRef) slot() uint32 { return uint32(r) >> shardBits }
+
+// labelSet indexes the live slots of one shard's edges carrying one label.
+// Slots are append-only; removal tombstones the slab slot and decrements
+// live, and the slice is compacted (dead slots dropped) once they outnumber
+// the live ones, so iteration stays O(live) amortized.
+type labelSet struct {
+	slots []uint32
+	live  int
+}
+
+// seqOf and idOf convert between an EdgeID and its per-shard dense sequence
+// number. The single global allocator hands out IDs round-robin across
+// shards, so seq = id >> shardBits is dense within each shard — which is
+// what lets the seq→slot index be a flat slice instead of a map.
+func seqOf(id EdgeID) uint32 { return uint32(uint64(id) >> shardBits) }
+func idOf(si int, seq uint32) EdgeID {
+	return EdgeID(uint64(seq)<<shardBits | uint64(si))
+}
+
+// edgeFits reports whether an edge's ID and endpoints are representable in
+// the slab's packed columns. Always true for allocator-assigned IDs (the
+// limits are 2^36 edges and 2^32 vertices); restore paths check it so a
+// corrupt snapshot fails loudly instead of truncating.
+func edgeFits(e *Edge) bool {
+	return uint64(e.ID)>>shardBits <= 1<<32-1 &&
+		uint64(e.Src) <= maxSlabVertex && uint64(e.Dst) <= maxSlabVertex &&
+		e.Src >= 0 && e.Dst >= 0 && e.ID >= 0
+}
+
+// lookup resolves an edge seq to its slab slot. Caller holds the shard lock
+// (read or write).
+func (s *shard) lookup(seq uint32) (uint32, bool) {
+	if int(seq) >= len(s.idx) {
+		return 0, false
+	}
+	v := s.idx[seq]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// setIdx records seq→slot. Caller holds the shard write lock. The index
+// grows in exact chunk-sized steps (not append-doubling) so its footprint
+// tracks the slab's instead of overshooting by up to 2×.
+func (s *shard) setIdx(seq, slot uint32) {
+	if int(seq) >= len(s.idx) {
+		want := (int(seq)>>chunkBits + 1) << chunkBits
+		next := make([]uint32, want)
+		copy(next, s.idx)
+		s.idx = next
+	}
+	s.idx[seq] = slot + 1
+}
+
+// clearIdx removes seq from the index. Caller holds the shard write lock.
+func (s *shard) clearIdx(seq uint32) {
+	if int(seq) < len(s.idx) {
+		s.idx[seq] = 0
+	}
+}
+
+// internProps converts an exported props map to interned form, returning nil
+// for empty input.
+func internProps(p map[string]string) propMap {
+	if len(p) == 0 {
+		return nil
+	}
+	ip := make(propMap, len(p))
+	for k, v := range p {
+		ip[symtab.Intern(k)] = v
+	}
+	return ip
+}
+
+// exportProps materializes an interned props map for the API boundary,
+// returning nil for empty input — exported elements without properties carry
+// a nil map, never an allocated empty one.
+func exportProps(p propMap) map[string]string {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[symtab.Resolve(k)] = v
+	}
+	return out
+}
+
+// copyPropMap clones an interned props map (so a stored map is never aliased
+// by a later mutation), returning nil for empty input.
+func copyPropMap(p propMap) propMap {
+	if len(p) == 0 {
+		return nil
+	}
+	cp := make(propMap, len(p))
+	for k, v := range p {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,159 @@
+package symtab
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInternResolveIdentity(t *testing.T) {
+	tab := NewTable()
+	words := []string{"", "a", "acquired", "Organization", "curated", "a", ""}
+	ids := make(map[string]SymID)
+	for _, w := range words {
+		id := tab.Intern(w)
+		if prev, ok := ids[w]; ok && prev != id {
+			t.Fatalf("Intern(%q) unstable: %d then %d", w, prev, id)
+		}
+		ids[w] = id
+		if got := tab.Resolve(id); got != w {
+			t.Fatalf("Resolve(Intern(%q)) = %q", w, got)
+		}
+	}
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 distinct symbols", tab.Len())
+	}
+}
+
+// TestInternResolveProperty drives the interner with arbitrary strings
+// (including empty, unicode and binary-ish ones) and checks intern→resolve
+// is the identity and IDs are stable and dense.
+func TestInternResolveProperty(t *testing.T) {
+	tab := NewTable()
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[string]SymID)
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(24)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		s := string(b)
+		id := tab.Intern(s)
+		if prev, ok := seen[s]; ok {
+			if prev != id {
+				t.Fatalf("Intern(%q) unstable: %d then %d", s, prev, id)
+			}
+		} else {
+			if int(id) != len(seen) {
+				t.Fatalf("Intern(%q) = %d, want dense %d", s, id, len(seen))
+			}
+			seen[s] = id
+		}
+		if got := tab.Resolve(id); got != s {
+			t.Fatalf("Resolve(Intern(%q)) = %q", s, got)
+		}
+		if got, ok := tab.Lookup(s); !ok || got != id {
+			t.Fatalf("Lookup(%q) = (%d,%v), want (%d,true)", s, got, ok, id)
+		}
+	}
+	if tab.Len() != len(seen) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(seen))
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.Lookup("nope"); ok {
+		t.Fatal("Lookup on empty table reported a hit")
+	}
+	tab.Intern("present")
+	if _, ok := tab.Lookup("absent"); ok {
+		t.Fatal("Lookup of never-interned string reported a hit")
+	}
+	if tab.Resolve(SymID(99)) != "" {
+		t.Fatal("Resolve of unassigned ID should return empty string")
+	}
+}
+
+// TestConcurrentInternLookup hammers one table from many goroutines — run
+// under -race this pins the lock-free read paths' memory safety. Every
+// goroutine interns from a shared vocabulary (forcing ID-assignment races)
+// while also looking up and resolving what others published.
+func TestConcurrentInternLookup(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	const perG = 400
+	vocab := make([]string, 64)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("sym-%02d", i)
+	}
+	results := make([][]SymID, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			ids := make([]SymID, len(vocab))
+			for i := range ids {
+				ids[i] = ^SymID(0)
+			}
+			for n := 0; n < perG; n++ {
+				w := rng.Intn(len(vocab))
+				id := tab.Intern(vocab[w])
+				if ids[w] != ^SymID(0) && ids[w] != id {
+					t.Errorf("goroutine %d: Intern(%q) unstable: %d then %d", gi, vocab[w], ids[w], id)
+					return
+				}
+				ids[w] = id
+				if got := tab.Resolve(id); got != vocab[w] {
+					t.Errorf("goroutine %d: Resolve(%d) = %q, want %q", gi, id, got, vocab[w])
+					return
+				}
+				if id2, ok := tab.Lookup(vocab[w]); !ok || id2 != id {
+					t.Errorf("goroutine %d: Lookup(%q) = (%d,%v) after Intern returned %d", gi, vocab[w], id2, ok, id)
+					return
+				}
+			}
+			results[gi] = ids
+		}(gi)
+	}
+	wg.Wait()
+	// Cross-goroutine agreement: every goroutine that interned a word got
+	// the same ID for it.
+	for w := range vocab {
+		assigned := ^SymID(0)
+		for gi := range results {
+			if results[gi] == nil {
+				continue
+			}
+			id := results[gi][w]
+			if id == ^SymID(0) {
+				continue
+			}
+			if assigned == ^SymID(0) {
+				assigned = id
+			} else if assigned != id {
+				t.Fatalf("word %q interned as both %d and %d", vocab[w], assigned, id)
+			}
+		}
+	}
+	if tab.Len() > len(vocab) {
+		t.Fatalf("Len = %d, want <= %d", tab.Len(), len(vocab))
+	}
+}
+
+func TestGlobalTable(t *testing.T) {
+	id := Intern("symtab-test-global-probe")
+	if got, ok := Lookup("symtab-test-global-probe"); !ok || got != id {
+		t.Fatalf("global Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if Resolve(id) != "symtab-test-global-probe" {
+		t.Fatal("global Resolve mismatch")
+	}
+	if Len() == 0 {
+		t.Fatal("global Len = 0 after Intern")
+	}
+}

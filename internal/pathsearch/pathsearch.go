@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"nous/internal/graph"
+	"nous/internal/graph/symtab"
 	"nous/internal/temporal"
 	"nous/internal/topics"
 )
@@ -112,25 +113,43 @@ func divergence(topicOf map[graph.VertexID][]float64, a, b graph.VertexID) float
 	return topics.JSDivergence(ta, tb)
 }
 
+// pathEdge is the compact form a partial path stores per hop: enough to
+// rank, deduplicate and constrain paths (ID, endpoints, interned predicate)
+// without carrying a materialized graph.Edge — weights, timestamps and props
+// are fetched once per *returned* path, not per beam candidate.
+type pathEdge struct {
+	id       graph.EdgeID
+	src, dst graph.VertexID
+	label    symtab.SymID
+}
+
 // pathNode is an immutable node in a prefix-sharing tree of partial paths.
 // Extending a path allocates exactly one node; the tail shares every
 // ancestor with its siblings.
 type pathNode struct {
 	parent *pathNode
 	vert   graph.VertexID
-	edge   graph.Edge // edge connecting parent.vert to vert (zero at the root)
-	depth  int        // hops from the root
+	edge   pathEdge // edge connecting parent.vert to vert (zero at the root)
+	depth  int      // hops from the root
 	divSum float64
 }
 
-// materialize renders the node chain as a Path (without coherence).
-func (n *pathNode) materialize() Path {
+// materialize renders the node chain as a Path (without coherence), looking
+// each edge up in the graph to fill the full record. An edge removed since
+// it was traversed falls back to the fields the chain retained (ID,
+// endpoints, predicate) — the path stays well-formed.
+func (n *pathNode) materialize(g *graph.Graph) Path {
 	verts := make([]graph.VertexID, n.depth+1)
 	edges := make([]graph.Edge, n.depth)
 	for m := n; m != nil; m = m.parent {
 		verts[m.depth] = m.vert
 		if m.depth > 0 {
-			edges[m.depth-1] = m.edge
+			e, ok := g.Edge(m.edge.id)
+			if !ok {
+				e = graph.Edge{ID: m.edge.id, Src: m.edge.src, Dst: m.edge.dst,
+					Label: symtab.Resolve(m.edge.label)}
+			}
+			edges[m.depth-1] = e
 		}
 	}
 	return Path{Vertices: verts, Edges: edges}
@@ -144,10 +163,10 @@ func (n *pathNode) fillVerts(buf []graph.VertexID) {
 	}
 }
 
-// hasLabel reports whether any edge on the chain carries the label.
-func (n *pathNode) hasLabel(label string) bool {
+// hasLabel reports whether any edge on the chain carries the interned label.
+func (n *pathNode) hasLabel(label symtab.SymID) bool {
 	for m := n; m.parent != nil; m = m.parent {
-		if m.edge.Label == label {
+		if m.edge.label == label {
 			return true
 		}
 	}
@@ -207,28 +226,30 @@ type scored struct {
 // with lookahead = divSum + divergence(tail, dst) when wantLookahead is set
 // (TopK orders by it; BFS does not and skips the extra divergence per
 // candidate). The visited bitset is repopulated per frontier node from its
-// chain. Incident edges are snapshotted into a scratch buffer so the
-// vertex's shard lock is held only for the copy, not for the per-edge
-// divergence math — a long expansion must not stall concurrent writers.
+// chain. Incident edges are snapshotted as compact slab projections into a
+// scratch buffer so the vertex's shard lock is held only for the copy — no
+// label-string or props materialization per candidate — not for the
+// per-edge divergence math; a long expansion must not stall concurrent
+// writers.
 func (s *Searcher) expand(frontier []*pathNode, dst graph.VertexID, topicOf map[graph.VertexID][]float64, visited *bitset, win temporal.Window, wantLookahead bool, complete func(*pathNode)) []scored {
 	var next []scored
-	var edgeBuf []graph.Edge
+	var edgeBuf []pathEdge
 	windowed := win.Bounded()
 	for _, p := range frontier {
 		cur := p.vert
 		visited.mark(p)
 		edgeBuf = edgeBuf[:0]
-		s.g.ForEachIncidentEdge(cur, func(e graph.Edge) bool {
-			if windowed && !win.ContainsEdge(e) {
+		s.g.ForEachIncidentScan(cur, func(e *graph.EdgeScan) bool {
+			if windowed && !win.ContainsScan(e) {
 				return true // outside the time window: invisible to this query
 			}
-			edgeBuf = append(edgeBuf, e)
+			edgeBuf = append(edgeBuf, pathEdge{id: e.ID, src: e.Src, dst: e.Dst, label: e.Label})
 			return true
 		})
 		for _, e := range edgeBuf {
-			nb := e.Dst
+			nb := e.dst
 			if nb == cur {
-				nb = e.Src
+				nb = e.src
 			}
 			if visited.has(nb) {
 				continue
@@ -271,13 +292,25 @@ func (s *Searcher) expand(frontier []*pathNode, dst graph.VertexID, topicOf map[
 	return next
 }
 
+// predConstraint resolves an Options.Predicate to its interned form.
+// want=false means unconstrained; ok=false means the predicate string was
+// never interned — no edge in any graph carries it, so no path can satisfy
+// the constraint.
+func predConstraint(predicate string) (sym symtab.SymID, want, ok bool) {
+	if predicate == "" {
+		return 0, false, true
+	}
+	sym, ok = symtab.Lookup(predicate)
+	return sym, true, ok
+}
+
 // finish turns a completed chain into a deduplicated Path, honoring the
 // predicate constraint.
-func finish(np *pathNode, predicate string, seen map[string]bool, found *[]Path) {
-	if predicate != "" && !np.hasLabel(predicate) {
+func finish(np *pathNode, g *graph.Graph, pred symtab.SymID, wantPred bool, seen map[string]bool, found *[]Path) {
+	if wantPred && !np.hasLabel(pred) {
 		return
 	}
-	path := np.materialize()
+	path := np.materialize(g)
 	path.Coherence = np.divSum / float64(len(path.Edges))
 	k := pathKey(path)
 	if !seen[k] {
@@ -293,6 +326,10 @@ func (s *Searcher) TopK(src, dst graph.VertexID, opt Options) []Path {
 	if !s.g.HasVertex(src) || !s.g.HasVertex(dst) || src == dst {
 		return nil
 	}
+	pred, wantPred, ok := predConstraint(opt.Predicate)
+	if !ok {
+		return nil // predicate never interned: no edge anywhere carries it
+	}
 
 	visited := s.visitedPool.Get().(*bitset)
 	defer s.visitedPool.Put(visited)
@@ -304,7 +341,7 @@ func (s *Searcher) TopK(src, dst graph.VertexID, opt Options) []Path {
 
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
 		next := s.expand(frontier, dst, topicOf, visited, opt.Window, true, func(np *pathNode) {
-			finish(np, opt.Predicate, seen, &found)
+			finish(np, s.g, pred, wantPred, seen, &found)
 		})
 		// Look-ahead pruning: keep the Beam candidates closest (in topic
 		// space) to the target.
@@ -347,6 +384,10 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 	if !s.g.HasVertex(src) || !s.g.HasVertex(dst) || src == dst {
 		return nil
 	}
+	pred, wantPred, ok := predConstraint(opt.Predicate)
+	if !ok {
+		return nil // predicate never interned: no edge anywhere carries it
+	}
 
 	visited := s.visitedPool.Get().(*bitset)
 	defer s.visitedPool.Put(visited)
@@ -358,7 +399,7 @@ func (s *Searcher) BFSPaths(src, dst graph.VertexID, opt Options) []Path {
 
 	for depth := 0; depth < opt.MaxDepth && len(frontier) > 0; depth++ {
 		next := s.expand(frontier, dst, topicOf, visited, opt.Window, false, func(np *pathNode) {
-			finish(np, opt.Predicate, seen, &found)
+			finish(np, s.g, pred, wantPred, seen, &found)
 		})
 		// Unbounded BFS fan-out explodes on dense graphs; cap like GraphX
 		// jobs cap their frontier, but without topic guidance (by vertex

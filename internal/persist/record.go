@@ -77,6 +77,53 @@ func (c *codec) putEdge(e graph.Edge) {
 	c.putProps(e.Props)
 }
 
+// --- Symbol-referenced encoding (snapshot v2) ------------------------------
+//
+// Snapshot v2 payloads do not embed strings inline: every label, property
+// key and property value is a uvarint reference into the snapshot's symbol
+// table section (strings sorted lexicographically, referenced by rank). The
+// table is built deterministically from the snapshot contents, so equal
+// graph state still encodes to byte-identical files, and repeated strings —
+// predicates, type names, provenance values — are stored once per file
+// instead of once per element. WAL records keep the inline (v1) string
+// encoding: they are written on the mutation path where building a
+// per-record table would cost more than it saves.
+
+// putSym appends one symbol reference.
+func (c *codec) putSym(tab map[string]uint32, s string) { c.putUvarint(uint64(tab[s])) }
+
+// putPropsSym encodes a props map as (keyRef, valueRef) pairs. Keys are
+// emitted in sorted-string order, which — because symbol IDs are assigned in
+// lexicographic order — is also ascending reference order.
+func (c *codec) putPropsSym(tab map[string]uint32, p map[string]string) {
+	c.putUvarint(uint64(len(p)))
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.putSym(tab, k)
+		c.putSym(tab, p[k])
+	}
+}
+
+func (c *codec) putVertexSym(tab map[string]uint32, v graph.Vertex) {
+	c.putVarint(int64(v.ID))
+	c.putSym(tab, v.Label)
+	c.putPropsSym(tab, v.Props)
+}
+
+func (c *codec) putEdgeSym(tab map[string]uint32, e graph.Edge) {
+	c.putVarint(int64(e.ID))
+	c.putVarint(int64(e.Src))
+	c.putVarint(int64(e.Dst))
+	c.putSym(tab, e.Label)
+	c.putFloat64(e.Weight)
+	c.putVarint(e.Timestamp)
+	c.putPropsSym(tab, e.Props)
+}
+
 // decoder walks an encoded payload. Every read validates remaining length;
 // the first malformed field poisons the decoder and err reports it.
 type decoder struct {
@@ -167,6 +214,60 @@ func (d *decoder) props() map[string]string {
 		p[k] = v
 	}
 	return p
+}
+
+// sym resolves one symbol reference against the snapshot's decoded table.
+func (d *decoder) sym(syms []string) string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(syms)) {
+		d.fail("symbol reference")
+		return ""
+	}
+	return syms[i]
+}
+
+func (d *decoder) propsSym(syms []string) map[string]string {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) { // each pair needs >= 2 bytes; cheap sanity bound
+		d.fail("props count")
+		return nil
+	}
+	p := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := d.sym(syms)
+		v := d.sym(syms)
+		if d.err != nil {
+			return nil
+		}
+		p[k] = v
+	}
+	return p
+}
+
+func (d *decoder) vertexSym(syms []string) graph.Vertex {
+	return graph.Vertex{
+		ID:    graph.VertexID(d.varint()),
+		Label: d.sym(syms),
+		Props: d.propsSym(syms),
+	}
+}
+
+func (d *decoder) edgeSym(syms []string) graph.Edge {
+	return graph.Edge{
+		ID:        graph.EdgeID(d.varint()),
+		Src:       graph.VertexID(d.varint()),
+		Dst:       graph.VertexID(d.varint()),
+		Label:     d.sym(syms),
+		Weight:    d.float64(),
+		Timestamp: d.varint(),
+		Props:     d.propsSym(syms),
+	}
 }
 
 func (d *decoder) vertex() graph.Vertex {

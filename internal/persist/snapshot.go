@@ -13,26 +13,38 @@ import (
 	"nous/internal/graph"
 )
 
-// Snapshot file layout (version 1, all fixed-width fields little-endian):
+// Snapshot file layout (all fixed-width fields little-endian):
 //
 //	magic    [8]byte  "NOUSNAP1"
-//	version  uint32
+//	version  uint32   1 or 2
 //	shards   uint32   lock-stripe count at write time
 //	epoch    uint64   graph mutation epoch at the cut
 //	nextV    uint64   vertex ID allocator
 //	nextE    uint64   edge ID allocator
 //	walSeq   uint64   first WAL segment whose records may postdate this cut
+//	[v2 only] one symbol-table section, framed like a shard section:
+//	  length uint64   payload byte count
+//	  crc    uint32   CRC-32C (Castagnoli) of the payload
+//	  payload         count uvarint, then count length-prefixed strings,
+//	                  sorted lexicographically (reference = sort rank)
 //	then per shard, in stripe order:
 //	  length uint64   payload byte count
 //	  crc    uint32   CRC-32C (Castagnoli) of the payload
 //	  payload         vcount uvarint, vertices...; ecount uvarint, edges...
 //
-// Shard payloads are self-contained, so the writer encodes all stripes in
-// parallel and the loader decodes them in parallel from their offsets.
+// Version 1 embeds every string inline in the shard payloads. Version 2 —
+// the only version written — stores each distinct label, property key and
+// property value once in the symbol-table section and encodes elements with
+// uvarint references into it. The table is sorted, so equal graph state
+// still produces byte-identical files; version 1 files remain readable.
+//
+// Shard payloads are self-contained given the symbol table, so the writer
+// encodes all stripes in parallel and the loader decodes them in parallel
+// from their offsets.
 
 const (
 	snapMagic   = "NOUSNAP1"
-	snapVersion = 1
+	snapVersion = 2
 	snapSuffix  = ".snap"
 )
 
@@ -49,8 +61,59 @@ func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016x%s", epoch, s
 // snapshot.
 func writeSnapshot(dir string, snap *graph.GraphSnapshot, walSeq uint64) (string, int64, error) {
 	shards := len(snap.Vertices)
-	payloads := make([][]byte, shards)
+
+	// Pass one: collect every distinct string per stripe in parallel, then
+	// merge and sort into the snapshot's symbol table. Sorting makes ID
+	// assignment deterministic regardless of collection order, which keeps
+	// equal state encoding to byte-identical files.
+	perShard := make([]map[string]struct{}, shards)
 	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			set := make(map[string]struct{})
+			addProps := func(p map[string]string) {
+				for k, v := range p {
+					set[k] = struct{}{}
+					set[v] = struct{}{}
+				}
+			}
+			for _, v := range snap.Vertices[i] {
+				set[v.Label] = struct{}{}
+				addProps(v.Props)
+			}
+			for _, e := range snap.Edges[i] {
+				set[e.Label] = struct{}{}
+				addProps(e.Props)
+			}
+			perShard[i] = set
+		}(i)
+	}
+	wg.Wait()
+	merged := make(map[string]struct{})
+	for _, set := range perShard {
+		for s := range set {
+			merged[s] = struct{}{}
+		}
+	}
+	table := make([]string, 0, len(merged))
+	for s := range merged {
+		table = append(table, s)
+	}
+	sort.Strings(table)
+	index := make(map[string]uint32, len(table))
+	for i, s := range table {
+		index[s] = uint32(i)
+	}
+	symc := &codec{b: make([]byte, 0, 1<<12)}
+	symc.putUvarint(uint64(len(table)))
+	for _, s := range table {
+		symc.putString(s)
+	}
+
+	// Pass two: encode stripes in parallel against the read-only index.
+	payloads := make([][]byte, shards)
 	for i := 0; i < shards; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -58,16 +121,18 @@ func writeSnapshot(dir string, snap *graph.GraphSnapshot, walSeq uint64) (string
 			c := &codec{b: make([]byte, 0, 1<<12)}
 			c.putUvarint(uint64(len(snap.Vertices[i])))
 			for _, v := range snap.Vertices[i] {
-				c.putVertex(v)
+				c.putVertexSym(index, v)
 			}
 			c.putUvarint(uint64(len(snap.Edges[i])))
 			for _, e := range snap.Edges[i] {
-				c.putEdge(e)
+				c.putEdgeSym(index, e)
 			}
 			payloads[i] = c.bytes()
 		}(i)
 	}
 	wg.Wait()
+	// The symbol table is the first framed section of a v2 file.
+	payloads = append([][]byte{symc.bytes()}, payloads...)
 
 	head := make([]byte, 0, 48)
 	head = append(head, snapMagic...)
@@ -132,8 +197,9 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 	if len(raw) < 48 || string(raw[:8]) != snapMagic {
 		return nil, 0, fmt.Errorf("persist: %s: not a snapshot file", path)
 	}
-	if v := binary.LittleEndian.Uint32(raw[8:]); v != snapVersion {
-		return nil, 0, fmt.Errorf("persist: %s: unsupported snapshot version %d", path, v)
+	version := binary.LittleEndian.Uint32(raw[8:])
+	if version != 1 && version != 2 {
+		return nil, 0, fmt.Errorf("persist: %s: unsupported snapshot version %d", path, version)
 	}
 	shards := int(binary.LittleEndian.Uint32(raw[12:]))
 	if shards <= 0 || shards > 1<<10 {
@@ -148,29 +214,52 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 	}
 	walSeq := binary.LittleEndian.Uint64(raw[40:])
 
-	// Frame pass: locate and CRC-check every section before decoding.
+	// Frame pass: locate and CRC-check every section before decoding. A v2
+	// file carries one extra leading section, the symbol table.
+	nSections := shards
+	if version >= 2 {
+		nSections++
+	}
 	type section struct{ start, end int }
-	sections := make([]section, shards)
+	sections := make([]section, nSections)
 	off := 48
-	for i := 0; i < shards; i++ {
+	for i := 0; i < nSections; i++ {
 		if off+12 > len(raw) {
-			return nil, 0, fmt.Errorf("persist: %s: truncated at shard %d frame", path, i)
+			return nil, 0, fmt.Errorf("persist: %s: truncated at section %d frame", path, i)
 		}
 		n := binary.LittleEndian.Uint64(raw[off:])
 		crc := binary.LittleEndian.Uint32(raw[off+8:])
 		off += 12
 		if uint64(len(raw)-off) < n {
-			return nil, 0, fmt.Errorf("persist: %s: truncated shard %d payload", path, i)
+			return nil, 0, fmt.Errorf("persist: %s: truncated section %d payload", path, i)
 		}
 		end := off + int(n)
 		if crc32.Checksum(raw[off:end], castagnoli) != crc {
-			return nil, 0, fmt.Errorf("persist: %s: shard %d CRC mismatch", path, i)
+			return nil, 0, fmt.Errorf("persist: %s: section %d CRC mismatch", path, i)
 		}
 		sections[i] = section{off, end}
 		off = end
 	}
 
-	// Decode pass: sections are independent, decode them in parallel.
+	// Symbol table first: shard decoding references it.
+	var syms []string
+	if version >= 2 {
+		d := newDecoder(raw[sections[0].start:sections[0].end])
+		n := d.uvarint()
+		if d.err == nil && n > uint64(sections[0].end-sections[0].start) {
+			d.fail("symbol count")
+		}
+		syms = make([]string, 0, n)
+		for j := uint64(0); j < n && d.err == nil; j++ {
+			syms = append(syms, d.string())
+		}
+		if d.err != nil {
+			return nil, 0, fmt.Errorf("persist: %s: symbol table: %w", path, d.err)
+		}
+		sections = sections[1:]
+	}
+
+	// Decode pass: shard sections are independent, decode them in parallel.
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
@@ -184,7 +273,11 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 			}
 			vs := make([]graph.Vertex, 0, nv)
 			for j := uint64(0); j < nv && d.err == nil; j++ {
-				vs = append(vs, d.vertex())
+				if version >= 2 {
+					vs = append(vs, d.vertexSym(syms))
+				} else {
+					vs = append(vs, d.vertex())
+				}
 			}
 			ne := d.uvarint()
 			if d.err == nil && ne > uint64(sections[i].end-sections[i].start) {
@@ -192,7 +285,11 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 			}
 			es := make([]graph.Edge, 0, ne)
 			for j := uint64(0); j < ne && d.err == nil; j++ {
-				es = append(es, d.edge())
+				if version >= 2 {
+					es = append(es, d.edgeSym(syms))
+				} else {
+					es = append(es, d.edge())
+				}
 			}
 			if d.err != nil {
 				errs[i] = fmt.Errorf("persist: %s: shard %d: %w", path, i, d.err)
@@ -213,37 +310,34 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 
 // restoreSnapshot loads a decoded snapshot into an empty graph: vertices
 // first (parallel across shards — each vertex lands in its own stripe), then
-// edges (parallel too; RestoreEdge takes the proper multi-shard locks).
+// edges via the bulk RestoreEdges path, which rebuilds each stripe's columnar
+// slab with one worker per shard.
 func restoreSnapshot(g *graph.Graph, snap *graph.GraphSnapshot) error {
 	var wg sync.WaitGroup
 	for i := range snap.Vertices {
 		wg.Add(1)
 		go func(vs []graph.Vertex) {
 			defer wg.Done()
-			for _, v := range vs {
-				g.RestoreVertex(v)
-			}
+			g.RestoreVertices(vs)
 		}(snap.Vertices[i])
 	}
 	wg.Wait()
-	errs := make([]error, len(snap.Edges))
-	for i := range snap.Edges {
-		wg.Add(1)
-		go func(i int, es []graph.Edge) {
-			defer wg.Done()
+
+	// RestoreEdges rebuilds the columnar slabs one stripe per worker, but it
+	// needs the edge groups keyed by owning shard. A snapshot written with
+	// the current shard count already is; otherwise regroup by edge ID.
+	byOwner := snap.Edges
+	if len(byOwner) != graph.ShardCount() {
+		byOwner = make([][]graph.Edge, graph.ShardCount())
+		for _, es := range snap.Edges {
 			for _, e := range es {
-				if err := g.RestoreEdge(e); err != nil {
-					errs[i] = err
-					return
-				}
+				si := int(uint64(e.ID) % uint64(graph.ShardCount()))
+				byOwner[si] = append(byOwner[si], e)
 			}
-		}(i, snap.Edges[i])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
 		}
+	}
+	if err := g.RestoreEdges(byOwner); err != nil {
+		return err
 	}
 	g.AdvanceIDs(snap.NextVertex, snap.NextEdge)
 	g.SetEpoch(snap.Epoch)

@@ -121,19 +121,20 @@ func (ix *Index) Rebuild() {
 	ix.scan()
 }
 
-// scan back-fills the index from the graph's current edges. Entries are
-// bucketed per shard and each shard is sorted once — O(E log E) total —
+// scan back-fills the index from the graph's current edges with one
+// slab-native pass (graph.ScanEdges): no per-edge materialization, no
+// ID-list sort — just the (timestamp, id) columns the index needs. Entries
+// are bucketed per shard and each shard is sorted once — O(E log E) total —
 // rather than insertion-sorted edge by edge, which would make recovery of a
 // large graph quadratic. Edges the mutation hook indexed concurrently are
 // deduplicated through byID.
 func (ix *Index) scan() {
 	buckets := make([][]entry, len(ix.shards))
-	for _, id := range ix.g.EdgeIDs() {
-		if e, ok := ix.g.Edge(id); ok {
-			si := int(uint64(e.ID) % uint64(len(ix.shards)))
-			buckets[si] = append(buckets[si], entry{ts: e.Timestamp, id: e.ID})
-		}
-	}
+	ix.g.ScanEdges(func(e *graph.EdgeScan) bool {
+		si := int(uint64(e.ID) % uint64(len(ix.shards)))
+		buckets[si] = append(buckets[si], entry{ts: e.Timestamp, id: e.ID})
+		return true
+	})
 	for si, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue

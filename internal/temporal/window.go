@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"nous/internal/graph"
+	"nous/internal/graph/symtab"
 )
 
 // Window is a half-open time range [Since, Until) in unix seconds. The zero
@@ -84,6 +85,23 @@ func (w Window) ContainsEdge(e graph.Edge) bool {
 		return true
 	}
 	return e.Props["curated"] == "true"
+}
+
+// curatedKey is the interned form of the "curated" provenance prop, looked
+// up once so the scan-path membership test does no string hashing per edge.
+var curatedKey = symtab.Intern("curated")
+
+// ContainsScan is ContainsEdge for slab views: the same membership rule
+// applied to a graph.EdgeScan without materializing the edge. Hot paths
+// (windowed PageRank, beam expansion) call this once per scanned edge.
+func (w Window) ContainsScan(e *graph.EdgeScan) bool {
+	if w.IsAll() {
+		return true
+	}
+	if w.Contains(e.Timestamp) {
+		return true
+	}
+	return e.PropEquals(curatedKey, "true")
 }
 
 // Empty returns a canonical window containing no timestamp. (A zero-value
