@@ -117,19 +117,7 @@ func addCommonFlags(fs *flag.FlagSet) *buildFlags {
 // Ingestion watches ctx and stops at a chunk boundary when a shutdown
 // signal arrives, so partial progress still reaches the final checkpoint.
 func assemble(ctx context.Context, bf *buildFlags) (*nous.Pipeline, *nous.World) {
-	var w *nous.World
-	switch bf.world {
-	case "drone":
-		cfg := nous.DefaultWorldConfig()
-		cfg.Seed = bf.seed
-		w = nous.GenerateWorld(cfg)
-	case "citations":
-		w = corpus.GenerateCitationWorld(bf.seed, 60, 120)
-	case "insider":
-		w = corpus.GenerateInsiderWorld(bf.seed, 25, 18, 1500)
-	default:
-		fatal(fmt.Errorf("unknown world %q", bf.world))
-	}
+	w := worldFor(bf)
 
 	cfg := nous.DefaultConfig()
 	cfg.Stream.Window = bf.window
@@ -188,6 +176,25 @@ func assemble(ctx context.Context, bf *buildFlags) (*nous.Pipeline, *nous.World)
 		fatalIf(p.Checkpoint())
 	}
 	return p, w
+}
+
+// worldFor resolves the -world flag to a synthetic world; its ontology is
+// used even in modes that skip the world's KB and corpus (a read replica
+// needs the same ontology as its leader to admit replicated facts).
+func worldFor(bf *buildFlags) *nous.World {
+	switch bf.world {
+	case "drone":
+		cfg := nous.DefaultWorldConfig()
+		cfg.Seed = bf.seed
+		return nous.GenerateWorld(cfg)
+	case "citations":
+		return corpus.GenerateCitationWorld(bf.seed, 60, 120)
+	case "insider":
+		return corpus.GenerateInsiderWorld(bf.seed, 25, 18, 1500)
+	default:
+		fatal(fmt.Errorf("unknown world %q", bf.world))
+		return nil
+	}
 }
 
 // ingestChunked feeds articles through the pipeline in slices, checking for
@@ -387,8 +394,24 @@ func cmdServe(ctx context.Context, args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	topicsOn := fs.Bool("topics", true, "build LDA topics for coherence-ranked paths")
 	reqTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler timeout (0 disables)")
+	follow := fs.String("follow", "", "run as a read replica of this leader's base URL (e.g. http://leader:8080): bootstrap from its snapshot, tail its WAL, reject writes; -world selects the shared ontology and the ingest flags are ignored")
 	fs.Parse(args)
-	p, _ := assemble(ctx, bf)
+	var p *nous.Pipeline
+	if *follow != "" {
+		if bf.dataDir != "" {
+			fatal(fmt.Errorf("-follow and -data-dir are mutually exclusive: a replica keeps no local disk state (it re-bootstraps from the leader on restart)"))
+		}
+		cfg := nous.DefaultConfig()
+		cfg.Stream.Window = bf.window
+		var err error
+		p, err = nous.Follow(ctx, *follow, worldFor(bf).Ontology, cfg)
+		fatalIf(err)
+		st := p.Follower().Status()
+		fmt.Fprintf(os.Stderr, "nous: read replica of %s: bootstrapped at epoch %d (%d entities, %d facts), tailing WAL\n",
+			*follow, st.AppliedEpoch, p.KG().NumEntities(), p.KG().NumFacts())
+	} else {
+		p, _ = assemble(ctx, bf)
+	}
 	// With -data-dir, leave a fresh snapshot behind and flush the WAL on
 	// every exit path, so the next serve resumes instantly from disk.
 	finish := func() {

@@ -33,11 +33,19 @@
 // writes touch one shard; there is no cross-record ordering to protect), so
 // they are exempt from the under-lock requirement but not from the
 // bump/emit pairing.
+//
+// Follower-side replay paths (internal/graph/replicate.go) obey the same
+// contract with one substitution: a replica never mints epochs, it adopts the
+// leader's via adoptEpoch. The analyzer therefore treats adoptEpoch as the
+// epoch bump, and for a re-emitted record variable m it accepts a preceding
+// adoptEpoch(m.Epoch) call as the stamp evidence — the record arrived from
+// the wire already carrying the epoch the replica just adopted.
 package hookunderlock
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 
@@ -129,7 +137,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				return true
 			}
 			switch analysis.CalleeName(n) {
-			case "bump":
+			case "bump", "adoptEpoch":
 				events = append(events, event{kind: evBump, pos: n.Pos()})
 			case "emit":
 				events = append(events, event{kind: evEmit, pos: n.Pos(), call: n})
@@ -218,6 +226,17 @@ func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (eventKind, bool)
 	return evUnlock, true
 }
 
+// epochSelOn reports whether expr is a selector `<ident>.Epoch` whose base
+// identifier resolves to obj.
+func epochSelOn(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Epoch" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
 func innermostLoop(loops []ast.Node, pos token.Pos) ast.Node {
 	var best ast.Node
 	for _, l := range loops {
@@ -265,8 +284,10 @@ func emitKindIsEdge(pass *analysis.Pass, call *ast.CallExpr) bool {
 }
 
 // checkEpochStamp verifies the emitted record carries its epoch: a Mutation
-// literal must set Epoch explicitly; a record variable must receive a
-// `.Epoch =` assignment earlier in the function.
+// literal must set Epoch explicitly; a record variable must either receive a
+// `.Epoch =` assignment earlier in the function or have its own epoch adopted
+// via adoptEpoch(m.Epoch) — the replicated-apply idiom, where the record
+// arrives from the leader already stamped.
 func checkEpochStamp(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	if len(call.Args) != 1 {
 		return
@@ -289,23 +310,22 @@ func checkEpochStamp(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) 
 			if stamped || (n != nil && n.Pos() >= call.Pos()) {
 				return !stamped
 			}
-			asg, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			for _, l := range asg.Lhs {
-				sel, ok := l.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Epoch" {
-					continue
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range n.Lhs {
+					if epochSelOn(pass, l, obj) {
+						stamped = true
+					}
 				}
-				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			case *ast.CallExpr:
+				if analysis.CalleeName(n) == "adoptEpoch" && len(n.Args) == 1 && epochSelOn(pass, n.Args[0], obj) {
 					stamped = true
 				}
 			}
 			return true
 		})
 		if !stamped {
-			pass.Reportf(call.Pos(), "mutation record %s emitted without a .Epoch assignment in this function", arg.Name)
+			pass.Reportf(call.Pos(), "mutation record %s emitted without an Epoch stamp in this function (no .Epoch assignment and no adoptEpoch(%s.Epoch))", arg.Name, arg.Name)
 		}
 	}
 }

@@ -30,6 +30,8 @@ type Graph struct {
 
 func (g *Graph) bump() uint64 { g.epoch++; return g.epoch }
 
+func (g *Graph) adoptEpoch(e uint64) {}
+
 func (g *Graph) emit(m Mutation) {}
 
 func (g *Graph) lockEdgeShards(a, b int) {}
@@ -131,7 +133,52 @@ func (g *Graph) badUnstampedVar(a, b int) {
 	m := Mutation{Kind: MutAddEdges}
 	g.lockEdgeShards(a, b)
 	g.bump()
-	g.emit(m) // want `without a .Epoch assignment`
+	g.emit(m) // want `without an Epoch stamp`
+	g.unlockEdgeShards(a, b)
+}
+
+// goodReplicatedLiteral: the follower-side replay idiom — a replica never
+// mints epochs, it adopts the leader's; adoptEpoch counts as the bump.
+func (g *Graph) goodReplicatedLiteral(a, b int, m Mutation) {
+	g.lockEdgeShards(a, b)
+	g.adoptEpoch(m.Epoch)
+	g.emit(Mutation{Kind: MutAddEdges, Epoch: m.Epoch})
+	g.unlockEdgeShards(a, b)
+}
+
+// goodReplicatedPassthrough: adopting the record's own epoch is the stamp
+// evidence for re-emitting that record — it arrived from the wire stamped.
+func (g *Graph) goodReplicatedPassthrough(a, b int, m Mutation) {
+	g.lockEdgeShards(a, b)
+	g.adoptEpoch(m.Epoch)
+	g.emit(m)
+	g.unlockEdgeShards(a, b)
+}
+
+// goodReplicatedVertex: vertex replay, like local vertex writes, may adopt
+// and deliver after the lock drops.
+func (g *Graph) goodReplicatedVertex(i int, m Mutation) {
+	g.shards[i].mu.Lock()
+	g.shards[i].mu.Unlock()
+	g.adoptEpoch(m.Epoch)
+	g.emit(Mutation{Kind: MutAddVertex, Epoch: m.Epoch})
+}
+
+// badReplicatedOtherRecord: adopting one record's epoch does not stamp a
+// different record.
+func (g *Graph) badReplicatedOtherRecord(a, b int, m, other Mutation) {
+	g.lockEdgeShards(a, b)
+	g.adoptEpoch(other.Epoch)
+	g.emit(m) // want `without an Epoch stamp`
+	g.unlockEdgeShards(a, b)
+}
+
+// badReplicatedAdoptOutside: adoption is still a bump — on an edge write
+// path it must happen under the shard locks.
+func (g *Graph) badReplicatedAdoptOutside(a, b int, m Mutation) {
+	g.adoptEpoch(m.Epoch) // want `epoch bump outside the shard locks`
+	g.lockEdgeShards(a, b)
+	g.emit(m)
 	g.unlockEdgeShards(a, b)
 }
 

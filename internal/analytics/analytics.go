@@ -257,7 +257,15 @@ func (c *Cache) WindowedImportance(id graph.VertexID, w temporal.Window) float64
 func (c *Cache) PopularityPrior() map[string]float64 {
 	now := c.Epoch()
 	v, hit, computed := c.prior.get(now, c.MaxLag, func() map[string]float64 {
-		pr := c.PageRank()
+		// Compute the rank vector directly instead of reading it through the
+		// shared pagerank memo. The prior is an ingest-path heuristic: going
+		// through c.PageRank() here would leave a mid-ingest vector in the
+		// memo that serves query-path importance, and MaxLag would keep
+		// serving it — so two replicas at the same epoch could answer with
+		// importance scores from different warming histories. Keeping the
+		// served memo warmed only by the query path makes equal epochs give
+		// equal answers across a leader and its read replicas.
+		pr := graph.PageRank(c.kg.Graph(), c.Damping, c.Iters)
 		maxRank := 0.0
 		for _, r := range pr {
 			if r > maxRank {

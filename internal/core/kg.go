@@ -344,6 +344,14 @@ func (kg *KG) NormalizeTriple(t Triple) (Triple, error) {
 	if t.Confidence > 1 {
 		t.Confidence = 1
 	}
+	// Provenance time is stored on the edge as unix seconds: that is the
+	// granularity that survives a WAL replay, a snapshot restore and
+	// replication to a follower. Truncate at admission so the in-memory fact
+	// equals its durable round-trip — a leader and its replicas must answer
+	// with identical bytes. The zero time (undated) stays exactly zero.
+	if !t.Provenance.Time.IsZero() {
+		t.Provenance.Time = time.Unix(t.Provenance.Time.Unix(), 0)
+	}
 	return t, nil
 }
 

@@ -354,20 +354,30 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 	}
 	g.lockEdgeShards(src, dst, id)
 	defer g.unlockEdgeShards(src, dst, id)
-	si := shardIdx(uint64(id))
-	es := &g.shards[si]
-	seq := seqOf(id)
-	slot, ok := es.lookup(seq) // may have raced with another remover
+	es := g.eshard(id)
+	slot, ok := es.lookup(seqOf(id)) // may have raced with another remover
 	if !ok {
 		return false
 	}
+	g.dropEdgeLocked(id, src, dst, slot)
+	ep := g.bump()
+	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: ep, EdgeID: id})
+	return true
+}
+
+// dropEdgeLocked tombstones an edge's slab slot and unwires it from every
+// index and adjacency list. The caller holds the write locks of the source's,
+// destination's and edge's shards and has resolved the live slot.
+func (g *Graph) dropEdgeLocked(id EdgeID, src, dst VertexID, slot uint32) {
+	si := shardIdx(uint64(id))
+	es := &g.shards[si]
 	c, off := es.slab.chunk(slot)
 	label := c.label[off]
 	c.dead[off] = true
 	if arr := c.props.Load(); arr != nil {
 		arr[off] = nil // release the props map; the slot is never reused
 	}
-	es.clearIdx(seq)
+	es.clearIdx(seqOf(id))
 	es.live--
 	if ls := es.byLabel[label]; ls != nil {
 		ls.live--
@@ -381,9 +391,6 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 	ss, ds := g.vshard(src), g.vshard(dst)
 	ss.out[src] = removeRef(ss.out[src], ref)
 	ds.in[dst] = removeRef(ds.in[dst], ref)
-	ep := g.bump()
-	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: ep, EdgeID: id})
-	return true
 }
 
 // compactLabelLocked drops tombstoned slots from a label set. Caller holds

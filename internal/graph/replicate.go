@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"fmt"
+
+	"nous/internal/graph/symtab"
+)
+
+// Replicated apply
+//
+// A replication follower tails its leader's WAL and applies each record to
+// its own graph. That path needs a hybrid of the two write APIs:
+//
+//   - like the Restore API, it takes explicit IDs, is idempotent under
+//     duplicate delivery (at-least-once streams re-send records), and never
+//     mints epochs of its own — the follower adopts the leader's stamps so
+//     both sides agree on what "epoch N" means;
+//   - like the live mutators, it emits every applied record to the mutation
+//     hooks, so the temporal index, epoch-keyed caches and core.KG's
+//     secondary indexes stay in sync without a rebuild.
+//
+// The same ordering contract as the live mutators applies: edge mutations
+// are emitted while the write's shard locks are held, and the epoch is
+// adopted under those locks, so no subscriber can be tagged with an epoch
+// newer than the state it observed. Re-delivered records whose effect is
+// already present are skipped without emitting, which keeps duplicate
+// delivery invisible to subscribers too.
+
+// adoptEpoch raises the graph's epoch to at least e, never lowering it. It
+// is the replicated-path counterpart of bump: instead of minting a fresh
+// epoch the follower adopts the leader's stamp, so answers computed on both
+// sides at the same applied epoch describe the same graph. Returns the
+// resulting epoch.
+func (g *Graph) adoptEpoch(e uint64) uint64 {
+	for {
+		cur := g.epoch.Load()
+		if e <= cur {
+			return cur
+		}
+		if g.epoch.CompareAndSwap(cur, e) {
+			return e
+		}
+	}
+}
+
+// ApplyReplicated applies one mutation record received from a replication
+// leader: restore semantics (explicit IDs, idempotent, tolerant of records
+// whose target predates the bootstrap snapshot) with live hook delivery and
+// leader-epoch adoption. It is safe for concurrent use with readers; a
+// follower must not interleave it with local mutators.
+func (g *Graph) ApplyReplicated(m Mutation) error {
+	switch m.Kind {
+	case MutAddVertex:
+		g.applyVertexReplicated(m)
+		return nil
+	case MutSetVertexProp:
+		g.applyVertexPropReplicated(m)
+		return nil
+	case MutAddEdges:
+		return g.applyAddEdgesReplicated(m)
+	case MutRemoveEdge:
+		g.applyRemoveEdgeReplicated(m)
+		return nil
+	case MutSetEdgeProp:
+		sym := symtab.Intern(m.Key)
+		g.applyEdgeUpdateReplicated(m, func(c *edgeChunk, off int) {
+			p := c.propsAt(off)
+			if p == nil {
+				c.setProps(off, propMap{sym: m.Value})
+				return
+			}
+			p[sym] = m.Value
+		})
+		return nil
+	case MutSetEdgeWeight:
+		g.applyEdgeUpdateReplicated(m, func(c *edgeChunk, off int) { c.weight[off] = m.Weight })
+		return nil
+	default:
+		return fmt.Errorf("graph: apply replicated: unknown mutation kind %d", m.Kind)
+	}
+}
+
+// applyVertexReplicated inserts (or overwrites, for re-delivered records) a
+// vertex with its leader-assigned ID. Overwriting converges because every
+// later property write is also re-applied from the stream.
+func (g *Graph) applyVertexReplicated(m Mutation) {
+	rec := vertexRec{label: symtab.Intern(m.Vertex.Label), props: internProps(m.Vertex.Props)}
+	s := g.vshard(m.Vertex.ID)
+	s.mu.Lock()
+	s.vertices[m.Vertex.ID] = rec
+	s.mu.Unlock()
+	g.adoptEpoch(m.Epoch)
+	g.emit(Mutation{Kind: MutAddVertex, Epoch: m.Epoch, Vertex: m.Vertex})
+	advancePast(&g.nextVertex, int64(m.Vertex.ID))
+}
+
+// applyVertexPropReplicated sets one vertex property. A missing vertex is a
+// no-op (its insertion may predate what this follower bootstrapped from),
+// and no-ops are not emitted.
+func (g *Graph) applyVertexPropReplicated(m Mutation) {
+	sym := symtab.Intern(m.Key)
+	s := g.vshard(m.VertexID)
+	s.mu.Lock()
+	rec, ok := s.vertices[m.VertexID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	if rec.props == nil {
+		rec.props = make(propMap, 1)
+		s.vertices[m.VertexID] = rec
+	}
+	rec.props[sym] = m.Value
+	s.mu.Unlock()
+	g.adoptEpoch(m.Epoch)
+	g.emit(Mutation{Kind: MutSetVertexProp, Epoch: m.Epoch, VertexID: m.VertexID, Key: m.Key, Value: m.Value})
+}
+
+// applyAddEdgesReplicated inserts a batch of leader-assigned edges, mirroring
+// AddEdges' lock discipline: every touched stripe is locked in ascending
+// order, and the batch record is emitted (restricted to the edges actually
+// inserted — re-delivered ones are skipped) before the locks drop.
+func (g *Graph) applyAddEdgesReplicated(m Mutation) error {
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if !edgeFits(e) {
+			return fmt.Errorf("graph: apply replicated edge %d: ID or endpoints exceed storable range", e.ID)
+		}
+		if !g.HasVertex(e.Src) {
+			return fmt.Errorf("graph: apply replicated edge %d: source vertex %d does not exist", e.ID, e.Src)
+		}
+		if !g.HasVertex(e.Dst) {
+			return fmt.Errorf("graph: apply replicated edge %d: destination vertex %d does not exist", e.ID, e.Dst)
+		}
+	}
+	// Interning may grow the symbol table; do it outside the shard locks.
+	syms := make([]symtab.SymID, len(m.Edges))
+	props := make([]propMap, len(m.Edges))
+	var need [numShards]bool
+	maxID := int64(-1)
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		syms[i] = symtab.Intern(e.Label)
+		props[i] = internProps(e.Props)
+		need[shardIdx(uint64(e.Src))] = true
+		need[shardIdx(uint64(e.Dst))] = true
+		need[shardIdx(uint64(e.ID))] = true
+		if int64(e.ID) > maxID {
+			maxID = int64(e.ID)
+		}
+	}
+	for i := 0; i < numShards; i++ {
+		if need[i] {
+			g.shards[i].mu.Lock()
+		}
+	}
+	fresh := make([]Edge, 0, len(m.Edges))
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if _, ok := g.eshard(e.ID).lookup(seqOf(e.ID)); ok {
+			continue // already applied: duplicate delivery converges silently
+		}
+		g.insertEdgeLocked(e.ID, e.Src, e.Dst, syms[i], e.Weight, e.Timestamp, props[i])
+		fresh = append(fresh, *e)
+	}
+	if len(fresh) > 0 {
+		g.adoptEpoch(m.Epoch)
+		g.emit(Mutation{Kind: MutAddEdges, Epoch: m.Epoch, Edges: fresh})
+	}
+	for i := numShards - 1; i >= 0; i-- {
+		if need[i] {
+			g.shards[i].mu.Unlock()
+		}
+	}
+	if maxID >= 0 {
+		advancePast(&g.nextEdge, maxID)
+	}
+	return nil
+}
+
+// applyRemoveEdgeReplicated deletes an edge; a missing edge is a silent
+// no-op (already removed, or its insertion predates the bootstrap snapshot).
+func (g *Graph) applyRemoveEdgeReplicated(m Mutation) {
+	src, dst, ok := g.edgeEndpoints(m.EdgeID)
+	if !ok {
+		return
+	}
+	g.lockEdgeShards(src, dst, m.EdgeID)
+	defer g.unlockEdgeShards(src, dst, m.EdgeID)
+	es := g.eshard(m.EdgeID)
+	slot, ok := es.lookup(seqOf(m.EdgeID)) // may have raced with another apply
+	if !ok {
+		return
+	}
+	g.dropEdgeLocked(m.EdgeID, src, dst, slot)
+	g.adoptEpoch(m.Epoch)
+	g.emit(Mutation{Kind: MutRemoveEdge, Epoch: m.Epoch, EdgeID: m.EdgeID})
+}
+
+// applyEdgeUpdateReplicated applies fn to an edge's slab cells under the full
+// shard lock set, emitting the record with its leader epoch. A missing edge
+// is a silent no-op.
+func (g *Graph) applyEdgeUpdateReplicated(m Mutation, fn func(c *edgeChunk, off int)) {
+	src, dst, ok := g.edgeEndpoints(m.EdgeID)
+	if !ok {
+		return
+	}
+	g.lockEdgeShards(src, dst, m.EdgeID)
+	defer g.unlockEdgeShards(src, dst, m.EdgeID)
+	es := g.eshard(m.EdgeID)
+	slot, ok := es.lookup(seqOf(m.EdgeID))
+	if !ok {
+		return
+	}
+	c, off := es.slab.chunk(slot)
+	fn(c, off)
+	g.adoptEpoch(m.Epoch)
+	g.emit(m)
+}

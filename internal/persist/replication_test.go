@@ -1,0 +1,207 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"nous/internal/graph"
+)
+
+// quietOptions keeps the background machinery out of the test's way.
+func quietOptions() Options {
+	return Options{DisableAutoCheckpoint: true, FlushInterval: time.Hour}
+}
+
+// drain reads records until the cursor reports caught-up, returning the
+// payload epochs in stream order.
+func drain(t *testing.T, cur *WALCursor) []uint64 {
+	t.Helper()
+	var epochs []uint64
+	for {
+		payload, err := cur.Next()
+		if errors.Is(err, ErrCaughtUp) {
+			return epochs
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		e, err := RecordEpoch(payload)
+		if err != nil {
+			t.Fatalf("record epoch: %v", err)
+		}
+		if _, err := DecodeRecord(payload); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		epochs = append(epochs, e)
+	}
+}
+
+func TestWALCursorTailsAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	st, err := Open(dir, g, quietOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	if _, err := g.AddEdge(a, b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := OpenWALCursor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	got := drain(t, cur)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("epochs = %v, want [1 2 3]", got)
+	}
+
+	// Roll the segment while the cursor is parked at the live tail; new
+	// records land in the next segment and the cursor must follow.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, a, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got = drain(t, cur)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("post-rotation epochs = %v, want [4]", got)
+	}
+}
+
+// TestWALCursorBufferedTailNotLost: records buffered in the group-commit
+// window when a checkpoint rotates must be visible to the cursor before it
+// advances to the new segment (the flush-before-rotate ordering).
+func TestWALCursorBufferedTailNotLost(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	// Large group-commit threshold: nothing flushes until rotation.
+	opt := quietOptions()
+	opt.GroupCommitBytes = 1 << 20
+	st, err := Open(dir, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	g.AddVertex("A")
+	g.AddVertex("B")
+	cur, err := OpenWALCursor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := drain(t, cur); len(got) != 0 {
+		t.Fatalf("unflushed records visible early: %v", got)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); len(got) != 2 {
+		t.Fatalf("epochs after rotation = %v, want the 2 buffered records", got)
+	}
+}
+
+// TestWALCursorSegmentGap: when pruning removes the next segment in
+// sequence mid-stream, the cursor must refuse to skip silently.
+func TestWALCursorSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	st, err := Open(dir, g, quietOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	g.AddVertex("A")
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := OpenWALCursor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := drain(t, cur); len(got) != 1 {
+		t.Fatalf("epochs = %v, want 1 record", got)
+	}
+
+	// Three checkpoints with a record in each window: retention (2) prunes
+	// segment 1 while the cursor still sits on segment 0.
+	for i := 0; i < 3; i++ {
+		if err := st.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		g.AddVertex("B")
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = cur.Next()
+	if !errors.Is(err, ErrSegmentGap) {
+		t.Fatalf("err = %v, want ErrSegmentGap", err)
+	}
+}
+
+func TestSnapshotDiscoveryAndFloor(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	st, err := Open(dir, g, quietOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if _, _, ok, err := NewestSnapshot(dir); err != nil || ok {
+		t.Fatalf("NewestSnapshot on empty dir = ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := FloorEpoch(dir); err != nil || ok {
+		t.Fatalf("FloorEpoch on empty dir = ok=%v err=%v", ok, err)
+	}
+
+	g.AddVertex("A")
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex("B")
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	path, epoch, ok, err := NewestSnapshot(dir)
+	if err != nil || !ok || epoch != 2 {
+		t.Fatalf("NewestSnapshot = %q epoch=%d ok=%v err=%v, want epoch 2", path, epoch, ok, err)
+	}
+	floor, ok, err := FloorEpoch(dir)
+	if err != nil || !ok || floor != 1 {
+		t.Fatalf("FloorEpoch = %d ok=%v err=%v, want 1", floor, ok, err)
+	}
+
+	// The snapshot bytes restore into an empty graph at the same epoch.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	e, err := RestoreSnapshotBytes(g2, raw)
+	if err != nil || e != 2 {
+		t.Fatalf("RestoreSnapshotBytes epoch=%d err=%v, want 2", e, err)
+	}
+	if g2.NumVertices() != 2 {
+		t.Fatalf("restored vertices = %d, want 2", g2.NumVertices())
+	}
+}

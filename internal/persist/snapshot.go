@@ -194,6 +194,13 @@ func readSnapshot(path string) (*graph.GraphSnapshot, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return decodeSnapshot(raw, path)
+}
+
+// decodeSnapshot parses an in-memory snapshot image. path only labels errors;
+// replication followers decode snapshots fetched over HTTP without touching
+// disk.
+func decodeSnapshot(raw []byte, path string) (*graph.GraphSnapshot, uint64, error) {
 	if len(raw) < 48 || string(raw[:8]) != snapMagic {
 		return nil, 0, fmt.Errorf("persist: %s: not a snapshot file", path)
 	}

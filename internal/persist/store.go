@@ -282,6 +282,13 @@ func (st *Store) Checkpoint() error {
 	// record in the segments being retired is covered by the snapshot below.
 	st.walMu.Lock()
 	old := st.wal
+	// Flush the retiring segment before the next one becomes visible: a
+	// replication cursor (WALCursor) treats "clean end + a later segment
+	// exists" as proof the segment is finished, so its buffered tail must
+	// be on disk before the new segment's directory entry appears.
+	if err := old.Flush(); err != nil {
+		st.noteErr(err)
+	}
 	newSeq := st.seq + 1
 	nw, err := createWAL(st.dir, newSeq, st.opt.GroupCommitBytes)
 	if err != nil {

@@ -1,0 +1,173 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nous/internal/graph"
+	"nous/internal/persist"
+)
+
+// ErrBelowFloor is returned by Leader.StreamWAL when the requested resume
+// epoch predates the oldest retained WAL: the records between the request
+// and the floor have been pruned under a snapshot, so the follower must
+// re-bootstrap from a snapshot instead of tailing. The server maps it to
+// 410 Gone.
+var ErrBelowFloor = errors.New("repl: requested epoch predates the retained WAL")
+
+// Leader serves a store's WAL and snapshots to followers. Streaming is a
+// pure disk read (each stream owns an independent cursor over the segment
+// files), so follower fan-out costs the leader's write path nothing.
+type Leader struct {
+	g  *graph.Graph
+	st *persist.Store
+
+	// Poll is how often a caught-up stream re-checks the disk tail;
+	// Heartbeat is how often it emits a progress record while idle.
+	Poll      time.Duration
+	Heartbeat time.Duration
+
+	// snapMu serializes checkpoint-on-demand when a bootstrap request finds
+	// no snapshot yet.
+	snapMu sync.Mutex
+}
+
+// NewLeader builds a leader over the graph and its durable store.
+func NewLeader(g *graph.Graph, st *persist.Store) *Leader {
+	return &Leader{g: g, st: st, Poll: 50 * time.Millisecond, Heartbeat: time.Second}
+}
+
+// Epoch returns the leader's current mutation epoch.
+func (l *Leader) Epoch() uint64 { return l.g.Epoch() }
+
+// Floor returns the oldest epoch still resumable from the retained WAL (the
+// oldest snapshot's epoch); ok is false when nothing has been checkpointed,
+// in which case the WAL reaches back to epoch 0.
+func (l *Leader) Floor() (uint64, bool, error) {
+	return persist.FloorEpoch(l.st.Dir())
+}
+
+// SnapshotPath returns the newest snapshot's file path and epoch for a
+// bootstrap download, forcing a checkpoint when none exists yet.
+func (l *Leader) SnapshotPath() (string, uint64, error) {
+	path, epoch, ok, err := persist.NewestSnapshot(l.st.Dir())
+	if err != nil {
+		return "", 0, err
+	}
+	if ok {
+		return path, epoch, nil
+	}
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	// Re-check under the lock: a concurrent bootstrap may have forced one.
+	path, epoch, ok, err = persist.NewestSnapshot(l.st.Dir())
+	if err != nil || ok {
+		return path, epoch, err
+	}
+	if err := l.st.Checkpoint(); err != nil {
+		return "", 0, fmt.Errorf("repl: checkpoint for bootstrap: %w", err)
+	}
+	path, epoch, ok, err = persist.NewestSnapshot(l.st.Dir())
+	if err != nil {
+		return "", 0, err
+	}
+	if !ok {
+		return "", 0, errors.New("repl: checkpoint produced no snapshot")
+	}
+	return path, epoch, nil
+}
+
+// StreamWAL streams every WAL record with epoch > from to w, then tails the
+// live segment until ctx ends, emitting heartbeat progress records while
+// caught up. It returns ErrBelowFloor when from predates the retained WAL,
+// and nil when the stream ends cleanly (context done, or the WAL was pruned
+// mid-stream — the follower's reconnect resolves which).
+func (l *Leader) StreamWAL(ctx context.Context, from uint64, w io.Writer) error {
+	if floor, ok, err := l.Floor(); err != nil {
+		return err
+	} else if ok && from < floor {
+		return ErrBelowFloor
+	}
+	cur, err := persist.OpenWALCursor(l.st.Dir())
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	write := func(payload []byte) error {
+		_, err := w.Write(persist.AppendFrame(nil, payload))
+		return err
+	}
+
+	// Open with a progress record so the follower learns the leader's epoch
+	// (and its own lag) before the backlog finishes streaming.
+	if err := write(progressPayload(l.g.Epoch())); err != nil {
+		return nil
+	}
+	flush()
+
+	lastBeat := time.Now()
+	synced := false // whether we already flushed the store at this tail
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		payload, err := cur.Next()
+		switch {
+		case err == nil:
+			synced = false
+			epoch, eerr := persist.RecordEpoch(payload)
+			if eerr != nil {
+				return eerr
+			}
+			if epoch <= from {
+				continue // the follower already holds this record
+			}
+			if err := write(payload); err != nil {
+				return nil // client went away
+			}
+		case errors.Is(err, persist.ErrCaughtUp):
+			if !synced {
+				// Records may be sitting in the store's group-commit buffer;
+				// push them to disk once per tail visit, then re-read.
+				if serr := l.st.Sync(); serr != nil {
+					return serr
+				}
+				synced = true
+				flush()
+				continue
+			}
+			if time.Since(lastBeat) >= l.Heartbeat {
+				if err := write(progressPayload(l.g.Epoch())); err != nil {
+					return nil
+				}
+				flush()
+				lastBeat = time.Now()
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(l.Poll):
+			}
+			synced = false
+		case errors.Is(err, persist.ErrSegmentGap):
+			// Pruning removed the cursor's next segment. End the stream: on
+			// reconnect the floor check decides between resume and
+			// re-bootstrap.
+			return nil
+		default:
+			return err
+		}
+	}
+}

@@ -5,6 +5,19 @@
 // (mutating) pipeline: every handler is safe to run while ingestion writes
 // to the KG, and each request is bounded by a per-request timeout.
 //
+// Two API surfaces share one set of handlers:
+//
+// The versioned surface under /api/v1/ wraps every response in a uniform
+// envelope — {"data": ..., "error": {"code", "message"} | null, "meta":
+// {"epoch", "window", "took_ms"}} — with stable error codes (bad_request,
+// parse_error, unknown_entity, read_only_replica, timeout, wal_truncated,
+// internal). See v1.go for the endpoint list, which adds the replication
+// endpoints (GET /api/v1/wal, GET /api/v1/snapshot) and the write endpoint
+// (POST /api/v1/facts).
+//
+// The original unversioned surface stays byte-compatible for existing
+// clients:
+//
 //	GET /api/ask?q=...            any of the query classes
 //	GET /api/entity?name=...      entity summary (Fig 6)
 //	GET /api/trending?k=10        trending entities/predicates
@@ -17,8 +30,7 @@
 //	GET /api/recent?k=20          newest facts in the window (time-index feed)
 //	GET /                         minimal HTML console
 //
-// /api/ask, /api/entity, /api/explain, /api/graph, /api/recent, /api/plan
-// and /api/trending accept since and until parameters (a bare year, unix
+// The query endpoints accept since and until parameters (a bare year, unix
 // seconds, YYYY-MM-DD or RFC 3339) scoping the answer to the half-open
 // window [since, until). Curated facts are always in scope for the query
 // endpoints; /api/recent is a pure timestamp feed, so undated curated facts
@@ -56,8 +68,9 @@ type Server struct {
 	pipeline *nous.Pipeline
 	handler  http.Handler
 	// ask answers one windowed question; it defaults to the pipeline's
-	// AskWindow and exists as a seam so tests can exercise handleAsk's
-	// error mapping (parse failures vs executor failures) directly.
+	// AskWindow and exists as a seam so tests can exercise the ask
+	// endpoint's error mapping (parse failures vs executor failures, and
+	// the v1 panic recovery) directly.
 	ask func(question string, w nous.Window) (nous.Answer, error)
 }
 
@@ -67,36 +80,92 @@ func New(p *nous.Pipeline) *Server {
 	return NewWithTimeout(p, DefaultRequestTimeout)
 }
 
+// legacyTimeoutBody is the unversioned surface's 503 payload, pinned by the
+// byte-compatibility reference test.
+const legacyTimeoutBody = `{"error":"request timed out"}`
+
+// v1TimeoutBody is the versioned surface's 503 payload: the uniform
+// envelope. http.TimeoutHandler only takes a static body, so the meta
+// section carries zero values.
+const v1TimeoutBody = `{"data":null,"error":{"code":"timeout","message":"request timed out"},"meta":{"epoch":0,"window":null,"took_ms":0}}`
+
 // NewWithTimeout builds a server whose handlers are cut off after timeout
-// (<= 0 disables the limit). Timed-out requests get a 503 JSON error.
+// (<= 0 disables the limit). Timed-out requests get a 503 JSON error — the
+// legacy error shape under /api/, the envelope under /api/v1/. The
+// replication endpoints (/api/v1/wal, /api/v1/snapshot) bypass the timeout:
+// a WAL stream is long-lived by design, and http.TimeoutHandler buffers
+// responses and hides the flusher both endpoints need.
 func NewWithTimeout(p *nous.Pipeline, timeout time.Duration) *Server {
 	s := &Server{pipeline: p, ask: p.AskWindow}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/ask", s.handleAsk)
-	mux.HandleFunc("GET /api/entity", s.handleEntity)
-	mux.HandleFunc("GET /api/trending", s.handleTrending)
-	mux.HandleFunc("GET /api/patterns", s.handlePatterns)
-	mux.HandleFunc("GET /api/explain", s.handleExplain)
-	mux.HandleFunc("GET /api/diff", s.handleDiff)
-	mux.HandleFunc("GET /api/plan", s.handlePlan)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
-	mux.HandleFunc("GET /api/graph", s.handleGraph)
-	mux.HandleFunc("GET /api/recent", s.handleRecent)
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	s.handler = mux
-	if timeout > 0 {
-		th := http.TimeoutHandler(mux, timeout, `{"error":"request timed out"}`)
-		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			// http.TimeoutHandler writes its 503 body without a
-			// Content-Type, which gets sniffed as text/plain. Pre-set JSON
-			// on the real writer so a timeout matches the API's uniform
-			// error contract; on the normal path every handler sets its own
-			// Content-Type, which TimeoutHandler copies over this one.
-			w.Header().Set("Content-Type", "application/json")
-			th.ServeHTTP(w, r)
+
+	legacy := http.NewServeMux()
+	legacy.HandleFunc("GET /api/ask", s.handleAsk)
+	legacy.HandleFunc("GET /api/entity", s.handleEntity)
+	legacy.HandleFunc("GET /api/trending", s.handleTrending)
+	legacy.HandleFunc("GET /api/patterns", s.handlePatterns)
+	legacy.HandleFunc("GET /api/explain", s.handleExplain)
+	legacy.HandleFunc("GET /api/diff", s.handleDiff)
+	legacy.HandleFunc("GET /api/plan", s.handlePlan)
+	legacy.HandleFunc("GET /api/stats", s.handleStats)
+	legacy.HandleFunc("GET /api/graph", s.handleGraph)
+	legacy.HandleFunc("GET /api/recent", s.handleRecent)
+
+	legacyH := recoverPanics(legacy, func(w http.ResponseWriter) {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+	})
+	v1H := recoverPanics(s.v1Mux(), func(w http.ResponseWriter) {
+		s.respond(w, time.Now(), nil, nil, &apiError{
+			status: http.StatusInternalServerError, code: codeInternal, msg: "internal server error",
 		})
+	})
+	if timeout > 0 {
+		legacyH = jsonTimeout(legacyH, timeout, legacyTimeoutBody)
+		v1H = jsonTimeout(v1H, timeout, v1TimeoutBody)
 	}
+
+	root := http.NewServeMux()
+	// The streaming replication endpoints sit outside both the timeout and
+	// the v1 mux's envelope-on-panic wrapper's buffered path.
+	root.HandleFunc("GET /api/v1/wal", s.handleWAL)
+	root.HandleFunc("GET /api/v1/snapshot", s.handleSnapshot)
+	root.Handle("/api/v1/", v1H)
+	root.Handle("/api/", legacyH)
+	root.HandleFunc("GET /{$}", s.handleIndex)
+	s.handler = root
 	return s
+}
+
+// jsonTimeout wraps h in http.TimeoutHandler with a JSON body.
+// TimeoutHandler writes its 503 body without a Content-Type, which gets
+// sniffed as text/plain; pre-setting JSON on the real writer keeps timeouts
+// on the API's uniform error contract, while normal responses overwrite it
+// with their own Content-Type (which TimeoutHandler copies over this one).
+func jsonTimeout(h http.Handler, timeout time.Duration, body string) http.Handler {
+	th := http.TimeoutHandler(h, timeout, body)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics converts a handler panic into a JSON 500 via onPanic
+// instead of net/http's default connection drop. http.ErrAbortHandler is
+// re-raised: it is the sanctioned way to abort a response mid-write.
+func recoverPanics(next http.Handler, onPanic func(http.ResponseWriter)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("server: panic serving %s: %v", r.URL.Path, rec)
+			onPanic(w)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -104,7 +173,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// errorResponse is the uniform error body.
+// apiError carries one endpoint failure across both surfaces: the HTTP
+// status, the v1 error code and the human-readable message (the legacy
+// surface serializes only the message).
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// The v1 error codes.
+const (
+	codeBadRequest    = "bad_request"
+	codeParseError    = "parse_error"
+	codeUnknownEntity = "unknown_entity"
+	codeReadOnly      = "read_only_replica"
+	codeInternal      = "internal"
+	codeWALTruncated  = "wal_truncated"
+)
+
+func badParam(msg string) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: codeBadRequest, msg: msg}
+}
+
+// errorResponse is the legacy surface's uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -121,8 +213,54 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func badRequest(w http.ResponseWriter, msg string) {
-	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+// legacy adapts a shared endpoint builder to the unversioned surface:
+// errors become {"error": msg} with the builder's status, successes the
+// bare data value — the original wire shapes, byte for byte.
+func (s *Server) legacy(build func(*http.Request) (any, *windowJSON, *apiError)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		data, _, e := build(r)
+		if e != nil {
+			writeJSON(w, e.status, errorResponse{Error: e.msg})
+			return
+		}
+		writeJSON(w, http.StatusOK, data)
+	}
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) { s.legacy(s.buildAsk)(w, r) }
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	s.legacy(s.buildTrending)(w, r)
+}
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	s.legacy(s.buildPatterns)(w, r)
+}
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.legacy(s.buildExplain)(w, r)
+}
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request)   { s.legacy(s.buildDiff)(w, r) }
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request)   { s.legacy(s.buildPlan)(w, r) }
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) { s.legacy(s.buildRecent)(w, r) }
+
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	s.legacy(func(r *http.Request) (any, *windowJSON, *apiError) {
+		return s.buildEntity(r, "name")
+	})(w, r)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.buildStats())
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	raw, _, e := s.buildGraph(r)
+	if e != nil {
+		writeJSON(w, e.status, errorResponse{Error: e.msg})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(raw); err != nil {
+		log.Printf("server: writing graph export: %v", err)
+	}
 }
 
 // askResponse carries a full structured answer.
@@ -132,16 +270,14 @@ type askResponse struct {
 	Data  interface{} `json:"data,omitempty"`
 }
 
-func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildAsk(r *http.Request) (any, *windowJSON, *apiError) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		badRequest(w, "missing q parameter; classes: "+strings.Join(nous.QueryClasses(), " | "))
-		return
+		return nil, nil, badParam("missing q parameter; classes: " + strings.Join(nous.QueryClasses(), " | "))
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	a, err := s.ask(q, win)
 	if err != nil {
@@ -149,11 +285,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		// client's fault; anything else is an execution failure and must
 		// surface as a server error, not a 400.
 		if errors.Is(err, nous.ErrParse) {
-			badRequest(w, err.Error())
-		} else {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return nil, winJSON(win), &apiError{status: http.StatusBadRequest, code: codeParseError, msg: err.Error()}
 		}
-		return
+		return nil, winJSON(win), &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
 	resp := askResponse{Class: string(a.Class), Text: a.Text}
 	switch {
@@ -170,92 +304,81 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	case a.Fact != nil:
 		resp.Data = a.Fact
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, winJSON(win), nil
 }
 
-func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
+// buildEntity serves the entity summary; the name arrives as "name" on the
+// legacy surface and "entity" on v1 (matching /api/v1/graph's parameter).
+func (s *Server) buildEntity(r *http.Request, param string) (any, *windowJSON, *apiError) {
+	name := r.URL.Query().Get(param)
 	if name == "" {
-		badRequest(w, "missing name parameter")
-		return
+		return nil, nil, badParam("missing " + param + " parameter")
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	a, err := s.pipeline.AboutWindow(name, win)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, winJSON(win), badParam(err.Error())
 	}
 	if a.Entity == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + name})
-		return
+		return nil, winJSON(win), &apiError{status: http.StatusNotFound, code: codeUnknownEntity, msg: "unknown entity " + name}
 	}
-	writeJSON(w, http.StatusOK, a.Entity)
+	return a.Entity, winJSON(win), nil
 }
 
-func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildTrending(r *http.Request) (any, *windowJSON, *apiError) {
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	// A bounded window runs the planner's windowed backfill scan; the
 	// unwindowed path stays the live detector, byte-for-byte.
 	if win.Bounded() {
 		a, err := s.pipeline.TrendingWindow(win, k)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-			return
+			return nil, winJSON(win), &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 		}
 		trends := a.Trends
 		if trends == nil {
 			trends = []nous.Trend{}
 		}
-		writeJSON(w, http.StatusOK, trends)
-		return
+		return trends, winJSON(win), nil
 	}
-	writeJSON(w, http.StatusOK, s.pipeline.Trending(k))
+	return s.pipeline.Trending(k), nil, nil
 }
 
-// handleDiff serves the temporal join "what changed between A and B".
+// buildDiff serves the temporal join "what changed between A and B".
 // Window A is [asince, auntil) and window B is [bsince, buntil); each bound
 // accepts the same formats as since/until and may be omitted (unbounded),
 // but each window needs at least one bound. entity is optional: empty diffs
 // the whole extracted stream.
-func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildDiff(r *http.Request) (any, *windowJSON, *apiError) {
 	a, okA, err := halfWindow(r, "asince", "auntil")
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	b, okB, err := halfWindow(r, "bsince", "buntil")
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	if !okA || !okB {
-		badRequest(w, "diff needs both windows: asince/auntil and bsince/buntil (at least one bound each)")
-		return
+		return nil, nil, badParam("diff needs both windows: asince/auntil and bsince/buntil (at least one bound each)")
 	}
 	entity := r.URL.Query().Get("entity")
 	ans, err := s.pipeline.Diff(entity, a, b)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-		return
+		return nil, nil, &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
 	if ans.Diff == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + entity})
-		return
+		return nil, nil, &apiError{status: http.StatusNotFound, code: codeUnknownEntity, msg: "unknown entity " + entity}
 	}
-	writeJSON(w, http.StatusOK, askResponse{Class: string(ans.Class), Text: ans.Text, Data: ans.Diff})
+	return askResponse{Class: string(ans.Class), Text: ans.Text, Data: ans.Diff}, nil, nil
 }
 
 // planResponse is the /api/plan body: the compiled logical plan for a
@@ -275,26 +398,31 @@ type windowJSON struct {
 	Until int64 `json:"until"`
 }
 
-// handlePlan compiles (without executing) the question's logical plan.
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+// winJSON is the meta/window wire form of a parsed window: nil when
+// unbounded.
+func winJSON(w nous.Window) *windowJSON {
+	if !w.Bounded() {
+		return nil
+	}
+	return &windowJSON{Since: w.Since, Until: w.Until}
+}
+
+// buildPlan compiles (without executing) the question's logical plan.
+func (s *Server) buildPlan(r *http.Request) (any, *windowJSON, *apiError) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		badRequest(w, "missing q parameter; classes: "+strings.Join(nous.QueryClasses(), " | "))
-		return
+		return nil, nil, badParam("missing q parameter; classes: " + strings.Join(nous.QueryClasses(), " | "))
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	p, err := s.pipeline.PlanFor(q, win)
 	if err != nil {
 		if errors.Is(err, nous.ErrParse) {
-			badRequest(w, err.Error())
-		} else {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return nil, winJSON(win), &apiError{status: http.StatusBadRequest, code: codeParseError, msg: err.Error()}
 		}
-		return
+		return nil, winJSON(win), &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
 	resp := planResponse{Question: q, Class: p.Class, Explain: p.Explain(), Root: p.Describe()}
 	if p.Window.Bounded() {
@@ -303,7 +431,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if p.WindowB.Bounded() {
 		resp.WindowB = &windowJSON{Since: p.WindowB.Since, Until: p.WindowB.Until}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, winJSON(win), nil
 }
 
 // patternJSON is the wire form of a mined pattern.
@@ -321,44 +449,39 @@ func patternsJSON(ps []nous.Pattern) []patternJSON {
 	return out
 }
 
-func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildPatterns(r *http.Request) (any, *windowJSON, *apiError) {
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
-	writeJSON(w, http.StatusOK, patternsJSON(s.pipeline.Patterns(k)))
+	return patternsJSON(s.pipeline.Patterns(k)), nil, nil
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildExplain(r *http.Request) (any, *windowJSON, *apiError) {
 	src := r.URL.Query().Get("src")
 	dst := r.URL.Query().Get("dst")
 	if src == "" || dst == "" {
-		badRequest(w, "missing src/dst parameters")
-		return
+		return nil, nil, badParam("missing src/dst parameters")
 	}
 	k, err := intParam(r, "k", 3)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	a, err := s.pipeline.ExplainWindow(src, dst, r.URL.Query().Get("predicate"), k, win)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, winJSON(win), badParam(err.Error())
 	}
-	writeJSON(w, http.StatusOK, a.Paths)
+	return a.Paths, winJSON(win), nil
 }
 
 // statsResponse is the /api/stats body: KG quality, stream counters, the
 // epoch-versioned query cache state, the query planner's execution counters
 // and — when the pipeline is durable — the persistence layer's snapshot/WAL
-// state.
+// state. The versioned surface extends it with a replication section.
 type statsResponse struct {
 	KG       nous.KGStats       `json:"kg"`
 	Stream   nous.StreamStats   `json:"stream"`
@@ -368,7 +491,7 @@ type statsResponse struct {
 	Persist  *nous.PersistStats `json:"persist,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildStats() statsResponse {
 	resp := statsResponse{
 		KG:       s.pipeline.KG().Stats(),
 		Stream:   s.pipeline.Stats(),
@@ -379,37 +502,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ps, ok := s.pipeline.PersistStats(); ok {
 		resp.Persist = &ps
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	// Validate the export target fully before writing any output, so an
-	// error can still change the status code: once ExportJSON starts
-	// streaming, a late failure would corrupt a 200 response.
+// buildGraph validates the export target fully before rendering, so an
+// error can still change the status code: once the export is streaming, a
+// late failure would corrupt a 200 response.
+func (s *Server) buildGraph(r *http.Request) (json.RawMessage, *windowJSON, *apiError) {
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	var names []string
 	if e := r.URL.Query().Get("entity"); e != "" {
 		names = strings.Split(e, ",")
 		for _, n := range names {
 			if _, ok := s.pipeline.KG().Entity(n); !ok {
-				writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown entity " + n})
-				return
+				return nil, winJSON(win), &apiError{status: http.StatusNotFound, code: codeUnknownEntity, msg: "unknown entity " + n}
 			}
 		}
 	}
 	var buf bytes.Buffer
 	if err := s.pipeline.KG().ExportJSONWindow(&buf, win, names...); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-		return
+		return nil, winJSON(win), &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		log.Printf("server: writing graph export: %v", err)
-	}
+	return buf.Bytes(), winJSON(win), nil
 }
 
 // recentFact is the wire form of one stream-feed entry.
@@ -423,18 +540,16 @@ type recentFact struct {
 	Time       string  `json:"time,omitempty"`
 }
 
-// handleRecent serves the newest k facts inside the window, oldest first —
+// buildRecent serves the newest k facts inside the window, oldest first —
 // the time index's feed view of the stream.
-func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+func (s *Server) buildRecent(r *http.Request) (any, *windowJSON, *apiError) {
 	k, err := intParam(r, "k", 20)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	win, err := windowParam(r)
 	if err != nil {
-		badRequest(w, err.Error())
-		return
+		return nil, nil, badParam(err.Error())
 	}
 	facts := s.pipeline.RecentFacts(win, k)
 	out := make([]recentFact, len(facts))
@@ -447,7 +562,7 @@ func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
 			out[i].Time = f.Provenance.Time.UTC().Format(time.RFC3339)
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, winJSON(win), nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

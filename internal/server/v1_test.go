@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"nous"
+)
+
+var update = flag.Bool("update", false, "rewrite the legacy byte-compat golden files")
+
+// TestLegacyByteCompat pins the unversioned /api/ surface byte for byte
+// against committed golden files: the v1 redesign routes both surfaces
+// through shared builders, and this test is the proof that the legacy wire
+// shapes — bodies, indentation, error strings — did not move. Regenerate
+// with `go test ./internal/server -run LegacyByteCompat -update` only for a
+// deliberate, documented break.
+func TestLegacyByteCompat(t *testing.T) {
+	ts := testServer(t) // deterministic seeded world + article stream
+	cases := []struct {
+		name, path string
+	}{
+		{"ask_entity", "/api/ask?q=Tell+me+about+DJI"},
+		{"ask_missing_q", "/api/ask"},
+		{"ask_parse_error", "/api/ask?q=flarp+blonk"},
+		{"entity", "/api/entity?name=DJI"},
+		{"entity_unknown", "/api/entity?name=Zorblatt+Nine"},
+		{"entity_missing_name", "/api/entity"},
+		{"trending_windowed", "/api/trending?k=3&since=2011&until=2015"},
+		{"trending_bad_k", "/api/trending?k=abc"},
+		{"patterns", "/api/patterns?k=3"},
+		{"plan", "/api/plan?q=Tell+me+about+DJI&since=2014&until=2015"},
+		{"recent", "/api/recent?k=5"},
+		{"diff", "/api/diff?entity=DJI&asince=2011&auntil=2012&bsince=2014&buntil=2015"},
+		{"diff_missing_window", "/api/diff?asince=2011&auntil=2012"},
+		{"graph", "/api/graph?entity=DJI"},
+		{"graph_unknown", "/api/graph?entity=Zorblatt+Nine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(res.Body)
+			res.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "legacy_"+tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("GET %s drifted from the pinned legacy bytes\ngot:  %s\nwant: %s",
+					tc.path, body, want)
+			}
+		})
+	}
+}
+
+// envelopeOf decodes a v1 response and checks the envelope invariants: all
+// three keys present, data and error mutually exclusive.
+func envelopeOf(t *testing.T, res *http.Response) map[string]any {
+	t.Helper()
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("v1 Content-Type = %q, want application/json", ct)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("v1 body is not JSON: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"data", "error", "meta"} {
+		if _, ok := env[key]; !ok {
+			t.Fatalf("envelope missing %q: %s", key, raw)
+		}
+	}
+	if env["data"] != nil && env["error"] != nil {
+		t.Fatalf("envelope has both data and error: %s", raw)
+	}
+	meta, ok := env["meta"].(map[string]any)
+	if !ok {
+		t.Fatalf("meta is not an object: %s", raw)
+	}
+	for _, key := range []string{"epoch", "window", "took_ms"} {
+		if _, ok := meta[key]; !ok {
+			t.Fatalf("meta missing %q: %s", key, raw)
+		}
+	}
+	return env
+}
+
+func getV1(t *testing.T, url string, wantStatus int, wantCode string) map[string]any {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != wantStatus {
+		res.Body.Close()
+		t.Fatalf("GET %s = %d, want %d", url, res.StatusCode, wantStatus)
+	}
+	env := envelopeOf(t, res)
+	if wantCode == "" {
+		if env["error"] != nil {
+			t.Fatalf("GET %s: unexpected error %v", url, env["error"])
+		}
+	} else {
+		e, ok := env["error"].(map[string]any)
+		if !ok || e["code"] != wantCode {
+			t.Fatalf("GET %s: error = %v, want code %q", url, env["error"], wantCode)
+		}
+		if e["message"] == "" {
+			t.Fatalf("GET %s: empty error message", url)
+		}
+	}
+	return env
+}
+
+func TestV1EnvelopeSuccess(t *testing.T) {
+	ts := testServer(t)
+	env := getV1(t, ts.URL+"/api/v1/ask?q=Tell+me+about+DJI", 200, "")
+	data, ok := env["data"].(map[string]any)
+	if !ok || data["class"] != "entity" {
+		t.Fatalf("data = %v", env["data"])
+	}
+	if env["meta"].(map[string]any)["epoch"].(float64) == 0 {
+		t.Fatal("meta.epoch = 0 after ingestion")
+	}
+
+	// A windowed request surfaces its parsed window in meta.
+	env = getV1(t, ts.URL+"/api/v1/recent?k=3&since=2011&until=2015", 200, "")
+	win, ok := env["meta"].(map[string]any)["window"].(map[string]any)
+	if !ok || win["since"] == nil || win["until"] == nil {
+		t.Fatalf("meta.window = %v", env["meta"])
+	}
+	// An unwindowed request keeps the key, as null.
+	env = getV1(t, ts.URL+"/api/v1/recent?k=3", 200, "")
+	if w := env["meta"].(map[string]any)["window"]; w != nil {
+		t.Fatalf("unwindowed meta.window = %v, want null", w)
+	}
+}
+
+func TestV1ErrorCodes(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/api/v1/ask", 400, "bad_request"},
+		{"/api/v1/ask?q=flarp+blonk", 400, "parse_error"},
+		{"/api/v1/ask?q=Tell+me+about+DJI&since=2015&until=2011", 400, "bad_request"},
+		{"/api/v1/entity", 400, "bad_request"},
+		{"/api/v1/entity?entity=Zorblatt+Nine", 404, "unknown_entity"},
+		{"/api/v1/trending?k=abc", 400, "bad_request"},
+		{"/api/v1/graph?entity=Zorblatt+Nine", 404, "unknown_entity"},
+		{"/api/v1/diff?asince=2011&auntil=2012", 400, "bad_request"},
+		{"/api/v1/plan?q=flarp+blonk", 400, "parse_error"},
+		{"/api/v1/nonsuch", 404, "bad_request"},
+	} {
+		env := getV1(t, ts.URL+tc.path, tc.status, tc.code)
+		if env["data"] != nil {
+			t.Fatalf("GET %s: error response carries data: %v", tc.path, env["data"])
+		}
+	}
+}
+
+// TestV1EntityParam: the versioned surface names the parameter "entity"
+// (consistent with /api/v1/graph); the legacy surface keeps "name".
+func TestV1EntityParam(t *testing.T) {
+	ts := testServer(t)
+	env := getV1(t, ts.URL+"/api/v1/entity?entity=DJI", 200, "")
+	if env["data"].(map[string]any)["Name"] != "DJI" {
+		t.Fatalf("data = %v", env["data"])
+	}
+	env = getV1(t, ts.URL+"/api/v1/entity", 400, "bad_request")
+	if msg := env["error"].(map[string]any)["message"]; msg != "missing entity parameter" {
+		t.Fatalf("message = %v", msg)
+	}
+}
+
+// TestV1TimeoutEnvelope: a timed-out v1 request must still produce the
+// envelope with the timeout code — the error-shape fix this PR pins down.
+func TestV1TimeoutEnvelope(t *testing.T) {
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies, wcfg.People, wcfg.Products, wcfg.Events = 10, 10, 10, 80
+	w := nous.GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	p.IngestAll(nous.GenerateArticles(w, nous.DefaultArticleConfig(30)))
+	ts := httptest.NewServer(NewWithTimeout(p, time.Nanosecond))
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/api/v1/ask?q=Tell+me+about+DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusServiceUnavailable {
+		res.Body.Close()
+		t.Fatalf("status = %d, want 503", res.StatusCode)
+	}
+	env := envelopeOf(t, res)
+	e, ok := env["error"].(map[string]any)
+	if !ok || e["code"] != "timeout" {
+		t.Fatalf("timeout error = %v, want code timeout", env["error"])
+	}
+}
+
+// TestV1PanicRecoveryEnvelope: a handler panic must become a JSON 500 in
+// the correct shape on both surfaces, not a dropped connection.
+func TestV1PanicRecoveryEnvelope(t *testing.T) {
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies, wcfg.People, wcfg.Products, wcfg.Events = 10, 10, 10, 40
+	w := nous.GenerateWorld(wcfg)
+	kg, err := w.LoadKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	s := New(p)
+	s.ask = func(string, nous.Window) (nous.Answer, error) { panic("boom") }
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/api/v1/ask?q=Tell+me+about+DJI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusInternalServerError {
+		res.Body.Close()
+		t.Fatalf("v1 panic status = %d, want 500", res.StatusCode)
+	}
+	env := envelopeOf(t, res)
+	if e, ok := env["error"].(map[string]any); !ok || e["code"] != "internal" {
+		t.Fatalf("v1 panic error = %v, want code internal", env["error"])
+	}
+
+	body := getJSON(t, ts.URL+"/api/ask?q=Tell+me+about+DJI", 500)
+	if body["error"] != "internal server error" {
+		t.Fatalf("legacy panic body = %v", body)
+	}
+}
+
+func TestV1StatsReplicationStandalone(t *testing.T) {
+	ts := testServer(t)
+	env := getV1(t, ts.URL+"/api/v1/stats", 200, "")
+	data := env["data"].(map[string]any)
+	if data["kg"] == nil || data["plan"] == nil {
+		t.Fatalf("v1 stats missing legacy sections: %v", data)
+	}
+	repl, ok := data["replication"].(map[string]any)
+	if !ok {
+		t.Fatalf("v1 stats missing replication section: %v", data)
+	}
+	if repl["role"] != "standalone" || repl["lag"].(float64) != 0 {
+		t.Fatalf("standalone replication section = %v", repl)
+	}
+}
+
+func TestV1FactsWrite(t *testing.T) {
+	kg := nous.NewKG(nil) // default ontology
+	p := nous.NewPipeline(kg, nous.DefaultConfig())
+	ts := httptest.NewServer(New(p))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return http.Post(ts.URL+"/api/v1/facts", "application/json", strings.NewReader(body))
+	}
+
+	res, err := post(`{"facts": [
+		{"subject": "acme corp", "predicate": "partnersWith", "object": "globex",
+		 "confidence": 0.9, "source": "api", "time": "2015-06-12"},
+		{"subject": "globex", "predicate": "noSuchPredicate", "object": "initech"}
+	]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := envelopeOf(t, res)
+	data := env["data"].(map[string]any)
+	if data["added"].(float64) != 1 {
+		t.Fatalf("added = %v, want 1 (second fact has an unknown predicate)", data["added"])
+	}
+	results := data["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	if results[1].(map[string]any)["error"] == nil {
+		t.Fatal("bad predicate did not surface a per-fact error")
+	}
+	if kg.NumFacts() != 1 {
+		t.Fatalf("kg facts = %d, want 1", kg.NumFacts())
+	}
+
+	// The write is live: the entity answers immediately.
+	getV1(t, ts.URL+"/api/v1/entity?entity=acme+corp", 200, "")
+
+	// Malformed body → parse_error; empty facts → bad_request; incomplete
+	// fact → bad_request.
+	for _, tc := range []struct {
+		body, code string
+	}{
+		{`{"facts": [`, "parse_error"},
+		{`{"facts": []}`, "bad_request"},
+		{`{"facts": [{"subject": "a"}]}`, "bad_request"},
+	} {
+		res, err := post(tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := envelopeOf(t, res)
+		if e, ok := env["error"].(map[string]any); !ok || e["code"] != tc.code {
+			t.Fatalf("POST %s: error = %v, want %s", tc.body, env["error"], tc.code)
+		}
+	}
+}
+
+// TestV1WALRequiresDurable: the replication endpoints on an in-memory
+// pipeline answer with the envelope, not a stream.
+func TestV1WALRequiresDurable(t *testing.T) {
+	ts := testServer(t)
+	getV1(t, ts.URL+"/api/v1/wal", 404, "bad_request")
+	getV1(t, ts.URL+"/api/v1/snapshot", 404, "bad_request")
+	getV1(t, ts.URL+"/api/v1/wal?from=nope", 404, "bad_request")
+}
+
+// tookMS strips the one legitimately nondeterministic envelope field so
+// leader and follower responses can be compared byte for byte.
+var tookMS = regexp.MustCompile(`"took_ms": \d+`)
+
+func normalizeTook(b []byte) []byte {
+	return tookMS.ReplaceAll(b, []byte(`"took_ms": 0`))
+}
+
+// newReplicaPair stands up a durable leader pipeline behind a real server
+// and a follower pipeline bootstrapped and tailing through that server's
+// /api/v1/snapshot and /api/v1/wal endpoints, converged at return.
+func newReplicaPair(t *testing.T, articles int) (leader, follower *nous.Pipeline, lts, fts *httptest.Server) {
+	t.Helper()
+	wcfg := nous.DefaultWorldConfig()
+	wcfg.Companies, wcfg.People, wcfg.Products, wcfg.Events = 10, 10, 10, 80
+	w := nous.GenerateWorld(wcfg)
+	p, err := nous.OpenWithOptions(t.TempDir(), w.Ontology, nous.DefaultConfig(), nous.PersistOptions{
+		FlushInterval:         time.Hour,
+		DisableAutoCheckpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := w.SeedKG(p.KG()); err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(nous.GenerateArticles(w, nous.DefaultArticleConfig(articles)))
+	lts = httptest.NewServer(New(p))
+	t.Cleanup(lts.Close)
+
+	src := p.WALSource()
+	if src == nil {
+		t.Fatal("durable pipeline has no WAL source")
+	}
+	src.Poll = 5 * time.Millisecond
+	src.Heartbeat = 20 * time.Millisecond
+
+	f, err := nous.Follow(context.Background(), lts.URL, w.Ontology, nous.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	fts = httptest.NewServer(New(f))
+	t.Cleanup(fts.Close)
+
+	waitReplicaConverged(t, f, p)
+	return p, f, lts, fts
+}
+
+func waitReplicaConverged(t *testing.T, f, leader *nous.Pipeline) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Follower().Status().AppliedEpoch == leader.KG().Graph().Epoch() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica never converged: applied=%d leader=%d",
+		f.Follower().Status().AppliedEpoch, leader.KG().Graph().Epoch())
+}
+
+// TestReplicaServesIdenticalReads is the tentpole's acceptance check: at
+// the same applied epoch, leader and follower answer /api/v1/graph and
+// /api/v1/ask byte-identically (modulo took_ms).
+func TestReplicaServesIdenticalReads(t *testing.T) {
+	_, follower, lts, fts := newReplicaPair(t, 60)
+
+	fetch := func(base, path string) []byte {
+		t.Helper()
+		res, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != 200 {
+			t.Fatalf("GET %s%s = %d", base, path, res.StatusCode)
+		}
+		b, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalizeTook(b)
+	}
+
+	for _, path := range []string{
+		"/api/v1/graph?entity=DJI",
+		"/api/v1/ask?q=Tell+me+about+DJI",
+		"/api/v1/entity?entity=DJI",
+		"/api/v1/recent?k=10",
+	} {
+		lb := fetch(lts.URL, path)
+		fb := fetch(fts.URL, path)
+		if !bytes.Equal(lb, fb) {
+			t.Errorf("leader and follower disagree on %s\nleader:   %s\nfollower: %s", path, lb, fb)
+		}
+	}
+
+	// The replication sections tell the two roles apart.
+	env := getV1(t, lts.URL+"/api/v1/stats", 200, "")
+	if role := env["data"].(map[string]any)["replication"].(map[string]any)["role"]; role != "leader" {
+		t.Fatalf("leader role = %v", role)
+	}
+	env = getV1(t, fts.URL+"/api/v1/stats", 200, "")
+	rs := env["data"].(map[string]any)["replication"].(map[string]any)
+	if rs["role"] != "follower" || rs["lag"].(float64) != 0 || rs["connected"] != true {
+		t.Fatalf("follower replication section = %v", rs)
+	}
+	if rs["applied_epoch"].(float64) == 0 {
+		t.Fatal("follower applied_epoch = 0 after convergence")
+	}
+
+	// The follower keeps tracking live leader writes.
+	fp := follower.Follower()
+	if fp == nil {
+		t.Fatal("follower pipeline lost its follower handle")
+	}
+}
+
+// TestReplicaRejectsWrites: every write path on a read replica answers 403
+// read_only_replica in the envelope.
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, _, _, fts := newReplicaPair(t, 20)
+	res, err := http.Post(fts.URL+"/api/v1/facts", "application/json",
+		strings.NewReader(`{"facts": [{"subject": "a", "predicate": "partnersWith", "object": "b"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusForbidden {
+		res.Body.Close()
+		t.Fatalf("replica write status = %d, want 403", res.StatusCode)
+	}
+	env := envelopeOf(t, res)
+	if e, ok := env["error"].(map[string]any); !ok || e["code"] != "read_only_replica" {
+		t.Fatalf("replica write error = %v, want read_only_replica", env["error"])
+	}
+}
+
+// TestReplicaTracksLiveWrites: writes POSTed to the leader through the API
+// propagate to the follower, keeping derived reads in lockstep.
+func TestReplicaTracksLiveWrites(t *testing.T) {
+	leader, follower, lts, fts := newReplicaPair(t, 20)
+
+	res, err := http.Post(lts.URL+"/api/v1/facts", "application/json",
+		strings.NewReader(`{"facts": [{"subject": "DJI", "predicate": "acquired",
+			"object": "Windermere", "confidence": 0.95, "source": "newswire", "time": "2015-03-01"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := envelopeOf(t, res)
+	if env["error"] != nil {
+		t.Fatalf("leader write failed: %v", env["error"])
+	}
+	waitReplicaConverged(t, follower, leader)
+
+	lb := getV1(t, lts.URL+"/api/v1/ask?q=Did+DJI+acquire+Windermere%3F", 200, "")
+	fb := getV1(t, fts.URL+"/api/v1/ask?q=Did+DJI+acquire+Windermere%3F", 200, "")
+	lt, ft := lb["data"].(map[string]any)["text"], fb["data"].(map[string]any)["text"]
+	if lt != ft {
+		t.Fatalf("leader and follower disagree on the new fact:\nleader:   %v\nfollower: %v", lt, ft)
+	}
+	if s, _ := lt.(string); !strings.Contains(strings.ToLower(s), "yes") {
+		t.Fatalf("leader does not confirm the written fact: %v", lt)
+	}
+}

@@ -23,6 +23,7 @@
 package nous
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"nous/internal/persist"
 	"nous/internal/plan"
 	"nous/internal/qa"
+	"nous/internal/repl"
 	"nous/internal/stream"
 	"nous/internal/temporal"
 	"nous/internal/topics"
@@ -109,6 +111,10 @@ type (
 	// DiffAnswer is the payload of a temporal diff query: facts visible only
 	// in the second window (added) or only in the first (removed).
 	DiffAnswer = qa.DiffAnswer
+	// ReplicationStatus is a follower's replication state: leader URL, the
+	// leader's newest known epoch, the locally applied epoch, the lag
+	// between them, and the stream's connection health.
+	ReplicationStatus = repl.Status
 )
 
 // ErrParse marks questions Ask could not parse (or whose temporal qualifiers
@@ -180,6 +186,8 @@ type Pipeline struct {
 	exec      *qa.Executor
 	tindex    *temporal.Index
 	store     *persist.Store // nil for an in-memory pipeline
+	leader    *repl.Leader   // non-nil iff durable: serves WAL + snapshots to replicas
+	follower  *repl.Follower // non-nil iff assembled by Follow: read replica
 
 	// clock is the pipeline clock in unix nanoseconds (0 = unset, fall back
 	// to the wall clock). Atomic because ingestion advances it while query
@@ -265,8 +273,61 @@ func OpenWithOptions(dir string, ont *Ontology, cfg Config, opt PersistOptions) 
 	}
 	p := NewPipeline(kg, cfg)
 	p.store = st
+	p.leader = repl.NewLeader(kg.Graph(), st)
 	return p, nil
 }
+
+// Follow assembles a read replica over a leader's replication endpoints: it
+// bootstraps the KG from the leader's newest snapshot, rebuilds the index
+// layer, then tails the leader's WAL so every derived structure — temporal
+// index, miner, trend detector, analytics epoch cache — stays live. The
+// replica serves every read path; writes must go to the leader (the server
+// rejects them with read_only_replica). The replica keeps no local disk
+// state: a restart re-bootstraps. Close stops the tailing loop.
+func Follow(ctx context.Context, leaderURL string, ont *Ontology, cfg Config) (*Pipeline, error) {
+	kg := core.NewKG(ont)
+	f := repl.NewFollower(leaderURL, kg)
+	if err := f.Bootstrap(ctx); err != nil {
+		return nil, err
+	}
+	p := NewPipeline(kg, cfg)
+	p.follower = f
+	// Resolve relative time ("last week") against stream time, not the wall
+	// clock: adopt the newest replicated timestamp now and on every applied
+	// edge batch. The curated sentinel (MaxInt64) and the timeless sentinel
+	// never advance the clock.
+	if ts := p.tindex.Stats().MaxTimestamp; ts > temporal.Timeless && ts != math.MaxInt64 {
+		p.advance(time.Unix(ts, 0))
+	}
+	f.OnApply = func(m graph.Mutation) {
+		if m.Kind != graph.MutAddEdges {
+			return
+		}
+		var latest int64
+		for _, e := range m.Edges {
+			if e.Timestamp > latest && e.Timestamp != math.MaxInt64 {
+				latest = e.Timestamp
+			}
+		}
+		if latest > temporal.Timeless {
+			p.advance(time.Unix(latest, 0))
+		}
+	}
+	f.Start()
+	return p, nil
+}
+
+// WALSource exposes the replication leader serving this pipeline's WAL and
+// snapshots to followers; nil for in-memory (non-durable) pipelines.
+func (p *Pipeline) WALSource() *repl.Leader { return p.leader }
+
+// Follower exposes the replication follower keeping this pipeline
+// converged with a leader; nil unless assembled by Follow.
+func (p *Pipeline) Follower() *repl.Follower { return p.follower }
+
+// ReadOnly reports whether this pipeline is a read replica: its state is
+// owned by a leader and local writes are rejected at the API surface.
+func (p *Pipeline) ReadOnly() bool { return p.follower != nil }
 
 // Durable reports whether the pipeline persists its graph to disk.
 func (p *Pipeline) Durable() bool { return p.store != nil }
@@ -282,9 +343,13 @@ func (p *Pipeline) Checkpoint() error {
 }
 
 // Close flushes and detaches the durable store (a no-op on an in-memory
-// pipeline). Stop ingesting before calling Close; queries may continue
-// against the in-memory graph afterwards, but nothing further is logged.
+// pipeline) and stops a replica's tailing loop. Stop ingesting before
+// calling Close; queries may continue against the in-memory graph
+// afterwards, but nothing further is logged or replicated.
 func (p *Pipeline) Close() error {
+	if p.follower != nil {
+		p.follower.Close()
+	}
 	if p.store == nil {
 		return nil
 	}
