@@ -27,10 +27,13 @@ lint: nouslint
 	fi
 
 # nouslint builds the repo's own analyzer suite and runs it through go vet so
-# test packages are covered and results are build-cached.
+# test packages are covered and results are build-cached, then once more
+# standalone with -json to exercise the in-process fact-propagating driver
+# (the output CI turns into annotations).
 nouslint:
 	$(GO) build -o bin/nouslint ./cmd/nouslint
 	$(GO) vet -vettool=$(CURDIR)/bin/nouslint ./...
+	./bin/nouslint -json ./...
 
 fmt:
 	gofmt -w .

@@ -1,10 +1,10 @@
-// Command nouslint is the multichecker for NOUS's invariant suite: six
+// Command nouslint is the multichecker for NOUS's invariant suite: seven
 // analyzers that mechanically enforce the concurrency and architecture
 // rules the codebase depends on but ordinary tests cannot pin down
 // (deadlock-free shard-lock ordering, mutation-stream emission under held
 // locks, the PageRank cache gate, time-window threading, plan determinism,
-// and symbol-interned graph index keys). See internal/analysis/<rule> for
-// what each rule guards and why.
+// symbol-interned graph index keys, and the zero-copy EdgeScan lifetime
+// contract). See internal/analysis/<rule> for what each rule guards and why.
 //
 // It runs two ways:
 //
@@ -18,17 +18,31 @@
 // stable, and implementing it keeps `go vet` integration (build caching,
 // test packages, per-package export data) for free.
 //
+// Both drivers propagate cross-package facts (internal/analysis/facts.go).
+// Under go vet each module package is analyzed in its own process, facts
+// from direct dependencies arriving as gob-encoded .vetx files named in the
+// config's PackageVetx map and this package's union (its own facts plus its
+// deps', so one hop always suffices) written to VetxOutput. The -V=full
+// version string folds in the analyzers' fact schema fingerprint, so
+// changing a fact type's shape invalidates every cached vetx. Standalone
+// mode analyzes the whole module in one process: packages are scheduled in
+// dependency order against a shared in-memory fact store.
+//
 // Findings are suppressed line-by-line with
 //
 //	//nouslint:allow <rule> -- <reason>
 //
 // on the flagged line or the line above; the reason is mandatory and
-// suppression counts are reported in standalone mode.
+// suppression counts are reported in standalone mode. With -json each
+// finding is printed to stdout as one JSON object per line
+// ({"file","line","col","rule","message"}) followed by a trailing
+// {"suppressed":N} summary, for CI annotation tooling.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -47,6 +61,7 @@ import (
 	"nous/internal/analysis/internedkeys"
 	"nous/internal/analysis/noclock"
 	"nous/internal/analysis/prgate"
+	"nous/internal/analysis/scanescape"
 	"nous/internal/analysis/shardorder"
 	"nous/internal/analysis/windowthread"
 )
@@ -58,6 +73,13 @@ var allAnalyzers = []*analysis.Analyzer{
 	windowthread.Analyzer,
 	noclock.Analyzer,
 	internedkeys.Analyzer,
+	scanescape.Analyzer,
+}
+
+func init() {
+	// Gob needs the concrete fact types registered before any vetx is
+	// encoded or decoded, in every mode (including tests calling run).
+	analysis.RegisterFactTypes(allAnalyzers)
 }
 
 func main() {
@@ -69,6 +91,7 @@ func run(args []string) int {
 	versionFlag := fs.String("V", "", "print version and exit (vet protocol handshake)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol handshake)")
 	printPath := fs.Bool("print-path", false, "print the path of this executable and exit")
+	jsonOut := fs.Bool("json", false, "print findings as one JSON object per line on stdout")
 	enabled := make(map[string]*bool, len(allAnalyzers))
 	for _, a := range allAnalyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -80,9 +103,11 @@ func run(args []string) int {
 	switch {
 	case *versionFlag != "":
 		// cmd/go parses this as "<name> version <version>"; the version
-		// carries a content hash of the binary so vet's result cache
-		// invalidates when the analyzers change.
-		fmt.Printf("nouslint version v1.0.0-%s\n", selfHash())
+		// carries the fact schema fingerprint plus a content hash of the
+		// binary, so vet's result cache — and every cached .vetx fact
+		// file keyed by it — invalidates when an analyzer or the shape
+		// of any fact type changes.
+		fmt.Printf("nouslint version v1.1.0-%s-%s\n", analysis.SchemaFingerprint(allAnalyzers), selfHash())
 		return 0
 	case *flagsFlag:
 		type jsonFlag struct {
@@ -116,12 +141,12 @@ func run(args []string) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return runUnitchecker(analyzers, rest[0])
+		return runUnitchecker(analyzers, rest[0], *jsonOut)
 	}
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(analyzers, rest)
+	return runStandalone(analyzers, rest, *jsonOut)
 }
 
 // selfHash fingerprints the running binary for the vet build cache.
@@ -166,7 +191,7 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string) int {
+func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string, jsonOut bool) int {
 	raw, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nouslint:", err)
@@ -177,17 +202,12 @@ func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "nouslint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The tool computes no cross-package facts, but writing the output file
-	// lets the go command cache this run.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("nouslint: no facts\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "nouslint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		// Dependency package analyzed only for facts; nothing to do.
-		return 0
+	// Every rule's facts concern this module's own declarations, so for
+	// packages outside it (the go command runs the vettool over stdlib
+	// dependencies too) the vetx is an empty fact stream, written without
+	// parsing a single file.
+	if !moduleOwned(&cfg) {
+		return writeVetx(analysis.NewFactStore(), analyzers, cfg.VetxOutput)
 	}
 
 	fset := token.NewFileSet()
@@ -212,14 +232,69 @@ func runUnitchecker(analyzers []*analysis.Analyzer, cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "nouslint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags, _, err := runAnalyzers(analyzers, fset, files, pkg, info)
+
+	// Seed the fact store from the direct dependencies' vetx files. Each
+	// vetx is a self-contained union (a package re-exports its deps'
+	// facts alongside its own), so one hop reaches everything reachable.
+	// A schema mismatch means a vetx from a different build of the tool —
+	// the -V fingerprint handshake should have evicted it, so treat the
+	// file as empty rather than failing the build.
+	store := analysis.NewFactStore()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nouslint: reading facts of %s: %v\n", depPath, err)
+			return 1
+		}
+		if err := analysis.DecodeFacts(data, analyzers, store); err != nil && !errors.Is(err, analysis.ErrSchemaMismatch) {
+			fmt.Fprintf(os.Stderr, "nouslint: decoding facts of %s: %v\n", depPath, err)
+			return 1
+		}
+	}
+
+	findings, suppressed, err := runAnalyzers(analyzers, fset, files, pkg, info, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nouslint:", err)
 		return 1
 	}
-	if len(diags) > 0 {
-		printDiags(fset, diags)
+	if code := writeVetx(store, analyzers, cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		// Dependency package: facts are the only deliverable.
+		return 0
+	}
+	if len(findings) > 0 {
+		printFindings(fset, findings, suppressed, jsonOut)
 		return 2
+	}
+	return 0
+}
+
+// moduleOwned reports whether the configured package belongs to this module
+// (including its test variants, whose ImportPaths extend the package path).
+func moduleOwned(cfg *vetConfig) bool {
+	mod := cfg.ModulePath
+	if mod == "" {
+		mod = "nous"
+	}
+	return cfg.ImportPath == mod || strings.HasPrefix(cfg.ImportPath, mod+"/")
+}
+
+// writeVetx gob-encodes the fact store to the vetx output file the go
+// command asked for. Skipped silently when no output was requested.
+func writeVetx(store *analysis.FactStore, analyzers []*analysis.Analyzer, output string) int {
+	if output == "" {
+		return 0
+	}
+	data, err := analysis.EncodeFacts(store, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint: encoding facts:", err)
+		return 1
+	}
+	if err := os.WriteFile(output, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "nouslint:", err)
+		return 1
 	}
 	return 0
 }
@@ -251,16 +326,20 @@ type listedPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Module     *struct{ Path string }
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
 // runStandalone loads the requested packages (and their export data) through
-// `go list -deps -export` and analyzes every non-dependency package in the
-// main module. Test files are not loaded in this mode; the vet protocol path
-// covers them.
-func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+// `go list -deps -export` and analyzes every module package — dependencies
+// included, scheduled in dependency order against one shared in-memory fact
+// store, so facts flow exactly as they do through vetx files under go vet.
+// Diagnostics are reported only for the packages the patterns named;
+// dependencies pulled in for fact computation stay silent. Test files are
+// not loaded in this mode; the vet protocol path covers them.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string, jsonOut bool) int {
 	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -269,7 +348,8 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		return 1
 	}
 	exports := make(map[string]string)
-	var targets []*listedPackage
+	modPkgs := make(map[string]*listedPackage)
+	var listOrder []string
 	dec := json.NewDecoder(strings.NewReader(string(out)))
 	for {
 		var p listedPackage
@@ -286,10 +366,32 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.Standard && !p.DepOnly && p.Module != nil {
+		if !p.Standard && p.Module != nil {
 			cp := p
-			targets = append(targets, &cp)
+			modPkgs[p.ImportPath] = &cp
+			listOrder = append(listOrder, p.ImportPath)
 		}
+	}
+
+	// Dependency-order schedule over the module packages: a package runs
+	// only after every module package it imports has, so its pass can
+	// import the facts theirs exported.
+	var order []string
+	visited := make(map[string]bool, len(modPkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := modPkgs[path]
+		if !ok || visited[path] {
+			return
+		}
+		visited[path] = true
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		order = append(order, path)
+	}
+	for _, path := range listOrder {
+		visit(path)
 	}
 
 	fset := token.NewFileSet()
@@ -302,9 +404,11 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 	})
 	imp := &mappedImporter{underlying: gc}
 
+	store := analysis.NewFactStore()
 	exit := 0
 	totalSuppressed := 0
-	for _, p := range targets {
+	for _, path := range order {
+		p := modPkgs[path]
 		var names []string
 		names = append(names, p.GoFiles...)
 		names = append(names, p.CgoFiles...)
@@ -321,18 +425,23 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
 			fmt.Fprintf(os.Stderr, "nouslint: %s: %v\n", p.ImportPath, err)
 			return 1
 		}
-		diags, suppressed, err := runAnalyzers(analyzers, fset, files, pkg, info)
+		findings, suppressed, err := runAnalyzers(analyzers, fset, files, pkg, info, store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nouslint:", err)
 			return 1
 		}
+		if p.DepOnly {
+			continue // analyzed for facts alone
+		}
 		totalSuppressed += suppressed
-		if len(diags) > 0 {
-			printDiags(fset, diags)
+		if len(findings) > 0 {
+			printFindings(fset, findings, 0, jsonOut)
 			exit = 2
 		}
 	}
-	if totalSuppressed > 0 {
+	if jsonOut {
+		fmt.Printf("{\"suppressed\":%d}\n", totalSuppressed)
+	} else if totalSuppressed > 0 {
 		fmt.Fprintf(os.Stderr, "nouslint: %d finding(s) suppressed by //nouslint:allow\n", totalSuppressed)
 	}
 	return exit
@@ -365,26 +474,53 @@ func typecheck(fset *token.FileSet, path, goVersion string, files []*ast.File, i
 	return pkg, info, nil
 }
 
-func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, int, error) {
-	var diags []analysis.Diagnostic
+// finding is one diagnostic tagged with the rule that produced it.
+type finding struct {
+	pos  token.Pos
+	rule string
+	msg  string
+}
+
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *analysis.FactStore) ([]finding, int, error) {
+	var findings []finding
 	suppressed := 0
 	for _, a := range analyzers {
-		d, s, err := analysis.Run(a, fset, files, pkg, info)
+		d, s, err := analysis.RunFacts(a, fset, files, pkg, info, store)
 		if err != nil {
 			return nil, 0, err
 		}
-		for i := range d {
-			d[i].Message = d[i].Message + " (" + a.Name + ")"
+		for _, diag := range d {
+			findings = append(findings, finding{pos: diag.Pos, rule: a.Name, msg: diag.Message})
 		}
-		diags = append(diags, d...)
 		suppressed += s
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, suppressed, nil
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	return findings, suppressed, nil
 }
 
-func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+// jsonFinding is the -json wire form of one finding: one object per line on
+// stdout, ready for GitHub annotation tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func printFindings(fset *token.FileSet, findings []finding, suppressed int, jsonOut bool) {
+	if !jsonOut {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(f.pos), f.msg, f.rule)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		pos := fset.Position(f.pos)
+		enc.Encode(jsonFinding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Rule: f.rule, Message: f.msg})
+	}
+	if suppressed > 0 {
+		fmt.Printf("{\"suppressed\":%d}\n", suppressed)
 	}
 }

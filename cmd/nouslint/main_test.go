@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nous/internal/analysis"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// The -V handshake is the vet cache key: it must fold in the fact schema
+// fingerprint so a changed fact shape evicts every cached vetx.
+func TestVersionIncludesSchemaFingerprint(t *testing.T) {
+	out := capture(t, func() {
+		if code := run([]string{"-V=full"}); code != 0 {
+			t.Errorf("run(-V=full) = %d, want 0", code)
+		}
+	})
+	if !strings.HasPrefix(out, "nouslint version v1.1.0-") {
+		t.Errorf("version output %q lacks the name/version prefix cmd/go parses", out)
+	}
+	if fp := analysis.SchemaFingerprint(allAnalyzers); !strings.Contains(out, fp) {
+		t.Errorf("version output %q does not embed schema fingerprint %s", out, fp)
+	}
+}
+
+func TestModuleOwned(t *testing.T) {
+	tests := []struct {
+		importPath, modulePath string
+		want                   bool
+	}{
+		{"nous", "nous", true},
+		{"nous/internal/graph", "nous", true},
+		{"nous/internal/graph [nous/internal/graph.test]", "nous", true},
+		{"nous/internal/graph", "", true}, // older go versions omit ModulePath
+		{"fmt", "nous", false},
+		{"nousuffix/pkg", "nous", false},
+		{"golang.org/x/tools", "nous", false},
+	}
+	for _, tt := range tests {
+		cfg := &vetConfig{ImportPath: tt.importPath, ModulePath: tt.modulePath}
+		if got := moduleOwned(cfg); got != tt.want {
+			t.Errorf("moduleOwned(%q in module %q) = %v, want %v", tt.importPath, tt.modulePath, got, tt.want)
+		}
+	}
+}
+
+// writeVetx output must round-trip through DecodeFacts — it is the file the
+// go command hands to every dependent package's analysis.
+func TestWriteVetxRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pkg.vetx")
+	if code := writeVetx(analysis.NewFactStore(), allAnalyzers, out); code != 0 {
+		t.Fatalf("writeVetx = %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.DecodeFacts(data, allAnalyzers, analysis.NewFactStore()); err != nil {
+		t.Fatalf("DecodeFacts(writeVetx output): %v", err)
+	}
+}

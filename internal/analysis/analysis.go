@@ -23,16 +23,25 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 // Analyzer describes one nouslint rule: a name (also the rule token accepted
-// by //nouslint:allow), documentation, and the function that runs it.
+// by //nouslint:allow), documentation, the function that runs it, and the
+// fact types it exchanges across package boundaries.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) (any, error)
+
+	// FactTypes declares the fact types this analyzer may export or
+	// import, each as a pointer to the zero struct. Exporting an
+	// undeclared fact type panics; declared types are gob-registered by
+	// RegisterFactTypes and folded into the vetx schema fingerprint.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, positioned inside Pass.Fset.
@@ -57,8 +66,119 @@ type Pass struct {
 	// directive during this pass.
 	Suppressed int
 
-	allows map[string][]*allowDirective // file name -> directives
-	sink   func(Diagnostic)
+	allows    map[string][]*allowDirective // file name -> directives
+	sink      func(Diagnostic)
+	facts     *FactStore
+	pkgByPath map[string]*types.Package // lazy transitive-import index
+}
+
+// lookupPkg resolves a package path to a *types.Package visible from this
+// pass: the pass's own package or anything in its transitive imports.
+func (p *Pass) lookupPkg(path string) *types.Package {
+	if p.pkgByPath == nil {
+		p.pkgByPath = make(map[string]*types.Package)
+		var walk func(pkg *types.Package)
+		walk = func(pkg *types.Package) {
+			if pkg == nil || p.pkgByPath[pkg.Path()] != nil {
+				return
+			}
+			p.pkgByPath[pkg.Path()] = pkg
+			for _, imp := range pkg.Imports() {
+				walk(imp)
+			}
+		}
+		walk(p.Pkg)
+	}
+	return p.pkgByPath[path]
+}
+
+// checkFactType panics unless the analyzer declared fact's type in FactTypes.
+// Facts are part of an analyzer's wire schema; an undeclared type would be
+// silently dropped by serialization, so using one is a programming error.
+func (p *Pass) checkFactType(fact Fact) {
+	if err := validFact(fact); err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+	for _, f := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
+}
+
+// ExportObjectFact records fact about obj, which must be a package-level
+// object (or method of a package-level type) of the package under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.checkFactType(fact)
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact: object %v is not from package %v", p.Analyzer.Name, obj, p.Pkg))
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		panic(fmt.Sprintf("%s: ExportObjectFact: no object path for %v (facts attach to package-level objects and methods only)", p.Analyzer.Name, obj))
+	}
+	p.facts.put(p.Analyzer.Name, p.Pkg.Path(), path, fact)
+}
+
+// ImportObjectFact copies into fact the fact of fact's type previously
+// exported about obj — by this pass, an earlier pass in the same run, or a
+// dependency's vetx file — and reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	p.checkFactType(fact)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), path, fact)
+}
+
+// ExportPackageFact records fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.checkFactType(fact)
+	p.facts.put(p.Analyzer.Name, p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies into fact the package fact of fact's type
+// recorded about pkg, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	p.checkFactType(fact)
+	if pkg == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkg.Path(), "", fact)
+}
+
+// AllObjectFacts returns every object fact visible to this analyzer, sorted
+// by (package, object, fact type). Object is resolved where the current
+// pass's import graph can see the package.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, f := range p.facts.facts {
+		if k.analyzer != p.Analyzer.Name || k.obj == "" {
+			continue
+		}
+		out = append(out, ObjectFact{
+			PkgPath: k.pkg,
+			ObjPath: k.obj,
+			Object:  resolveObject(p.lookupPkg(k.pkg), k.obj),
+			Fact:    f,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.ObjPath != b.ObjPath {
+			return a.ObjPath < b.ObjPath
+		}
+		return gobName(a.Fact) < gobName(b.Fact)
+	})
+	return out
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -80,8 +200,13 @@ var allowRe = regexp.MustCompile(`^//nouslint:allow\s+([a-z, ]+?)\s*(?:--\s*(.*)
 // NewPass builds a Pass for one package, scanning its files for
 // //nouslint:allow directives and wiring Report through the suppression
 // filter into sink. A directive naming the pass's analyzer with an empty
-// reason is reported immediately as malformed.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+// reason is reported immediately as malformed. Facts are exchanged through
+// store; a nil store gives the pass a private, empty one (facts then flow
+// within the pass but go nowhere).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic), store *FactStore) *Pass {
+	if store == nil {
+		store = NewFactStore()
+	}
 	p := &Pass{
 		Analyzer:  a,
 		Fset:      fset,
@@ -90,6 +215,7 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		TypesInfo: info,
 		allows:    make(map[string][]*allowDirective),
 		sink:      sink,
+		facts:     store,
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -153,10 +279,17 @@ func (p *Pass) suppress(d Diagnostic) bool {
 	return false
 }
 
-// Run executes one analyzer over one package and returns the surviving
-// diagnostics plus the count of allow-suppressed ones.
+// Run executes one analyzer over one package with a private fact store and
+// returns the surviving diagnostics plus the count of allow-suppressed ones.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (diags []Diagnostic, suppressed int, err error) {
-	pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) { diags = append(diags, d) })
+	return RunFacts(a, fset, files, pkg, info, nil)
+}
+
+// RunFacts is Run against a caller-owned fact store: facts imported by the
+// analyzer come from store, and facts it exports land there, so drivers that
+// analyze packages in dependency order get cross-package propagation.
+func RunFacts(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *FactStore) (diags []Diagnostic, suppressed int, err error) {
+	pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) { diags = append(diags, d) }, store)
 	if _, err := a.Run(pass); err != nil {
 		return nil, 0, fmt.Errorf("%s: %w", a.Name, err)
 	}

@@ -18,6 +18,23 @@
 // Imports inside fixtures resolve against testdata/src first, so a fixture
 // can model "nous/internal/graph" with a ten-line fake; anything else is
 // type-checked from GOROOT source via the stdlib source importer.
+//
+// Fixtures are multi-package: every fixture package a named package
+// (transitively) imports is itself analyzed, in dependency order, against a
+// shared fact store — so facts exported while analyzing a dependency are
+// importable when its dependents are analyzed, exactly as the real drivers
+// propagate them. Only the packages named in the Run call have their
+// diagnostics and facts checked; dependencies pulled in by imports are
+// analyzed for their fact side effects alone.
+//
+// Exported object facts are asserted with
+//
+//	// wantfact Name:"pattern"
+//	// wantfact Type.Method:"pattern"
+//
+// anywhere in the fixture package: the named object must carry a fact whose
+// string form matches the pattern. Every wantfact must be satisfied or the
+// test fails.
 package analysistest
 
 import (
@@ -37,23 +54,39 @@ import (
 	"nous/internal/analysis"
 )
 
-// Run loads each fixture package below testdata/src, runs a over it, and
-// reports mismatches between diagnostics and // want expectations on t.
+// Run loads each fixture package below testdata/src, analyzes every loaded
+// package (named ones and their fixture dependencies) in dependency order
+// against one shared fact store, and reports mismatches between diagnostics
+// and // want expectations — and between exported facts and // wantfact
+// expectations — for the named packages on t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	ld := newLoader(testdata)
 	for _, path := range pkgpaths {
-		pkg, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			t.Errorf("loading fixture %s: %v", path, err)
-			continue
+			return
 		}
-		diags, _, err := analysis.Run(a, ld.fset, pkg.files, pkg.types, pkg.info)
+	}
+
+	// ld.order is completion order: a package finishes loading only after
+	// its fixture imports have, so it is a topological order of the
+	// dependency graph — the order facts must flow in.
+	store := analysis.NewFactStore()
+	diagsByPkg := make(map[string][]analysis.Diagnostic, len(ld.order))
+	for _, path := range ld.order {
+		pkg := ld.pkgs[path]
+		diags, _, err := analysis.RunFacts(a, ld.fset, pkg.files, pkg.types, pkg.info, store)
 		if err != nil {
 			t.Errorf("%s: running %s: %v", path, a.Name, err)
-			continue
+			return
 		}
-		check(t, ld.fset, path, pkg.files, diags)
+		diagsByPkg[path] = diags
+	}
+	for _, path := range pkgpaths {
+		pkg := ld.pkgs[path]
+		check(t, ld.fset, path, pkg.files, diagsByPkg[path])
+		checkFacts(t, ld.fset, pkg.files, store.ObjectFacts(a.Name, path))
 	}
 }
 
@@ -67,6 +100,49 @@ type want struct {
 
 var wantRe = regexp.MustCompile("// want (.*)$")
 var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+var wantFactRe = regexp.MustCompile(`// wantfact ([\w.]+):"((?:[^"\\]|\\.)*)"`)
+
+// checkFacts verifies every // wantfact comment in the package against the
+// object facts the analyzer exported for it.
+func checkFacts(t *testing.T, fset *token.FileSet, files []*ast.File, facts []analysis.ObjectFact) {
+	t.Helper()
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantFactRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					objPath, pat := m[1], m[2]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad // wantfact pattern %q: %v", pos, pat, err)
+						continue
+					}
+					found := false
+					for _, of := range facts {
+						if of.ObjPath == objPath && re.MatchString(fmt.Sprint(of.Fact)) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("%s: expected fact on %s matching %q; exported facts: %v", pos, objPath, pat, factsOn(facts, objPath))
+					}
+				}
+			}
+		}
+	}
+}
+
+// factsOn renders the facts exported for one object, for failure messages.
+func factsOn(facts []analysis.ObjectFact, objPath string) []string {
+	var out []string
+	for _, of := range facts {
+		if of.ObjPath == objPath {
+			out = append(out, fmt.Sprint(of.Fact))
+		}
+	}
+	return out
+}
 
 func check(t *testing.T, fset *token.FileSet, pkgpath string, files []*ast.File, diags []analysis.Diagnostic) {
 	t.Helper()
@@ -130,6 +206,7 @@ type loader struct {
 	root   string // testdata directory
 	fset   *token.FileSet
 	pkgs   map[string]*fixturePkg
+	order  []string // load-completion order == dependency order
 	stdlib types.Importer
 }
 
@@ -184,6 +261,7 @@ func (ld *loader) load(path string) (*fixturePkg, error) {
 	}
 	p := &fixturePkg{files: files, types: tpkg, info: info}
 	ld.pkgs[path] = p
+	ld.order = append(ld.order, path)
 	return p, nil
 }
 

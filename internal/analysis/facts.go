@@ -1,0 +1,298 @@
+// Cross-package fact propagation. A Fact is a serializable claim an analyzer
+// proves about a package-level object (or a whole package) while analyzing
+// the package that declares it, and consumes later — possibly in a different
+// process — while analyzing a package that imports it. Facts are what make
+// the suite *modular*: windowthread can know that a callee in another package
+// drops its window, and scanescape can know that a callee stashes its
+// *graph.EdgeScan parameter, without ever seeing that callee's source.
+//
+// Facts travel two ways:
+//
+//   - in-process, through a shared FactStore (the standalone driver and
+//     analysistest analyze whole dependency slices in one process, in
+//     dependency order);
+//   - on disk, gob-encoded into .vetx files (the go vet -vettool unit-checker
+//     protocol analyzes one package per process; the go command hands each
+//     invocation its dependencies' vetx files and a path to write its own).
+//
+// Identity is textual, not pointer-based: a fact is keyed by (analyzer,
+// package path, object path, fact type), where the object path is "Name" for
+// a package-level object and "Type.Method" for a method. The same function is
+// therefore found whether its package was type-checked from source (the
+// declaring pass) or loaded from gc export data (an importing pass) — the two
+// yield distinct *types.Package values, so object identity cannot be the key.
+// The flip side is a deliberate restriction: facts attach only to
+// package-level objects and methods of package-level named types, which is
+// exactly what the analyzers need (functions and methods).
+package analysis
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is the marker interface for analyzer facts. Implementations must be
+// pointers to gob-encodable structs and should implement fmt.Stringer — the
+// string form is what // wantfact fixture assertions match against.
+type Fact interface{ AFact() }
+
+// ObjectPath names a package-level object, or a method of a package-level
+// named type, relative to its package: "Name" or "Type.Method". It reports
+// false for objects facts cannot attach to (locals, fields, builtins,
+// interface methods of unnamed types).
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// resolveObject is ObjectPath's inverse against a concrete package: it finds
+// the named object, descending through one "Type.Method" level. Unexported
+// objects of packages loaded from gc export data are not present in the
+// scope, so resolution can fail for facts that could never be consumed
+// cross-package anyway.
+func resolveObject(pkg *types.Package, path string) types.Object {
+	if pkg == nil {
+		return nil
+	}
+	tname, mname, isMethod := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(tname)
+	if !isMethod || obj == nil {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == mname {
+			return m
+		}
+	}
+	return nil
+}
+
+// factKey identifies one stored fact.
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string // "" for package facts
+	typ      reflect.Type
+}
+
+// ObjectFact pairs a fact with the object it describes, as reported by
+// AllObjectFacts. Object is resolved when the pass can see the package (its
+// own, or a transitive import); the textual key is always present.
+type ObjectFact struct {
+	PkgPath string
+	ObjPath string
+	Object  types.Object // nil when unresolvable from the current pass
+	Fact    Fact
+}
+
+// FactStore accumulates facts across passes. Drivers share one store per
+// analysis run; the unit-checker driver seeds it from dependency vetx files
+// and serializes the union back out.
+type FactStore struct {
+	facts map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{facts: make(map[factKey]Fact)} }
+
+func validFact(f Fact) error {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("fact %T must be a pointer to a struct", f)
+	}
+	return nil
+}
+
+func (s *FactStore) put(analyzer, pkg, obj string, f Fact) {
+	s.facts[factKey{analyzer, pkg, obj, reflect.TypeOf(f)}] = f
+}
+
+// get copies a stored fact into ptr (which selects the fact type) and reports
+// whether one was found.
+func (s *FactStore) get(analyzer, pkg, obj string, ptr Fact) bool {
+	f, ok := s.facts[factKey{analyzer, pkg, obj, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ObjectFacts returns the object facts recorded for one analyzer about one
+// package, sorted by object path then fact type. Objects are not resolved —
+// callers outside a Pass (fixture checkers, debug dumps) work textually.
+func (s *FactStore) ObjectFacts(analyzer, pkgPath string) []ObjectFact {
+	var out []ObjectFact
+	for k, f := range s.facts {
+		if k.analyzer == analyzer && k.pkg == pkgPath && k.obj != "" {
+			out = append(out, ObjectFact{PkgPath: k.pkg, ObjPath: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ObjPath != out[j].ObjPath {
+			return out[i].ObjPath < out[j].ObjPath
+		}
+		return gobName(out[i].Fact) < gobName(out[j].Fact)
+	})
+	return out
+}
+
+// --- vetx serialization -----------------------------------------------------
+
+// vetxMagic versions the on-disk container; bump on any wire-format change.
+const vetxMagic = "nousvetx1 "
+
+// ErrSchemaMismatch reports a vetx file written by a nouslint build with a
+// different fact schema. Drivers treat it as a cache miss (no facts), never
+// as corruption: the go command re-runs dependencies' analysis when the tool
+// version changes, so a mismatched file is simply stale.
+var ErrSchemaMismatch = errors.New("vetx fact schema mismatch")
+
+// wireFact is the gob wire form of one fact.
+type wireFact struct {
+	Analyzer string
+	PkgPath  string
+	ObjPath  string // "" = package fact
+	Fact     Fact
+}
+
+// SchemaFingerprint hashes the fact schema of a set of analyzers: every
+// declared fact type's registered name plus its field names and types. Two
+// nouslint builds interoperate on vetx files iff their fingerprints match;
+// the fingerprint is also folded into the -V=full version string so the go
+// command's result cache keys on it.
+func SchemaFingerprint(analyzers []*Analyzer) string {
+	var lines []string
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f).Elem()
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s\x00%s", a.Name, gobName(f))
+			for i := 0; i < t.NumField(); i++ {
+				fmt.Fprintf(&b, "\x00%s %s", t.Field(i).Name, t.Field(i).Type.String())
+			}
+			lines = append(lines, b.String())
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return fmt.Sprintf("%x", h[:8])
+}
+
+// gobName is the stable name a fact type is gob-registered under.
+func gobName(f Fact) string {
+	return "nouslint." + reflect.TypeOf(f).Elem().Name()
+}
+
+// RegisterFactTypes registers every declared fact type with gob under its
+// stable name. Idempotent; drivers and tests call it once up front.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			if err := validFact(f); err != nil {
+				panic(fmt.Sprintf("analyzer %s: %v", a.Name, err))
+			}
+			gob.RegisterName(gobName(f), f)
+		}
+	}
+}
+
+// EncodeFacts serializes every fact in the store whose analyzer and type are
+// declared by analyzers, producing a self-contained vetx payload (imported
+// dependency facts are re-exported, so consumers only ever need their direct
+// dependencies' files).
+func EncodeFacts(s *FactStore, analyzers []*Analyzer) ([]byte, error) {
+	declared := make(map[string]map[reflect.Type]bool)
+	for _, a := range analyzers {
+		m := make(map[reflect.Type]bool)
+		for _, f := range a.FactTypes {
+			m[reflect.TypeOf(f)] = true
+		}
+		declared[a.Name] = m
+	}
+	var facts []wireFact
+	for k, f := range s.facts {
+		if m, ok := declared[k.analyzer]; ok && m[k.typ] {
+			facts = append(facts, wireFact{Analyzer: k.analyzer, PkgPath: k.pkg, ObjPath: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.ObjPath != b.ObjPath {
+			return a.ObjPath < b.ObjPath
+		}
+		return gobName(a.Fact) < gobName(b.Fact)
+	})
+	var buf bytes.Buffer
+	buf.WriteString(vetxMagic)
+	buf.WriteString(SchemaFingerprint(analyzers))
+	buf.WriteByte('\n')
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges a vetx payload into the store. A payload written under a
+// different fact schema (or an unparseable one — e.g. a fact type this build
+// does not know) returns ErrSchemaMismatch; callers treat that as "no facts",
+// not as an error worth failing the run over.
+func DecodeFacts(data []byte, analyzers []*Analyzer, s *FactStore) error {
+	head, body, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok || !bytes.HasPrefix(head, []byte(vetxMagic)) {
+		return ErrSchemaMismatch
+	}
+	if string(head[len(vetxMagic):]) != SchemaFingerprint(analyzers) {
+		return ErrSchemaMismatch
+	}
+	var facts []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&facts); err != nil {
+		return fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
+	}
+	for _, wf := range facts {
+		if wf.Fact == nil {
+			continue
+		}
+		s.put(wf.Analyzer, wf.PkgPath, wf.ObjPath, wf.Fact)
+	}
+	return nil
+}

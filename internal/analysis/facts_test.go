@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testFact is the fact type the framework tests exchange.
+type testFact struct{ Note string }
+
+func (*testFact) AFact()           {}
+func (f *testFact) String() string { return "testFact(" + f.Note + ")" }
+
+// otherFact exists so schema changes between "builds" can be simulated.
+type otherFact struct{ N int }
+
+func (*otherFact) AFact()         {}
+func (*otherFact) String() string { return "otherFact" }
+
+func checkPkg(t *testing.T, path, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+const factSrc = `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func F() {}
+`
+
+func TestObjectPathRoundTrip(t *testing.T) {
+	_, _, pkg, _ := checkPkg(t, "p", factSrc)
+	for _, want := range []string{"F", "T", "T.M"} {
+		obj := resolveObject(pkg, want)
+		if obj == nil {
+			t.Fatalf("resolveObject(%q) = nil", want)
+		}
+		got, ok := ObjectPath(obj)
+		if !ok || got != want {
+			t.Errorf("ObjectPath(%v) = %q, %v; want %q", obj, got, ok, want)
+		}
+	}
+}
+
+func TestFactGobRoundTrip(t *testing.T) {
+	az := &Analyzer{
+		Name:      "factprobe",
+		Doc:       "test analyzer exchanging testFacts",
+		FactTypes: []Fact{(*testFact)(nil), (*otherFact)(nil)},
+		Run:       func(*Pass) (any, error) { return nil, nil },
+	}
+	RegisterFactTypes([]*Analyzer{az})
+
+	fset, files, pkg, info := checkPkg(t, "dep", factSrc)
+	store := NewFactStore()
+	pass := NewPass(az, fset, files, pkg, info, func(Diagnostic) {}, store)
+	pass.ExportObjectFact(pkg.Scope().Lookup("F"), &testFact{Note: "exported-on-F"})
+	pass.ExportObjectFact(resolveObject(pkg, "T.M"), &testFact{Note: "exported-on-T.M"})
+	pass.ExportPackageFact(&otherFact{N: 7})
+
+	data, err := EncodeFacts(store, []*Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store — a different process in vetx terms — sees the same
+	// facts after decoding.
+	store2 := NewFactStore()
+	if err := DecodeFacts(data, []*Analyzer{az}, store2); err != nil {
+		t.Fatal(err)
+	}
+	pass2 := NewPass(az, fset, files, pkg, info, func(Diagnostic) {}, store2)
+	var tf testFact
+	if !pass2.ImportObjectFact(pkg.Scope().Lookup("F"), &tf) || tf.Note != "exported-on-F" {
+		t.Errorf("ImportObjectFact(F) = %+v, want exported-on-F", tf)
+	}
+	if !pass2.ImportObjectFact(resolveObject(pkg, "T.M"), &tf) || tf.Note != "exported-on-T.M" {
+		t.Errorf("ImportObjectFact(T.M) = %+v, want exported-on-T.M", tf)
+	}
+	var of otherFact
+	if !pass2.ImportPackageFact(pkg, &of) || of.N != 7 {
+		t.Errorf("ImportPackageFact = %+v, want N=7", of)
+	}
+	if all := pass2.AllObjectFacts(); len(all) != 2 {
+		t.Errorf("AllObjectFacts = %v, want 2 entries", all)
+	} else {
+		if all[0].ObjPath != "F" || all[1].ObjPath != "T.M" {
+			t.Errorf("AllObjectFacts order = %q, %q; want F, T.M", all[0].ObjPath, all[1].ObjPath)
+		}
+		if all[0].Object == nil || all[1].Object == nil {
+			t.Errorf("AllObjectFacts objects unresolved: %v", all)
+		}
+	}
+}
+
+func TestForeignSchemaVetxIsCacheMiss(t *testing.T) {
+	// "This build" and "a different nouslint build" disagree on the fact
+	// schema: same analyzer name, different fact type shape.
+	writer := &Analyzer{Name: "factprobe", FactTypes: []Fact{(*testFact)(nil)}}
+	reader := &Analyzer{Name: "factprobe", FactTypes: []Fact{(*otherFact)(nil)}}
+	RegisterFactTypes([]*Analyzer{writer, reader})
+
+	store := NewFactStore()
+	store.put("factprobe", "dep", "F", &testFact{Note: "x"})
+	data, err := EncodeFacts(store, []*Analyzer{writer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	into := NewFactStore()
+	if err := DecodeFacts(data, []*Analyzer{reader}, into); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("DecodeFacts with foreign schema: err = %v, want ErrSchemaMismatch", err)
+	}
+	if len(into.facts) != 0 {
+		t.Errorf("store after mismatched decode has %d facts, want 0", len(into.facts))
+	}
+
+	// Garbage and truncated payloads are mismatches too, never panics.
+	for _, bad := range [][]byte{nil, []byte("not a vetx"), data[:len(vetxMagic)+3]} {
+		if err := DecodeFacts(bad, []*Analyzer{reader}, into); err == nil {
+			t.Errorf("DecodeFacts(%q) = nil error, want mismatch", bad)
+		}
+	}
+}
+
+func TestUndeclaredFactTypeRejected(t *testing.T) {
+	az := &Analyzer{Name: "nofacts", Run: func(*Pass) (any, error) { return nil, nil }}
+	fset, files, pkg, info := checkPkg(t, "q", factSrc)
+	pass := NewPass(az, fset, files, pkg, info, func(Diagnostic) {}, nil)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "not declared in FactTypes") {
+			t.Errorf("ExportObjectFact with undeclared fact type: recover = %v, want FactTypes panic", r)
+		}
+	}()
+	pass.ExportObjectFact(pkg.Scope().Lookup("F"), &testFact{Note: "boom"})
+}
+
+func TestSchemaFingerprintSensitivity(t *testing.T) {
+	a := &Analyzer{Name: "a", FactTypes: []Fact{(*testFact)(nil)}}
+	b := &Analyzer{Name: "a", FactTypes: []Fact{(*otherFact)(nil)}}
+	c := &Analyzer{Name: "c", FactTypes: []Fact{(*testFact)(nil)}}
+	if SchemaFingerprint([]*Analyzer{a}) == SchemaFingerprint([]*Analyzer{b}) {
+		t.Error("fingerprint ignores fact type shape")
+	}
+	if SchemaFingerprint([]*Analyzer{a}) == SchemaFingerprint([]*Analyzer{c}) {
+		t.Error("fingerprint ignores analyzer name")
+	}
+	if SchemaFingerprint([]*Analyzer{a, c}) != SchemaFingerprint([]*Analyzer{c, a}) {
+		t.Error("fingerprint depends on analyzer order")
+	}
+}

@@ -1,0 +1,18 @@
+package scanescape_test
+
+import (
+	"testing"
+
+	"nous/internal/analysis/analysistest"
+	"nous/internal/analysis/scanescape"
+)
+
+func TestScanEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", scanescape.Analyzer,
+		"nous/internal/analytics",
+		"nous/internal/pathsearch",
+		"nous/internal/badscan",
+		"nous/internal/stash",
+		"nous/internal/usestash",
+	)
+}

@@ -1,0 +1,39 @@
+// Fixture modeled on internal/graph/pregel.go's countKeptOutEdges and
+// gatherContributions: the real PageRank hot path reads fields out of the
+// view into local accumulators and must stay clean.
+package analytics
+
+import "nous/internal/graph"
+
+func countKeptOutEdges(g *graph.Graph, keep func(*graph.EdgeScan) bool) map[graph.VertexID]float64 {
+	outdeg := make(map[graph.VertexID]float64)
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		if keep == nil || keep(e) {
+			outdeg[e.Src]++
+		}
+		return true
+	})
+	return outdeg
+}
+
+func gatherContributions(g *graph.Graph, ranks, outdeg map[graph.VertexID]float64) map[graph.VertexID]float64 {
+	contrib := make(map[graph.VertexID]float64, len(ranks))
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		if d := outdeg[e.Src]; d > 0 {
+			contrib[e.Dst] += ranks[e.Src] / d
+		}
+		return true
+	})
+	return contrib
+}
+
+// materialized uses the sanctioned escape hatch: an owned copy may go
+// anywhere.
+func materialized(g *graph.Graph) []graph.Edge {
+	var out []graph.Edge
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		out = append(out, e.Materialize())
+		return true
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+// Fixture exercising every escape mode the rule flags, one per function.
+package badscan
+
+import "nous/internal/graph"
+
+var global *graph.EdgeScan
+
+var lastCopy graph.EdgeScan
+
+type holder struct{ last *graph.EdgeScan }
+
+type wrap struct{ view *graph.EdgeScan }
+
+func fieldStore(g *graph.Graph, h *holder) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		h.last = e // want `stored in h\.last`
+		return true
+	})
+}
+
+func globalStore(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		global = e // want `assigned to package-level variable global`
+		return true
+	})
+}
+
+func derefCopyStore(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		lastCopy = *e // want `assigned to package-level variable lastCopy`
+		return true
+	})
+}
+
+func capturedStore(g *graph.Graph) *graph.EdgeScan {
+	var out *graph.EdgeScan
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		out = e // want `captured from outside the callback`
+		return false
+	})
+	return out
+}
+
+func aliasLaundering(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		alias := e
+		global = alias // want `assigned to package-level variable global`
+		return true
+	})
+}
+
+func channelSend(g *graph.Graph, ch chan *graph.EdgeScan) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		ch <- e // want `sent on a channel`
+		return true
+	})
+}
+
+func sliceAppend(g *graph.Graph) {
+	var views []*graph.EdgeScan
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		views = append(views, e) // want `appended to a slice`
+		return true
+	})
+	_ = views
+}
+
+func mapStore(g *graph.Graph, byID map[graph.EdgeID]*graph.EdgeScan) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		byID[e.ID] = e // want `stored into element`
+		return true
+	})
+}
+
+func goroutineCapture(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		go func() { _ = e.ID }() // want `captured by a goroutine`
+		return true
+	})
+}
+
+func closureCapture(g *graph.Graph) func() graph.EdgeID {
+	var f func() graph.EdgeID
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		f = func() graph.EdgeID { return e.ID } // want `captured by a closure`
+		return false
+	})
+	return f
+}
+
+func compositeCapture(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		w := wrap{view: e} // want `stored in a composite literal`
+		_ = w
+		return true
+	})
+}
+
+// Identity returns its parameter: not flagged here (it never sees a live
+// view by itself) but marked with the retainsScanArg fact, so callbacks
+// feeding it views are flagged at the call site.
+func Identity(e *graph.EdgeScan) *graph.EdgeScan { return e }
+
+// wantfact Identity:"retainsScanArg"
+
+func returnViaHelper(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		global = Identity(e) // want `passed to Identity, which retains`
+		return true
+	})
+}
+
+// Safe patterns that must stay clean: field reads, discards, local aliases
+// that never leave, immediately-invoked and deferred closures.
+func cleanPatterns(g *graph.Graph) int64 {
+	var sum int64
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		_ = e
+		alias := e
+		sum += alias.Timestamp
+		func() { sum += e.Timestamp }()
+		defer func() { _ = e.ID }()
+		return true
+	})
+	return sum
+}
+
+// Suppression still works, reason mandatory.
+func waived(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		//nouslint:allow scanescape -- test fixture proving suppression applies
+		global = e
+		return true
+	})
+}

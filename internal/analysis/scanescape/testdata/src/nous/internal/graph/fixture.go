@@ -1,0 +1,35 @@
+// Fixture graph package: the EdgeScan view type and the scan API shape the
+// rule guards. Materialize is the sanctioned escape hatch.
+package graph
+
+type VertexID uint64
+
+type EdgeID uint64
+
+// EdgeScan models the zero-copy slab view: reused per iteration, valid only
+// inside the callback.
+type EdgeScan struct {
+	ID        EdgeID
+	Src, Dst  VertexID
+	Weight    float64
+	Timestamp int64
+}
+
+// Edge is the owned, materialized form.
+type Edge struct {
+	ID        EdgeID
+	Src, Dst  VertexID
+	Weight    float64
+	Timestamp int64
+}
+
+// Materialize copies the view into an owned Edge.
+func (e *EdgeScan) Materialize() Edge {
+	return Edge{ID: e.ID, Src: e.Src, Dst: e.Dst, Weight: e.Weight, Timestamp: e.Timestamp}
+}
+
+type Graph struct{}
+
+func (g *Graph) ForEachOutScan(id VertexID, fn func(*EdgeScan) bool)      {}
+func (g *Graph) ForEachIncidentScan(id VertexID, fn func(*EdgeScan) bool) {}
+func (g *Graph) ScanEdges(fn func(*EdgeScan) bool)                        {}

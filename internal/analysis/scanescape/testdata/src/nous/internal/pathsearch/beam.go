@@ -1,0 +1,35 @@
+// Fixture modeled on internal/pathsearch's beam expansion: copying scalar
+// fields into a compact per-hop record and appending THAT is the intended
+// zero-copy pattern and must stay clean.
+package pathsearch
+
+import "nous/internal/graph"
+
+type pathEdge struct {
+	id       graph.EdgeID
+	src, dst graph.VertexID
+}
+
+func expand(g *graph.Graph, from graph.VertexID) []pathEdge {
+	var edgeBuf []pathEdge
+	g.ForEachIncidentScan(from, func(e *graph.EdgeScan) bool {
+		edgeBuf = append(edgeBuf, pathEdge{id: e.ID, src: e.Src, dst: e.Dst})
+		return true
+	})
+	return edgeBuf
+}
+
+// filtered shows a field-reading predicate call: passing the view to a
+// callee that does not retain it is fine.
+func filtered(g *graph.Graph, from graph.VertexID, minTS int64) int {
+	n := 0
+	g.ForEachOutScan(from, func(e *graph.EdgeScan) bool {
+		if inWindow(e, minTS) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func inWindow(e *graph.EdgeScan, minTS int64) bool { return e.Timestamp >= minTS }

@@ -1,0 +1,22 @@
+// Fixture dependency package for the cross-package fact test: Keep and
+// Chain retain their *graph.EdgeScan parameter and must be marked with the
+// retainsScanArg fact; Inspect reads fields only and must not be.
+package stash
+
+import "nous/internal/graph"
+
+var last *graph.EdgeScan
+
+// Keep stashes the view in a package-level variable.
+func Keep(e *graph.EdgeScan) { last = e }
+
+// wantfact Keep:"retainsScanArg"
+
+// Chain forwards its view to Keep: transitively a retainer, found by the
+// in-package fixpoint.
+func Chain(e *graph.EdgeScan) { Keep(e) }
+
+// wantfact Chain:"retainsScanArg"
+
+// Inspect only reads scalar fields; handing it a view is safe.
+func Inspect(e *graph.EdgeScan) int64 { return e.Timestamp }

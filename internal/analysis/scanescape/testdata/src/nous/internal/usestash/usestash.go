@@ -1,0 +1,20 @@
+// Fixture consumer package for the cross-package fact test: the callbacks
+// here look locally harmless — they just call functions from another
+// package — and the violations are caught ONLY because stash's analysis
+// exported retainsScanArg facts that this pass imports. Remove the fact
+// export from the analyzer and every expectation below fails.
+package usestash
+
+import (
+	"nous/internal/graph"
+	"nous/internal/stash"
+)
+
+func scanAll(g *graph.Graph) {
+	g.ScanEdges(func(e *graph.EdgeScan) bool {
+		_ = stash.Inspect(e)
+		stash.Keep(e)  // want `passed to Keep, which retains its \*graph\.EdgeScan argument`
+		stash.Chain(e) // want `passed to Chain, which retains`
+		return true
+	})
+}

@@ -54,3 +54,13 @@ func ExportWindow(k *KG, w temporal.Window) int { return 0 }
 func badExport(k *KG, w temporal.Window) int {
 	return Export(k) // want `unwindowed Export`
 }
+
+// LeakyCount accepts a window and drops it: exported so the plan fixture can
+// prove the dropsWindow fact crosses the package boundary.
+func LeakyCount(k *KG, w temporal.Window) int {
+	return len(k.FactsAboutWindow("x", temporal.All())) // want `fresh unbounded window`
+}
+
+// wantfact KG.FactsAbout:"windowedSiblings\(FactsAboutWindow\)"
+// wantfact Export:"windowedSiblings\(ExportWindow\)"
+// wantfact LeakyCount:"dropsWindow"

@@ -1,0 +1,27 @@
+// Fixture consumer package for the cross-package fact tests: every callee
+// here lives in nous/internal/core, so the sibling and dropper checks can
+// only fire through the windowedSiblings / dropsWindow facts exported while
+// core was analyzed. Remove either fact export from the analyzer and the
+// matching expectations below fail.
+package plan
+
+import (
+	"nous/internal/core"
+	"nous/internal/temporal"
+)
+
+func execGood(k *core.KG, w temporal.Window) int {
+	return len(k.FactsAboutWindow("x", w)) + core.ExportWindow(k, w)
+}
+
+func execBadSibling(k *core.KG, w temporal.Window) int {
+	return len(k.FactsAbout("x")) // want `unwindowed FactsAbout \(windowed sibling FactsAboutWindow exists\)`
+}
+
+func execBadExport(k *core.KG, w temporal.Window) int {
+	return core.Export(k) // want `unwindowed Export \(windowed sibling ExportWindow exists\)`
+}
+
+func execBadDropper(k *core.KG, w temporal.Window) int {
+	return core.LeakyCount(k, w) // want `threads its window into core\.LeakyCount, which drops it internally`
+}

@@ -9,5 +9,5 @@ import (
 
 func TestWindowThread(t *testing.T) {
 	analysistest.Run(t, "testdata", windowthread.Analyzer,
-		"nous/internal/core", "nous/internal/pathsearch")
+		"nous/internal/core", "nous/internal/plan", "nous/internal/pathsearch")
 }
