@@ -36,10 +36,10 @@ import (
 )
 
 func main() {
-	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query, persist, temporal, memory, repl")
+	artifact := flag.String("artifact", "all", "artifact to regenerate: all, fig1..fig7, 3x, closed, bpr, coherence, aida, scale, query, persist, temporal, memory, repl, plan")
 	n := flag.Int("n", 800, "number of articles for corpus-driven artifacts")
 	seed := flag.Int64("seed", 42, "world seed")
-	jsonOut := flag.String("json", "", "write the artifact's machine-readable metrics (BENCH_<artifact>.json shape) to this file; supported by query, persist, temporal, memory and repl")
+	jsonOut := flag.String("json", "", "write the artifact's machine-readable metrics (BENCH_<artifact>.json shape) to this file; supported by query, persist, temporal, memory, repl and plan")
 	flag.Parse()
 
 	runners := map[string]func(int, int64){
@@ -48,7 +48,7 @@ func main() {
 		"3x": claim3x, "closed": claimClosed, "bpr": claimBPR,
 		"coherence": claimCoherence, "aida": claimAIDA, "scale": claimScale,
 		"query": claimQuery, "persist": claimPersist, "temporal": claimTemporal,
-		"memory": claimMemory, "repl": claimRepl,
+		"memory": claimMemory, "repl": claimRepl, "plan": claimPlan,
 	}
 	if *artifact == "all" {
 		if *jsonOut != "" {
@@ -56,7 +56,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"3x", "closed", "bpr", "coherence", "aida", "scale", "query", "persist", "temporal", "memory", "repl"} {
+			"3x", "closed", "bpr", "coherence", "aida", "scale", "query", "persist", "temporal", "memory", "repl", "plan"} {
 			runners[name](*n, *seed)
 		}
 		return

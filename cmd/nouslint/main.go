@@ -53,8 +53,10 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"nous/internal/analysis"
 	"nous/internal/analysis/hookunderlock"
@@ -92,6 +94,7 @@ func run(args []string) int {
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol handshake)")
 	printPath := fs.Bool("print-path", false, "print the path of this executable and exit")
 	jsonOut := fs.Bool("json", false, "print findings as one JSON object per line on stdout")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "packages analyzed concurrently in standalone mode (1 = serial)")
 	enabled := make(map[string]*bool, len(allAnalyzers))
 	for _, a := range allAnalyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -146,7 +149,7 @@ func run(args []string) int {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return runStandalone(analyzers, rest, *jsonOut)
+	return runStandalone(analyzers, rest, *jsonOut, *parallel)
 }
 
 // selfHash fingerprints the running binary for the vet build cache.
@@ -334,12 +337,21 @@ type listedPackage struct {
 
 // runStandalone loads the requested packages (and their export data) through
 // `go list -deps -export` and analyzes every module package — dependencies
-// included, scheduled in dependency order against one shared in-memory fact
-// store, so facts flow exactly as they do through vetx files under go vet.
-// Diagnostics are reported only for the packages the patterns named;
-// dependencies pulled in for fact computation stay silent. Test files are
-// not loaded in this mode; the vet protocol path covers them.
-func runStandalone(analyzers []*analysis.Analyzer, patterns []string, jsonOut bool) int {
+// included, scheduled against one shared in-memory fact store, so facts flow
+// exactly as they do through vetx files under go vet. Packages with no
+// unanalyzed module imports run concurrently, up to parallel workers; a
+// package is dispatched only after every module package it imports has
+// completed, which preserves the fact-flow guarantees of the serial
+// schedule. Each imported dependency is type-checked from its export data
+// (never from a sibling's in-progress source check), so packages only
+// couple through the mutex-guarded fact store and importer. Results are
+// buffered and printed in the serial dependency order, making the output
+// byte-identical to -parallel=1. Diagnostics are reported only for the
+// packages the patterns named; dependencies pulled in for fact computation
+// stay silent — except that with -json each named package's exported object
+// facts are also emitted (lines carrying "analyzer" instead of "rule").
+// Test files are not loaded in this mode; the vet protocol path covers them.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string, jsonOut bool, parallel int) int {
 	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -402,41 +414,33 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string, jsonOut bo
 		}
 		return os.Open(file)
 	})
-	imp := &mappedImporter{underlying: gc}
+	// The gc export-data importer mutates its package cache per Import; the
+	// workers share it behind a mutex (token.FileSet locks internally).
+	imp := &lockedImporter{underlying: &mappedImporter{underlying: gc}}
 
 	store := analysis.NewFactStore()
+	results := analyzePackages(analyzers, fset, imp, store, modPkgs, order, parallel)
+
 	exit := 0
 	totalSuppressed := 0
 	for _, path := range order {
-		p := modPkgs[path]
-		var names []string
-		names = append(names, p.GoFiles...)
-		names = append(names, p.CgoFiles...)
-		for i, n := range names {
-			names[i] = p.Dir + string(os.PathSeparator) + n
-		}
-		files, err := parseFiles(fset, names)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nouslint:", err)
+		res := results[path]
+		if res.errMsg != "" {
+			// Same contract as the serial loop: the first (dependency-order)
+			// failure aborts the run; nothing past it is reported.
+			fmt.Fprintln(os.Stderr, res.errMsg)
 			return 1
 		}
-		pkg, info, err := typecheck(fset, p.ImportPath, "", files, imp)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nouslint: %s: %v\n", p.ImportPath, err)
-			return 1
-		}
-		findings, suppressed, err := runAnalyzers(analyzers, fset, files, pkg, info, store)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nouslint:", err)
-			return 1
-		}
-		if p.DepOnly {
+		if modPkgs[path].DepOnly {
 			continue // analyzed for facts alone
 		}
-		totalSuppressed += suppressed
-		if len(findings) > 0 {
-			printFindings(fset, findings, 0, jsonOut)
+		totalSuppressed += res.suppressed
+		if len(res.findings) > 0 {
+			printFindings(fset, res.findings, 0, jsonOut)
 			exit = 2
+		}
+		if jsonOut {
+			printFacts(analyzers, store, path)
 		}
 	}
 	if jsonOut {
@@ -445,6 +449,120 @@ func runStandalone(analyzers []*analysis.Analyzer, patterns []string, jsonOut bo
 		fmt.Fprintf(os.Stderr, "nouslint: %d finding(s) suppressed by //nouslint:allow\n", totalSuppressed)
 	}
 	return exit
+}
+
+// pkgResult is one package's buffered analysis outcome.
+type pkgResult struct {
+	findings   []finding
+	suppressed int
+	errMsg     string // pre-formatted; non-empty aborts reporting at this package
+}
+
+// analyzePackages runs every package in order through parse → typecheck →
+// analyzers, dispatching a package as soon as all module packages it imports
+// have completed (not merely started — an importer must see its dependencies'
+// full fact sets). A failed dependency still releases its dependents: their
+// type checks read export data, not the failed source pass, and the reporter
+// stops at the first failure anyway.
+func analyzePackages(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer, store *analysis.FactStore, modPkgs map[string]*listedPackage, order []string, parallel int) map[string]*pkgResult {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(order) {
+		parallel = len(order)
+	}
+
+	indeg := make(map[string]int, len(order))
+	dependents := make(map[string][]string)
+	for _, path := range order {
+		for _, im := range modPkgs[path].Imports {
+			if _, ok := modPkgs[im]; ok {
+				indeg[path]++
+				dependents[im] = append(dependents[im], path)
+			}
+		}
+	}
+
+	results := make(map[string]*pkgResult, len(order))
+	for _, path := range order {
+		results[path] = &pkgResult{}
+	}
+
+	// Buffered to the package count, so completion-time enqueues never block
+	// and workers drain to channel close with no separate done signal.
+	ready := make(chan string, len(order))
+	pending := len(order)
+	var mu sync.Mutex
+	for _, path := range order {
+		if indeg[path] == 0 {
+			ready <- path
+		}
+	}
+	if pending == 0 {
+		close(ready)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range ready {
+				analyzeOne(analyzers, fset, imp, store, modPkgs[path], results[path])
+				mu.Lock()
+				pending--
+				for _, d := range dependents[path] {
+					if indeg[d]--; indeg[d] == 0 {
+						ready <- d
+					}
+				}
+				if pending == 0 {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// analyzeOne fills res with one package's findings (or its first error,
+// formatted exactly as the serial driver printed it).
+func analyzeOne(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer, store *analysis.FactStore, p *listedPackage, res *pkgResult) {
+	var names []string
+	names = append(names, p.GoFiles...)
+	names = append(names, p.CgoFiles...)
+	for i, n := range names {
+		names[i] = p.Dir + string(os.PathSeparator) + n
+	}
+	files, err := parseFiles(fset, names)
+	if err != nil {
+		res.errMsg = fmt.Sprintf("nouslint: %v", err)
+		return
+	}
+	pkg, info, err := typecheck(fset, p.ImportPath, "", files, imp)
+	if err != nil {
+		res.errMsg = fmt.Sprintf("nouslint: %s: %v", p.ImportPath, err)
+		return
+	}
+	res.findings, res.suppressed, err = runAnalyzers(analyzers, fset, files, pkg, info, store)
+	if err != nil {
+		res.errMsg = fmt.Sprintf("nouslint: %v", err)
+	}
+}
+
+// lockedImporter serializes a non-concurrency-safe importer shared by the
+// parallel workers.
+type lockedImporter struct {
+	mu         sync.Mutex
+	underlying types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.underlying.Import(path)
 }
 
 // --- shared core ------------------------------------------------------------
@@ -506,6 +624,29 @@ type jsonFinding struct {
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+}
+
+// jsonFact is the -json wire form of one exported object fact — the
+// cross-package claims (e.g. scanescape's retainsScanArg, windowthread's
+// dropsWindow) a package's analysis proved about its declarations. Fact
+// lines carry "analyzer" where findings carry "rule", so finding consumers
+// filtering on .rule are unaffected.
+type jsonFact struct {
+	Package  string `json:"package"`
+	Object   string `json:"object"`
+	Analyzer string `json:"analyzer"`
+	Fact     string `json:"fact"`
+}
+
+// printFacts emits one JSON line per object fact the analyzers exported for
+// the package, in (analyzer, object, fact type) order.
+func printFacts(analyzers []*analysis.Analyzer, store *analysis.FactStore, pkgPath string) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, a := range analyzers {
+		for _, of := range store.ObjectFacts(a.Name, pkgPath) {
+			enc.Encode(jsonFact{Package: of.PkgPath, Object: of.ObjPath, Analyzer: a.Name, Fact: fmt.Sprint(of.Fact)})
+		}
+	}
 }
 
 func printFindings(fset *token.FileSet, findings []finding, suppressed int, jsonOut bool) {

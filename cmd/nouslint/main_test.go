@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -64,6 +65,72 @@ func TestModuleOwned(t *testing.T) {
 		if got := moduleOwned(cfg); got != tt.want {
 			t.Errorf("moduleOwned(%q in module %q) = %v, want %v", tt.importPath, tt.modulePath, got, tt.want)
 		}
+	}
+}
+
+// The parallel standalone schedule must be observationally identical to the
+// serial one: same findings, same facts, same ordering, byte for byte. Run
+// the driver over a real dependency slice of this module both ways and
+// compare stdout.
+func TestStandaloneParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks real packages")
+	}
+	// A slice with real cross-package fact flow: plan imports temporal and
+	// graph (via core), and qa imports plan.
+	patterns := []string{"nous/internal/temporal", "nous/internal/plan", "nous/internal/qa"}
+	runWith := func(parallel string) string {
+		return capture(t, func() {
+			code := run(append([]string{"-json", "-parallel", parallel}, patterns...))
+			if code != 0 && code != 2 {
+				t.Errorf("run(-parallel %s) = %d, want 0 or 2", parallel, code)
+			}
+		})
+	}
+	serial := runWith("1")
+	par := runWith("8")
+	if serial != par {
+		t.Fatalf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+	if !strings.Contains(serial, "\"suppressed\":") {
+		t.Fatalf("missing suppression summary in output:\n%s", serial)
+	}
+}
+
+// With -json, a named package's exported object facts are emitted alongside
+// findings, keyed "analyzer" (not "rule") so finding consumers are
+// unaffected. windowthread's windowedSiblings facts on nous/internal/core
+// are stable fixtures.
+func TestStandaloneJSONEmitsObjectFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks real packages")
+	}
+	out := capture(t, func() {
+		if code := run([]string{"-json", "nous/internal/core"}); code != 0 && code != 2 {
+			t.Errorf("run = %d, want 0 or 2", code)
+		}
+	})
+	var sawFact bool
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		if _, isFact := obj["analyzer"]; !isFact {
+			continue
+		}
+		sawFact = true
+		if _, hasRule := obj["rule"]; hasRule {
+			t.Fatalf("fact line %q carries a rule key", line)
+		}
+		for _, k := range []string{"package", "object", "fact"} {
+			if _, ok := obj[k]; !ok {
+				t.Fatalf("fact line %q missing %q", line, k)
+			}
+		}
+	}
+	if !sawFact {
+		t.Fatalf("no object-fact lines in output:\n%s", out)
 	}
 }
 

@@ -157,6 +157,8 @@ func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
 // pass's import graph can see the package.
 func (p *Pass) AllObjectFacts() []ObjectFact {
 	var out []ObjectFact
+	p.facts.mu.RLock()
+	defer p.facts.mu.RUnlock()
 	for k, f := range p.facts.facts {
 		if k.analyzer != p.Analyzer.Name || k.obj == "" {
 			continue

@@ -36,6 +36,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Fact is the marker interface for analyzer facts. Implementations must be
@@ -120,8 +121,13 @@ type ObjectFact struct {
 
 // FactStore accumulates facts across passes. Drivers share one store per
 // analysis run; the unit-checker driver seeds it from dependency vetx files
-// and serializes the union back out.
+// and serializes the union back out. All methods are safe for concurrent
+// use — the standalone driver analyzes independent packages in parallel
+// against one store (dependency ordering guarantees a package's own facts
+// are complete before any importer reads them, but siblings race on the map
+// itself).
 type FactStore struct {
+	mu    sync.RWMutex
 	facts map[factKey]Fact
 }
 
@@ -137,13 +143,17 @@ func validFact(f Fact) error {
 }
 
 func (s *FactStore) put(analyzer, pkg, obj string, f Fact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.facts[factKey{analyzer, pkg, obj, reflect.TypeOf(f)}] = f
 }
 
 // get copies a stored fact into ptr (which selects the fact type) and reports
 // whether one was found.
 func (s *FactStore) get(analyzer, pkg, obj string, ptr Fact) bool {
+	s.mu.RLock()
 	f, ok := s.facts[factKey{analyzer, pkg, obj, reflect.TypeOf(ptr)}]
+	s.mu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -156,6 +166,8 @@ func (s *FactStore) get(analyzer, pkg, obj string, ptr Fact) bool {
 // callers outside a Pass (fixture checkers, debug dumps) work textually.
 func (s *FactStore) ObjectFacts(analyzer, pkgPath string) []ObjectFact {
 	var out []ObjectFact
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for k, f := range s.facts {
 		if k.analyzer == analyzer && k.pkg == pkgPath && k.obj != "" {
 			out = append(out, ObjectFact{PkgPath: k.pkg, ObjPath: k.obj, Fact: f})
@@ -244,11 +256,13 @@ func EncodeFacts(s *FactStore, analyzers []*Analyzer) ([]byte, error) {
 		declared[a.Name] = m
 	}
 	var facts []wireFact
+	s.mu.RLock()
 	for k, f := range s.facts {
 		if m, ok := declared[k.analyzer]; ok && m[k.typ] {
 			facts = append(facts, wireFact{Analyzer: k.analyzer, PkgPath: k.pkg, ObjPath: k.obj, Fact: f})
 		}
 	}
+	s.mu.RUnlock()
 	sort.Slice(facts, func(i, j int) bool {
 		a, b := facts[i], facts[j]
 		if a.Analyzer != b.Analyzer {

@@ -11,6 +11,7 @@
 package analytics
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -147,14 +148,20 @@ type Cache struct {
 	prior    memo[map[string]float64]
 	topics   memo[map[graph.VertexID][]float64]
 
+	// MaxWindowed caps the number of distinct windows whose PageRank is
+	// cached simultaneously; 0 means the default (maxWindowedArtifacts).
+	// Beyond the cap the least-recently-used window is evicted.
+	MaxWindowed int
+
 	// windowed memoizes PageRank per bounded time window, keyed by the
 	// window and epoch-checked like the main artifacts (so a windowed query
-	// repeated at an unchanged epoch is a map read). The map is capped at
-	// maxWindowedArtifacts entries; distinct windows beyond that evict an
-	// arbitrary other entry — in-flight computations keep their memo alive
-	// through the pointer they hold.
+	// repeated at an unchanged epoch is a map read). Entries are LRU-ordered
+	// (wlru front = most recently used) and capped at MaxWindowed; evicting
+	// an entry mid-compute is safe — the in-flight computation keeps its
+	// memo alive through the pointer it holds.
 	wmu              sync.Mutex
-	windowed         map[temporal.Window]*memo[map[graph.VertexID]float64]
+	windowed         map[temporal.Window]*windowedEntry
+	wlru             *list.List // of temporal.Window
 	windowedComputes atomic.Uint64
 
 	// topicsFn builds per-entity topic vectors (an LDA fit — expensive).
@@ -204,41 +211,54 @@ func (c *Cache) Importance(id graph.VertexID) float64 {
 	return c.PageRank()[id]
 }
 
-// maxWindowedArtifacts caps the number of distinct windows whose PageRank is
-// cached simultaneously. Serving workloads repeat a handful of windows
-// ("last week", "this year"); anything beyond the cap recomputes.
+// maxWindowedArtifacts is the default cap on distinct windows whose PageRank
+// is cached simultaneously (see Cache.MaxWindowed). Serving workloads repeat
+// a handful of windows ("last week", "this year"); anything beyond the cap
+// recomputes.
 const maxWindowedArtifacts = 8
+
+// windowedEntry is one window's memo plus its position in the LRU list.
+type windowedEntry struct {
+	memo *memo[map[graph.VertexID]float64]
+	elem *list.Element
+}
 
 // WindowedPageRank returns the memoized PageRank of the subgraph visible in
 // the window (curated edges plus extracted edges whose timestamp lies in
 // [Since, Until)), keyed by (epoch, window). The unbounded window delegates
-// to PageRank, so the unwindowed hot path is untouched. The returned map is
-// shared; callers must not mutate it.
+// to PageRank, so the unwindowed hot path is untouched. At the entry cap the
+// least-recently-used window is evicted, so a hot window survives churn from
+// one-off windows. The returned map is shared; callers must not mutate it.
 func (c *Cache) WindowedPageRank(w temporal.Window) map[graph.VertexID]float64 {
 	if w.IsAll() {
 		return c.PageRank()
 	}
 	c.wmu.Lock()
 	if c.windowed == nil {
-		c.windowed = make(map[temporal.Window]*memo[map[graph.VertexID]float64])
+		c.windowed = make(map[temporal.Window]*windowedEntry)
+		c.wlru = list.New()
 	}
-	m, ok := c.windowed[w]
-	if !ok {
-		if len(c.windowed) >= maxWindowedArtifacts {
-			for k := range c.windowed {
-				if k != w {
-					delete(c.windowed, k)
-					break
-				}
-			}
+	e, ok := c.windowed[w]
+	if ok {
+		c.wlru.MoveToFront(e.elem)
+	} else {
+		e = &windowedEntry{memo: &memo[map[graph.VertexID]float64]{}}
+		e.elem = c.wlru.PushFront(w)
+		c.windowed[w] = e
+		limit := c.MaxWindowed
+		if limit <= 0 {
+			limit = maxWindowedArtifacts
 		}
-		m = &memo[map[graph.VertexID]float64]{}
-		c.windowed[w] = m
+		for c.wlru.Len() > limit {
+			back := c.wlru.Back()
+			c.wlru.Remove(back)
+			delete(c.windowed, back.Value.(temporal.Window))
+		}
 	}
 	c.wmu.Unlock()
 
 	now := c.Epoch()
-	v, hit, computed := m.get(now, c.MaxLag, func() map[graph.VertexID]float64 {
+	v, hit, computed := e.memo.get(now, c.MaxLag, func() map[graph.VertexID]float64 {
 		c.windowedComputes.Add(1)
 		return graph.PageRankFiltered(c.kg.Graph(), c.Damping, c.Iters, w.ContainsScan)
 	})

@@ -1,0 +1,171 @@
+package analytics
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultMemoStats snapshots a ResultMemo's counters.
+type ResultMemoStats struct {
+	// Hits counts lookups served from a fresh cached value.
+	Hits uint64
+	// Misses counts lookups that ran compute.
+	Misses uint64
+	// Coalesced counts lookups served by waiting on another caller's
+	// in-flight compute instead of running their own (singleflight).
+	Coalesced uint64
+	// Evictions counts LRU evictions at the entry cap.
+	Evictions uint64
+	// Entries is the current number of cached values.
+	Entries int
+}
+
+// rmEntry is one cached value: its epoch, LRU position and singleflight
+// channel (non-nil while one goroutine computes for this key).
+type rmEntry[V any] struct {
+	epoch  uint64
+	valid  bool
+	value  V
+	flight chan struct{}
+	elem   *list.Element // value: the string key
+}
+
+// ResultMemo is a bounded, epoch-aware, string-keyed memo with singleflight:
+// the generalization of this package's per-artifact memo to an open key
+// space (the plan layer keys it by normalized plan strings; the epoch is the
+// graph's mutation epoch). A cached value is fresh for a key when it was
+// computed at an epoch within maxLag of the requested one; staler entries
+// recompute in place. Entries beyond maxEntries evict least-recently-used.
+// Failed computes are never cached. All methods are safe for concurrent use.
+//
+// It is generic over the value type so this package — which must not import
+// its consumers — can host the cache for any layer above it.
+type ResultMemo[V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxLag     uint64
+	entries    map[string]*rmEntry[V]
+	lru        *list.List // of string keys; front = most recently used
+
+	hits, misses, coalesced, evictions uint64
+}
+
+// NewResultMemo returns a memo holding at most maxEntries values (<= 0
+// means 256) serving entries up to maxLag epochs stale (0 = epoch-exact,
+// which is what replica byte-identity at equal epochs requires).
+func NewResultMemo[V any](maxEntries int, maxLag uint64) *ResultMemo[V] {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &ResultMemo[V]{
+		maxEntries: maxEntries,
+		maxLag:     maxLag,
+		entries:    make(map[string]*rmEntry[V]),
+		lru:        list.New(),
+	}
+}
+
+// Get returns the value for key at epoch now, computing it at most once per
+// epoch change across concurrent callers. hit reports whether a cached (or
+// coalesced in-flight) value was served without this caller computing.
+// Errors propagate to the caller that computed and are not cached; waiters
+// observing a failed flight retry the compute themselves.
+func (m *ResultMemo[V]) Get(now uint64, key string, compute func() (V, error)) (v V, hit bool, err error) {
+	m.mu.Lock()
+	waited := false
+	for {
+		e := m.entries[key]
+		if e == nil {
+			break
+		}
+		// e.epoch > now happens when another flight stored a newer value
+		// while we waited — newer than requested is always fresh enough.
+		if e.valid && (e.epoch >= now || now-e.epoch <= m.maxLag) {
+			m.lru.MoveToFront(e.elem)
+			if waited {
+				m.coalesced++
+			} else {
+				m.hits++
+			}
+			v = e.value
+			m.mu.Unlock()
+			return v, true, nil
+		}
+		if e.flight == nil {
+			break
+		}
+		ch := e.flight
+		m.mu.Unlock()
+		<-ch
+		waited = true
+		m.mu.Lock()
+	}
+
+	e := m.entries[key]
+	if e == nil {
+		e = &rmEntry[V]{}
+		e.elem = m.lru.PushFront(key)
+		m.entries[key] = e
+		m.evictLocked()
+	} else {
+		m.lru.MoveToFront(e.elem)
+	}
+	ch := make(chan struct{})
+	e.flight = ch
+	m.misses++
+	m.mu.Unlock()
+
+	ok := false
+	defer func() {
+		// Release waiters even if compute panicked; store only on success.
+		m.mu.Lock()
+		if ok && (!e.valid || e.epoch <= now) {
+			e.value, e.epoch, e.valid = v, now, true
+		}
+		e.flight = nil
+		close(ch)
+		m.mu.Unlock()
+	}()
+	v, err = compute()
+	ok = err == nil
+	return v, false, err
+}
+
+// Peek reports whether a fresh value for key exists at epoch now, without
+// touching LRU order or counters.
+func (m *ResultMemo[V]) Peek(now uint64, key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[key]
+	return e != nil && e.valid && (e.epoch >= now || now-e.epoch <= m.maxLag)
+}
+
+// evictLocked drops least-recently-used entries beyond the cap. Entries with
+// a compute in flight are skipped — evicting one would orphan its waiters'
+// singleflight — so the map can transiently exceed the cap by the number of
+// concurrent flights.
+func (m *ResultMemo[V]) evictLocked() {
+	for el := m.lru.Back(); el != nil && m.lru.Len() > m.maxEntries; {
+		prev := el.Prev()
+		key := el.Value.(string)
+		if e := m.entries[key]; e != nil && e.flight == nil {
+			m.lru.Remove(el)
+			delete(m.entries, key)
+			m.evictions++
+		}
+		el = prev
+	}
+}
+
+// Stats snapshots the memo's counters.
+func (m *ResultMemo[V]) Stats() ResultMemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ResultMemoStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Coalesced: m.coalesced,
+		Evictions: m.evictions,
+		Entries:   len(m.entries),
+	}
+}

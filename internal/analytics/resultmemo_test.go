@@ -1,0 +1,168 @@
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResultMemoHitAtSameEpoch(t *testing.T) {
+	m := NewResultMemo[string](8, 0)
+	computes := 0
+	get := func(epoch uint64, key string) string {
+		v, _, err := m.Get(epoch, key, func() (string, error) {
+			computes++
+			return fmt.Sprintf("%s@%d", key, epoch), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := get(1, "k"); v != "k@1" {
+		t.Fatalf("got %q", v)
+	}
+	if v := get(1, "k"); v != "k@1" {
+		t.Fatalf("got %q", v)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	// Epoch moved: recompute.
+	if v := get(2, "k"); v != "k@2" {
+		t.Fatalf("got %q", v)
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2", computes)
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestResultMemoMaxLag(t *testing.T) {
+	m := NewResultMemo[int](8, 3)
+	computes := 0
+	get := func(epoch uint64) int {
+		v, _, _ := m.Get(epoch, "k", func() (int, error) {
+			computes++
+			return int(epoch), nil
+		})
+		return v
+	}
+	if get(10) != 10 || get(13) != 10 {
+		t.Fatal("within-lag read must serve the cached value")
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	if get(14) != 14 {
+		t.Fatal("beyond-lag read must recompute")
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2", computes)
+	}
+	// Epoch-exact memo: any epoch move recomputes.
+	exact := NewResultMemo[int](8, 0)
+	n := 0
+	exact.Get(5, "k", func() (int, error) { n++; return 0, nil })
+	exact.Get(6, "k", func() (int, error) { n++; return 0, nil })
+	if n != 2 {
+		t.Fatalf("epoch-exact computes = %d, want 2", n)
+	}
+}
+
+func TestResultMemoLRUEviction(t *testing.T) {
+	m := NewResultMemo[int](2, 0)
+	compute := func(v int) func() (int, error) {
+		return func() (int, error) { return v, nil }
+	}
+	m.Get(1, "a", compute(1))
+	m.Get(1, "b", compute(2))
+	m.Get(1, "a", compute(0)) // refresh a's recency
+	m.Get(1, "c", compute(3)) // evicts b, the LRU
+	if !m.Peek(1, "a") || !m.Peek(1, "c") {
+		t.Fatal("recently used entries were evicted")
+	}
+	if m.Peek(1, "b") {
+		t.Fatal("LRU entry survived past the cap")
+	}
+	st := m.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+}
+
+func TestResultMemoSingleflight(t *testing.T) {
+	m := NewResultMemo[int](8, 0)
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := m.Get(7, "k", func() (int, error) {
+				computes.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1 (singleflight)", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("worker %d got %d", i, v)
+		}
+	}
+	st := m.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Coalesced != workers-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, workers-1)
+	}
+}
+
+func TestResultMemoErrorsNotCached(t *testing.T) {
+	m := NewResultMemo[int](8, 0)
+	boom := errors.New("boom")
+	if _, _, err := m.Get(1, "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Peek(1, "k") {
+		t.Fatal("failed compute was cached")
+	}
+	v, hit, err := m.Get(1, "k", func() (int, error) { return 9, nil })
+	if err != nil || hit || v != 9 {
+		t.Fatalf("retry after error: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if !m.Peek(1, "k") {
+		t.Fatal("successful retry not cached")
+	}
+}
+
+func TestResultMemoNewerEpochServesWaiters(t *testing.T) {
+	// A value stored at a newer epoch than requested is fresh enough — the
+	// memo must not recompute for an older "now" (mirrors memo.get).
+	m := NewResultMemo[int](8, 0)
+	computes := 0
+	m.Get(9, "k", func() (int, error) { computes++; return 99, nil })
+	v, hit, _ := m.Get(7, "k", func() (int, error) { computes++; return 77, nil })
+	if !hit || v != 99 || computes != 1 {
+		t.Fatalf("older-epoch read: v=%d hit=%v computes=%d", v, hit, computes)
+	}
+}

@@ -610,6 +610,28 @@ func (g *Graph) EdgesByLabel(label string) []Edge {
 	return es
 }
 
+// EdgesWithLabel returns the number of live edges carrying the given label,
+// summed from the per-stripe label indexes' live counters — no slot is
+// visited and no edge is materialized, so the cost is O(shards). It is the
+// cardinality source the query planner uses to estimate predicate
+// selectivity.
+func (g *Graph) EdgesWithLabel(label string) int {
+	sym, known := symtab.Lookup(label)
+	if !known {
+		return 0
+	}
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		if ls := s.byLabel[sym]; ls != nil {
+			n += ls.live
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
 // EdgeLabels returns the distinct edge labels present in the graph, sorted.
 func (g *Graph) EdgeLabels() []string {
 	seen := make(map[symtab.SymID]struct{})

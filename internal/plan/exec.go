@@ -104,19 +104,56 @@ type value struct {
 	diff                *DiffAnswer
 }
 
+// Trace records per-operator actual output row counts for one traced run —
+// the "actual" half of est_rows vs actual_rows in costed explain output. A
+// Trace belongs to a single RunTraced call and is not safe for concurrent
+// use across runs.
+type Trace struct {
+	rows map[Node]int
+}
+
+// ActualRows reports the traced output row count of n.
+func (t *Trace) ActualRows(n Node) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	rows, ok := t.rows[n]
+	return rows, ok
+}
+
+// rowsOf counts the rows in a node's evaluated value: the payload items the
+// operator passed upward. A diff's rows are its changes (added + removed).
+func rowsOf(v *value) int {
+	if v.diff != nil {
+		return len(v.diff.Added) + len(v.diff.Removed)
+	}
+	return len(v.facts) + len(v.scored) + len(v.patterns) + len(v.trends) + len(v.paths)
+}
+
 // Run executes one plan and renders its answer.
 func (ex *Executor) Run(p *Plan) (Result, error) {
+	r, _, err := ex.run(p, nil)
+	return r, err
+}
+
+// RunTraced is Run with per-operator row accounting for explain output.
+func (ex *Executor) RunTraced(p *Plan) (Result, *Trace, error) {
+	return ex.run(p, &Trace{rows: make(map[Node]int)})
+}
+
+func (ex *Executor) run(p *Plan, tr *Trace) (Result, *Trace, error) {
 	if p == nil || p.Root == nil {
-		return Result{}, errors.New("plan: empty plan")
+		return Result{}, nil, errors.New("plan: empty plan")
 	}
 	if ex.Stats != nil {
 		ex.Stats.startPlan(p.Class)
 	}
 	var v value
-	if err := ex.eval(p.Root, temporal.All(), &v); err != nil {
-		return Result{}, err
+	if err := ex.eval(p.Root, temporal.All(), &v, tr); err != nil {
+		return Result{}, nil, err
 	}
-	return ex.render(p, &v)
+	r, err := ex.render(p, &v)
+	return r, tr, err
 }
 
 func (ex *Executor) now() time.Time {
@@ -157,20 +194,29 @@ func (ex *Executor) resolve(surface string) (string, bool) {
 }
 
 // eval evaluates one node into v. w is the window pushed down from enclosing
-// WindowFilters; leaf scans run the store's windowed reads directly.
-func (ex *Executor) eval(n Node, w temporal.Window, v *value) error {
+// WindowFilters; leaf scans run the store's windowed reads directly. When tr
+// is non-nil, each node's output row count is recorded after it evaluates.
+func (ex *Executor) eval(n Node, w temporal.Window, v *value, tr *Trace) error {
+	err := ex.evalNode(n, w, v, tr)
+	if err == nil && tr != nil {
+		tr.rows[n] = rowsOf(v)
+	}
+	return err
+}
+
+func (ex *Executor) evalNode(n Node, w temporal.Window, v *value, tr *Trace) error {
 	if ex.Stats != nil {
 		ex.Stats.countOp(n.Op())
 	}
 	switch t := n.(type) {
 	case *WindowFilter:
-		return ex.eval(t.Input, t.Window.Intersect(w), v)
+		return ex.eval(t.Input, t.Window.Intersect(w), v, tr)
 
 	case *Scan:
 		return ex.evalScan(t, w, v)
 
 	case *Rank:
-		if err := ex.eval(t.Input, w, v); err != nil {
+		if err := ex.eval(t.Input, w, v, tr); err != nil {
 			return err
 		}
 		if t.K > 0 {
@@ -190,7 +236,7 @@ func (ex *Executor) eval(n Node, w temporal.Window, v *value) error {
 		return ex.evalTrendScan(t, v)
 
 	case *Summarize:
-		if err := ex.eval(t.Input, w, v); err != nil {
+		if err := ex.eval(t.Input, w, v, tr); err != nil {
 			return err
 		}
 		if !v.subjectOK {
@@ -211,7 +257,7 @@ func (ex *Executor) eval(n Node, w temporal.Window, v *value) error {
 		return nil
 
 	case *Predict:
-		if err := ex.eval(t.Input, w, v); err != nil {
+		if err := ex.eval(t.Input, w, v, tr); err != nil {
 			return err
 		}
 		if !v.subjectOK || !v.objectOK {
@@ -229,7 +275,7 @@ func (ex *Executor) eval(n Node, w temporal.Window, v *value) error {
 		return ex.evalPathExplain(t, v)
 
 	case *Diff:
-		return ex.evalDiff(t, v)
+		return ex.evalDiff(t, v, tr)
 	}
 	return fmt.Errorf("plan: unknown operator %T", n)
 }
@@ -295,6 +341,15 @@ func (ex *Executor) evalTrendScan(t *TrendScan, v *value) error {
 		return nil
 	}
 	if t.Backfill && w.Bounded() && ex.TIndex != nil && ex.KG != nil {
+		if t.SkipScan {
+			// Optimize proved (from the temporal histogram, widened to
+			// trend-bucket granularity) that no dated fact can reach a
+			// scored bucket; a full Backfill over the materialized history
+			// would return nil trends. Return the same nil without touching
+			// the index.
+			v.backfilled = true
+			return nil
+		}
 		cfg := trends.DefaultConfig()
 		if ex.Trends != nil {
 			cfg = ex.Trends.Config()
@@ -372,12 +427,19 @@ func attributable(fs []core.Fact) []core.Fact {
 	return out
 }
 
-func (ex *Executor) evalDiff(t *Diff, v *value) error {
+func (ex *Executor) evalDiff(t *Diff, v *value, tr *Trace) error {
 	var va, vb value
-	if err := ex.eval(t.A, temporal.All(), &va); err != nil {
+	// Evaluate the side the optimizer estimated smaller first; the diff is
+	// symmetric in its computation, so the order changes locality, never
+	// the answer.
+	first, second, vf, vs := t.A, t.B, &va, &vb
+	if t.EvalBFirst {
+		first, second, vf, vs = t.B, t.A, &vb, &va
+	}
+	if err := ex.eval(first, temporal.All(), vf, tr); err != nil {
 		return err
 	}
-	if err := ex.eval(t.B, temporal.All(), &vb); err != nil {
+	if err := ex.eval(second, temporal.All(), vs, tr); err != nil {
 		return err
 	}
 	// Entity diffs resolve the same surface form in both children; surface

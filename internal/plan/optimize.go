@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"math"
+
+	"nous/internal/temporal"
+)
+
+// Costed is an optimized plan plus its per-node row estimates. Est is keyed
+// by the nodes of Plan's (cloned) tree; entries of -1 mean "unknown".
+type Costed struct {
+	Plan *Plan
+	Est  map[Node]float64
+}
+
+// Optimize returns a costed rewrite of p: the tree is cloned (the input plan
+// stays the untouched reference the byte-identity tests execute), window
+// filters are normalized below Rank/Summarize, each node is annotated with
+// estimated rows from card, and two cost-based decisions are taken —
+//
+//   - Diff evaluates the smaller-estimate side first and probes the larger;
+//   - a backfill TrendScan whose window the temporal histogram proves empty
+//     (at trend-bucket granularity) skips the history materialization.
+//
+// Every rewrite is answer-preserving: the executor's results for the
+// optimized tree are byte-identical to the reference tree's, which
+// internal/qa's optimizer reference test pins across the question corpus.
+// card may be nil, in which case only the structural normalization runs.
+func Optimize(p *Plan, card Cardinality) *Costed {
+	if p == nil || p.Root == nil {
+		return &Costed{Plan: p, Est: map[Node]float64{}}
+	}
+	q := *p
+	q.Root = pushdownFilters(cloneNode(p.Root))
+	est := map[Node]float64{}
+	if card != nil {
+		estimateNode(q.Root, temporal.All(), card, est)
+		applyRewrites(q.Root, card, est)
+	}
+	return &Costed{Plan: &q, Est: est}
+}
+
+// cloneNode deep-copies a plan tree so rewrites never mutate the caller's
+// (reference) plan.
+func cloneNode(n Node) Node {
+	switch t := n.(type) {
+	case *Scan:
+		c := *t
+		return &c
+	case *WindowFilter:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Rank:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Summarize:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *Predict:
+		c := *t
+		c.Input = cloneNode(t.Input)
+		return &c
+	case *PathExplain:
+		c := *t
+		return &c
+	case *TrendScan:
+		c := *t
+		return &c
+	case *Diff:
+		c := *t
+		c.A, c.B = cloneNode(t.A), cloneNode(t.B)
+		return &c
+	}
+	return n
+}
+
+// pushdownFilters rewrites WindowFilter(Rank(X)) into Rank(WindowFilter(X))
+// and WindowFilter(Summarize(X)) into Summarize(WindowFilter(X)), collapsing
+// stacked filters into one intersected filter on the way. In this executor a
+// window always threads down to the leaf scans no matter where the filter
+// operator sits (eval pushes it through every node), so the rewrite cannot
+// change results; what it buys is a tree whose shape matches the actual
+// evaluation — the filter sits against the scan it scopes — which is what
+// makes the est_rows annotations attach to the right operators.
+func pushdownFilters(n Node) Node {
+	switch t := n.(type) {
+	case *WindowFilter:
+		t.Input = pushdownFilters(t.Input)
+		switch in := t.Input.(type) {
+		case *Rank:
+			in.Input = pushdownFilters(&WindowFilter{Window: t.Window, Input: in.Input})
+			return in
+		case *Summarize:
+			in.Input = pushdownFilters(&WindowFilter{Window: t.Window, Input: in.Input})
+			return in
+		case *WindowFilter:
+			in.Window = t.Window.Intersect(in.Window)
+			return pushdownFilters(in)
+		}
+		return t
+	case *Rank:
+		t.Input = pushdownFilters(t.Input)
+		return t
+	case *Summarize:
+		t.Input = pushdownFilters(t.Input)
+		return t
+	case *Predict:
+		t.Input = pushdownFilters(t.Input)
+		return t
+	case *Diff:
+		t.A, t.B = pushdownFilters(t.A), pushdownFilters(t.B)
+		return t
+	}
+	return n
+}
+
+// applyRewrites takes the two cost-based decisions on an annotated tree.
+func applyRewrites(n Node, card Cardinality, est map[Node]float64) {
+	switch t := n.(type) {
+	case *Diff:
+		ra, rb := est[t.A], est[t.B]
+		if ra >= 0 && rb >= 0 && rb < ra {
+			t.EvalBFirst = true
+		}
+	case *TrendScan:
+		if t.Backfill && t.Window.Bounded() && !t.Window.IsEmpty() {
+			if w, ok := trendRelevantWindow(t.Window, card.TrendBucketSeconds()); ok && card.WindowFacts(w) == 0 {
+				t.SkipScan = true
+			}
+		}
+	}
+	for _, in := range n.Inputs() {
+		if in != nil {
+			applyRewrites(in, card, est)
+		}
+	}
+}
+
+// trendRelevantWindow widens w to cover every dated fact that could
+// influence a Backfill over w: any fact in a trend bucket overlapping w and
+// before w's end can raise a scored bucket's count, so the skip proof must
+// cover [start of w's first overlapped bucket, w.Until). Facts at or past
+// Until never count (Backfill drops them before bucketing), and earlier
+// history only feeds baselines — baselines alone never create a trend.
+// ok is false when the bucket width is unknown, in which case no emptiness
+// proof is possible.
+func trendRelevantWindow(w temporal.Window, bucketSec int64) (temporal.Window, bool) {
+	if bucketSec <= 0 {
+		return temporal.Window{}, false
+	}
+	out := w
+	if w.Since != math.MinInt64 {
+		b := w.Since / bucketSec
+		if w.Since%bucketSec != 0 && w.Since < 0 {
+			b--
+		}
+		out.Since = b * bucketSec
+	}
+	return out, true
+}

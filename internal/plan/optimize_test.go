@@ -1,0 +1,249 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"nous/internal/temporal"
+)
+
+// fakeCard is a scriptable Cardinality for exercising optimizer decisions
+// without a graph.
+type fakeCard struct {
+	total  float64
+	pred   map[string]float64
+	ent    map[string]float64
+	win    func(w temporal.Window) float64
+	bucket int64
+}
+
+func (f *fakeCard) TotalFacts() float64 { return f.total }
+func (f *fakeCard) PredicateFacts(p string) float64 {
+	if v, ok := f.pred[p]; ok {
+		return v
+	}
+	return -1
+}
+func (f *fakeCard) EntityFacts(e string) float64 {
+	if v, ok := f.ent[e]; ok {
+		return v
+	}
+	return -1
+}
+func (f *fakeCard) WindowFacts(w temporal.Window) float64 {
+	if f.win == nil {
+		return -1
+	}
+	return f.win(w)
+}
+func (f *fakeCard) TrendBucketSeconds() int64 { return f.bucket }
+
+func winDays(sinceDay, untilDay int64) temporal.Window {
+	const day = 86400
+	return temporal.Window{Since: sinceDay * day, Until: untilDay * day}
+}
+
+func TestOptimizeDoesNotMutateReference(t *testing.T) {
+	p := DiffPlan("", winDays(0, 10), winDays(10, 20))
+	before := Normalize(p)
+	card := &fakeCard{win: func(w temporal.Window) float64 {
+		if w.Since >= 10*86400 {
+			return 1 // B side is smaller: the rewrite should fire on the clone
+		}
+		return 100
+	}}
+	opt := Optimize(p, card)
+	if Normalize(p) != before {
+		t.Fatal("Optimize mutated the reference plan")
+	}
+	if p.Root.(*Diff).EvalBFirst {
+		t.Fatal("rewrite flag set on the reference tree")
+	}
+	if opt.Plan.Root == p.Root {
+		t.Fatal("optimized tree aliases the reference tree")
+	}
+	if !opt.Plan.Root.(*Diff).EvalBFirst {
+		t.Fatal("EvalBFirst not set on the optimized clone")
+	}
+}
+
+func TestOptimizeDiffOrder(t *testing.T) {
+	cases := []struct {
+		name       string
+		win        func(w temporal.Window) float64
+		evalBFirst bool
+	}{
+		{"b smaller", func(w temporal.Window) float64 {
+			if w.Since >= 10*86400 {
+				return 2
+			}
+			return 50
+		}, true},
+		{"a smaller", func(w temporal.Window) float64 {
+			if w.Since >= 10*86400 {
+				return 50
+			}
+			return 2
+		}, false},
+		{"equal", func(temporal.Window) float64 { return 5 }, false},
+		{"unknown", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DiffPlan("", winDays(0, 10), winDays(10, 20))
+			opt := Optimize(p, &fakeCard{win: tc.win})
+			if got := opt.Plan.Root.(*Diff).EvalBFirst; got != tc.evalBFirst {
+				t.Fatalf("EvalBFirst = %v, want %v", got, tc.evalBFirst)
+			}
+		})
+	}
+}
+
+func TestOptimizePushesFiltersBelowRankAndSummarize(t *testing.T) {
+	w := winDays(0, 30)
+	p := &Plan{Class: "entity", Root: &WindowFilter{Window: w,
+		Input: &Summarize{Subject: "DJI", Window: w,
+			Input: &Rank{K: 5, Input: &Scan{Source: SourceFactsAbout, Subject: "DJI"}}}}}
+	opt := Optimize(p, nil)
+	sum, ok := opt.Plan.Root.(*Summarize)
+	if !ok {
+		t.Fatalf("root after pushdown = %T, want *Summarize", opt.Plan.Root)
+	}
+	rank, ok := sum.Input.(*Rank)
+	if !ok {
+		t.Fatalf("summarize input = %T, want *Rank", sum.Input)
+	}
+	wf, ok := rank.Input.(*WindowFilter)
+	if !ok {
+		t.Fatalf("rank input = %T, want *WindowFilter", rank.Input)
+	}
+	if _, ok := wf.Input.(*Scan); !ok {
+		t.Fatalf("filter input = %T, want *Scan", wf.Input)
+	}
+	if wf.Window != w {
+		t.Fatalf("pushed window = %v, want %v", wf.Window, w)
+	}
+}
+
+func TestOptimizeMergesStackedFilters(t *testing.T) {
+	outer, inner := winDays(0, 20), winDays(10, 30)
+	p := &Plan{Class: "fact", Root: &WindowFilter{Window: outer,
+		Input: &WindowFilter{Window: inner, Input: &Scan{Source: SourceStream}}}}
+	opt := Optimize(p, nil)
+	wf, ok := opt.Plan.Root.(*WindowFilter)
+	if !ok {
+		t.Fatalf("root = %T, want *WindowFilter", opt.Plan.Root)
+	}
+	if want := outer.Intersect(inner); wf.Window != want {
+		t.Fatalf("merged window = %v, want %v", wf.Window, want)
+	}
+	if _, ok := wf.Input.(*Scan); !ok {
+		t.Fatalf("merged filter input = %T, want *Scan", wf.Input)
+	}
+}
+
+func TestOptimizeTrendScanSkip(t *testing.T) {
+	const day = int64(86400)
+	bucket := 7 * day
+	// Window starts mid-bucket: the skip proof must widen Since down to the
+	// bucket boundary, because facts earlier in the first overlapped bucket
+	// still raise that bucket's count.
+	w := temporal.Window{Since: 10*bucket + day, Until: 12 * bucket}
+
+	trendPlan := func() *Plan { return TrendingPlan(w, 5) }
+	skipOf := func(p *Plan, card Cardinality) bool {
+		opt := Optimize(p, card)
+		return opt.Plan.Root.(*Rank).Input.(*TrendScan).SkipScan
+	}
+
+	// Provably empty at bucket granularity: skip.
+	if !skipOf(trendPlan(), &fakeCard{bucket: bucket, win: func(temporal.Window) float64 { return 0 }}) {
+		t.Fatal("provably empty backfill window not skipped")
+	}
+	// Empty inside w but populated in the widened head of its first bucket:
+	// the wider probe must see the facts and refuse the skip.
+	headOnly := &fakeCard{bucket: bucket, win: func(q temporal.Window) float64 {
+		if q.Since < 10*bucket+day {
+			return 3 // the widened probe reaches the bucket head
+		}
+		return 0
+	}}
+	if skipOf(trendPlan(), headOnly) {
+		t.Fatal("skipped despite facts in the window's first trend bucket")
+	}
+	// Unknown bucket width: no proof possible.
+	if skipOf(trendPlan(), &fakeCard{bucket: 0, win: func(temporal.Window) float64 { return 0 }}) {
+		t.Fatal("skipped without knowing the trend bucket width")
+	}
+	// Unknown selectivity (-1) is not an emptiness proof.
+	if skipOf(trendPlan(), &fakeCard{bucket: bucket, win: nil}) {
+		t.Fatal("skipped on unknown window statistics")
+	}
+	// Live (unbounded) trending never skips.
+	live := TrendingPlan(temporal.All(), 5)
+	if skipOf(live, &fakeCard{bucket: bucket, win: func(temporal.Window) float64 { return 0 }}) {
+		t.Fatal("live trend scan skipped")
+	}
+}
+
+func TestEstimateAnnotations(t *testing.T) {
+	w := winDays(0, 10)
+	p := EntityPlan("DJI", w, 3)
+	card := &fakeCard{
+		total: 100,
+		ent:   map[string]float64{"DJI": 40},
+		win: func(q temporal.Window) float64 {
+			if !q.Bounded() {
+				return 100
+			}
+			return 25 // quarter of the stream in any bounded probe
+		},
+	}
+	opt := Optimize(p, card)
+	// Scan: degree 40 scaled by 25/100; Rank clamps to K=3.
+	var scanEst, rankEst float64 = -2, -2
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch n.(type) {
+		case *Scan:
+			scanEst = opt.Est[n]
+		case *Rank:
+			rankEst = opt.Est[n]
+		}
+		for _, in := range n.Inputs() {
+			walk(in)
+		}
+	}
+	walk(opt.Plan.Root)
+	if scanEst != 10 {
+		t.Fatalf("scan est = %v, want 10 (degree 40 × selectivity 0.25)", scanEst)
+	}
+	if rankEst != 3 {
+		t.Fatalf("rank est = %v, want clamp to k=3", rankEst)
+	}
+	// Unknown estimates stay -1 and are omitted from descriptions.
+	pat := PatternsPlan(5)
+	desc := Optimize(pat, card).Describe(nil)
+	if desc.EstRows != nil {
+		t.Fatalf("pattern rank est_rows = %v, want omitted (unknown)", *desc.EstRows)
+	}
+}
+
+func TestTrendRelevantWindowNegativeAndUnbounded(t *testing.T) {
+	const b = int64(100)
+	// Negative Since floors toward -inf, not toward zero.
+	w, ok := trendRelevantWindow(temporal.Window{Since: -150, Until: 50}, b)
+	if !ok || w.Since != -200 || w.Until != 50 {
+		t.Fatalf("negative floor: got %v ok=%v, want [-200,50)", w, ok)
+	}
+	// Aligned bounds stay put.
+	w, _ = trendRelevantWindow(temporal.Window{Since: -200, Until: 50}, b)
+	if w.Since != -200 {
+		t.Fatalf("aligned floor moved: %v", w)
+	}
+	// Unbounded Since survives without overflow.
+	w, ok = trendRelevantWindow(temporal.Window{Since: math.MinInt64, Until: 50}, b)
+	if !ok || w.Since != math.MinInt64 {
+		t.Fatalf("unbounded since: got %v ok=%v", w, ok)
+	}
+}

@@ -29,6 +29,21 @@ func (s *ExecStats) countOp(op Op) {
 	s.mu.Unlock()
 }
 
+// CacheStats is a snapshot of the plan-result cache's counters.
+type CacheStats struct {
+	// Hits counts lookups served from a fresh cached result.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups served by waiting on another caller's
+	// in-flight compute (singleflight).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts LRU evictions at the entry cap.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of cached results.
+	Entries int `json:"entries"`
+}
+
 // Stats is a snapshot of planner activity for /api/stats.
 type Stats struct {
 	// Plans counts executed plans.
@@ -37,6 +52,8 @@ type Stats struct {
 	ByClass map[string]uint64 `json:"by_class,omitempty"`
 	// Ops counts evaluated logical operators by kind.
 	Ops map[string]uint64 `json:"ops,omitempty"`
+	// Cache reports the plan-result cache, when one is attached.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // Snapshot copies the counters.

@@ -66,9 +66,14 @@ type Executor struct {
 	TIndex *temporal.Index
 	// Now supplies the query-time clock (defaults to time.Now).
 	Now func() time.Time
+	// PlanCacheEntries caps the plan-result cache (0 = default 256).
+	PlanCacheEntries int
 
 	statsOnce sync.Once
 	stats     *plan.ExecStats
+
+	resultsOnce sync.Once
+	results     *analytics.ResultMemo[plan.Result]
 }
 
 // Ask parses and executes a question. Temporal qualifiers in the question
@@ -94,13 +99,15 @@ func (ex *Executor) AskWindow(question string, w temporal.Window) (Answer, error
 	return ex.Run(q)
 }
 
-// Run compiles a parsed query into a logical plan and executes it.
+// Run compiles a parsed query into a logical plan, optimizes it against the
+// storage statistics and executes it — serving cacheable classes (diff,
+// windowed trend backfill) through the epoch-keyed plan-result cache.
 func (ex *Executor) Run(q Query) (Answer, error) {
 	p, err := Lower(q)
 	if err != nil {
 		return Answer{}, err
 	}
-	r, err := ex.planner().Run(p)
+	r, err := ex.runPlan(p)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -131,10 +138,126 @@ func (ex *Executor) Plan(question string, w temporal.Window) (*plan.Plan, error)
 	return Lower(q)
 }
 
+// runPlan executes a lowered plan: Optimize rewrites a statistics-annotated
+// clone (the lowered plan itself stays the untouched reference), and plans
+// whose results are pure functions of (epoch, plan) are memoized in the
+// plan-result cache — a repeat at an unchanged epoch is a map read instead
+// of a dated-stream re-materialization. The cache key normalizes the
+// *reference* plan, so what the optimizer decided can never split or alias
+// cache entries.
+func (ex *Executor) runPlan(p *plan.Plan) (plan.Result, error) {
+	opt := plan.Optimize(p, ex.cardinality())
+	if memo := ex.resultMemo(); memo != nil && plan.Cacheable(p, ex.TIndex != nil) {
+		r, _, err := memo.Get(ex.KG.Graph().Epoch(), plan.Normalize(p), func() (plan.Result, error) {
+			return ex.planner().Run(opt.Plan)
+		})
+		return r, err
+	}
+	return ex.planner().Run(opt.Plan)
+}
+
+// cardinality assembles the optimizer's statistics view, or nil without a
+// graph to read counters from.
+func (ex *Executor) cardinality() plan.Cardinality {
+	if ex.KG == nil {
+		return nil
+	}
+	gs := &plan.GraphStats{KG: ex.KG, TIndex: ex.TIndex}
+	if ex.Trends != nil {
+		gs.TrendBucketSec = int64(ex.Trends.Config().Bucket / time.Second)
+	}
+	return gs
+}
+
+// resultMemo returns the shared plan-result cache, creating it on first use;
+// nil without a graph (no epoch to key on). MaxLag is fixed at 0 — epoch
+// exact — because replicas pin byte-identical reads at equal epochs, and a
+// lagging cached result would break that on whichever side served it.
+func (ex *Executor) resultMemo() *analytics.ResultMemo[plan.Result] {
+	if ex.KG == nil {
+		return nil
+	}
+	ex.resultsOnce.Do(func() {
+		ex.results = analytics.NewResultMemo[plan.Result](ex.PlanCacheEntries, 0)
+	})
+	return ex.results
+}
+
+// PlanReport is one executed explain: the optimized plan with its row
+// estimates, the traced actual rows (nil when the answer came from the plan
+// cache — nothing executed), and the cache's view of the question.
+type PlanReport struct {
+	Plan   *plan.Plan   // the lowered reference plan
+	Costed *plan.Costed // optimized tree + est_rows annotations
+	Trace  *plan.Trace  // actual_rows; nil on a cache hit
+	// Cacheable reports whether the plan's class and shape qualify for the
+	// plan-result cache; Cached whether a fresh result was already cached
+	// at the current epoch when the explain ran.
+	Cacheable bool
+	Cached    bool
+}
+
+// Explain renders the costed explain tree (est_rows vs actual_rows).
+func (r *PlanReport) Explain() string { return r.Costed.Explain(r.Trace) }
+
+// Describe renders the costed operator tree in JSON-able form.
+func (r *PlanReport) Describe() plan.NodeDesc { return r.Costed.Describe(r.Trace) }
+
+// ExplainQuery compiles, optimizes and *executes* a question, reporting the
+// costed plan with per-operator estimated and actual rows — the engine
+// behind GET /api/plan. Cacheable questions go through the plan cache: an
+// explain of an already-cached question reports Cached=true and carries no
+// actual_rows (nothing was executed), and a cold explain leaves the cache
+// warm for the subsequent real query.
+func (ex *Executor) ExplainQuery(question string, w temporal.Window) (*PlanReport, error) {
+	p, err := ex.Plan(question, w)
+	if err != nil {
+		return nil, err
+	}
+	opt := plan.Optimize(p, ex.cardinality())
+	rep := &PlanReport{Plan: p, Costed: opt}
+	memo := ex.resultMemo()
+	rep.Cacheable = memo != nil && plan.Cacheable(p, ex.TIndex != nil)
+	if rep.Cacheable {
+		epoch := ex.KG.Graph().Epoch()
+		key := plan.Normalize(p)
+		if rep.Cached = memo.Peek(epoch, key); rep.Cached {
+			return rep, nil
+		}
+		var tr *plan.Trace
+		if _, _, err := memo.Get(epoch, key, func() (plan.Result, error) {
+			r, t, err := ex.planner().RunTraced(opt.Plan)
+			tr = t
+			return r, err
+		}); err != nil {
+			return nil, err
+		}
+		rep.Trace = tr // nil when a concurrent flight computed instead
+		return rep, nil
+	}
+	_, tr, err := ex.planner().RunTraced(opt.Plan)
+	if err != nil {
+		return nil, err
+	}
+	rep.Trace = tr
+	return rep, nil
+}
+
 // PlanStats reports the planner's execution counters (plans by class,
-// operators by kind).
+// operators by kind) plus the plan-result cache's counters.
 func (ex *Executor) PlanStats() plan.Stats {
-	return ex.planStats().Snapshot()
+	st := ex.planStats().Snapshot()
+	if m := ex.resultMemo(); m != nil {
+		ms := m.Stats()
+		st.Cache = &plan.CacheStats{
+			Hits:      ms.Hits,
+			Misses:    ms.Misses,
+			Coalesced: ms.Coalesced,
+			Evictions: ms.Evictions,
+			Entries:   ms.Entries,
+		}
+	}
+	return st
 }
 
 // planStats returns the shared stats sink, creating it on first use. Every

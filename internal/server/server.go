@@ -381,14 +381,22 @@ func (s *Server) buildDiff(r *http.Request) (any, *windowJSON, *apiError) {
 	return askResponse{Class: string(ans.Class), Text: ans.Text, Data: ans.Diff}, nil, nil
 }
 
-// planResponse is the /api/plan body: the compiled logical plan for a
-// question, as an explain-style rendering plus the operator tree.
+// planResponse is the /api/plan body: the cost-annotated, executed plan for
+// a question — an explain-style rendering plus the operator tree, each node
+// carrying the optimizer's est_rows and (unless the answer came from the
+// plan cache) the executor's actual_rows.
 type planResponse struct {
 	Question string        `json:"question"`
 	Class    string        `json:"class"`
 	Explain  string        `json:"explain"`
 	Root     nous.PlanNode `json:"root"`
-	Window   *windowJSON   `json:"window,omitempty"`
+	// Cacheable reports whether the question's plan qualifies for the
+	// plan-result cache; Cached whether a fresh result was already cached
+	// at the current epoch (in which case nothing executed and the tree
+	// carries no actual_rows).
+	Cacheable bool        `json:"cacheable"`
+	Cached    bool        `json:"cached"`
+	Window    *windowJSON `json:"window,omitempty"`
 	// WindowB is the second window of a diff question (the "after" side).
 	WindowB *windowJSON `json:"window_b,omitempty"`
 }
@@ -407,7 +415,8 @@ func winJSON(w nous.Window) *windowJSON {
 	return &windowJSON{Since: w.Since, Until: w.Until}
 }
 
-// buildPlan compiles (without executing) the question's logical plan.
+// buildPlan compiles, optimizes and executes the question's logical plan,
+// reporting per-operator estimated vs actual rows and the plan cache's view.
 func (s *Server) buildPlan(r *http.Request) (any, *windowJSON, *apiError) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -417,14 +426,22 @@ func (s *Server) buildPlan(r *http.Request) (any, *windowJSON, *apiError) {
 	if err != nil {
 		return nil, nil, badParam(err.Error())
 	}
-	p, err := s.pipeline.PlanFor(q, win)
+	rep, err := s.pipeline.ExplainPlan(q, win)
 	if err != nil {
 		if errors.Is(err, nous.ErrParse) {
 			return nil, winJSON(win), &apiError{status: http.StatusBadRequest, code: codeParseError, msg: err.Error()}
 		}
 		return nil, winJSON(win), &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
-	resp := planResponse{Question: q, Class: p.Class, Explain: p.Explain(), Root: p.Describe()}
+	p := rep.Plan
+	resp := planResponse{
+		Question:  q,
+		Class:     p.Class,
+		Explain:   rep.Explain(),
+		Root:      rep.Describe(),
+		Cacheable: rep.Cacheable,
+		Cached:    rep.Cached,
+	}
 	if p.Window.Bounded() {
 		resp.Window = &windowJSON{Since: p.Window.Since, Until: p.Window.Until}
 	}

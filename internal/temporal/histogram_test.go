@@ -1,0 +1,213 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+
+	"nous/internal/graph"
+)
+
+// histCorpus populates g with n dated edges whose timestamps are spread over
+// spanDays with a deterministic skew (bursty weekdays, quiet stretches), and
+// returns the timestamps used. Deterministic: no clock, no rand.
+func histCorpus(t *testing.T, g *graph.Graph, n, spanDays int) []int64 {
+	t.Helper()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	const day = int64(86400)
+	base := int64(1420070400) // 2015-01-01T00:00:00Z
+	var tss []int64
+	state := uint64(42)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		d := int64(state>>33) % int64(spanDays)
+		// Skew: fold the second half of the span onto its first week so
+		// some buckets are hot and most are cold.
+		if d > int64(spanDays)/2 {
+			d = d % 7
+		}
+		sec := int64(state>>17) % day
+		ts := base + d*day + sec
+		if _, err := g.AddEdgeFull(a, b, "mentions", 1, ts, nil); err != nil {
+			t.Fatal(err)
+		}
+		tss = append(tss, ts)
+	}
+	return tss
+}
+
+func exactIn(tss []int64, w Window) int {
+	n := 0
+	for _, ts := range tss {
+		if w.Contains(ts) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEstimateInWithinTwoXOfCount(t *testing.T) {
+	g := graph.New()
+	ix := Attach(g)
+	defer ix.Detach()
+	tss := histCorpus(t, g, 4000, 60)
+
+	const day = int64(86400)
+	base := int64(1420070400)
+	windows := []Window{
+		{Since: base, Until: base + day},                   // one aligned day
+		{Since: base + 2*day, Until: base + 9*day},         // one aligned week
+		{Since: base + day/2, Until: base + 3*day + day/3}, // unaligned ends
+		{Since: base + 10*day, Until: base + 40*day},       // wide, mixed hot/cold
+		{Since: base + 5*day, Until: math.MaxInt64},        // since-only
+		{Since: math.MinInt64, Until: base + 20*day},       // until-only
+		All(),
+	}
+	for _, w := range windows {
+		want := exactIn(tss, w)
+		got := ix.EstimateIn(w)
+		if n := ix.Count(w); n != want {
+			t.Fatalf("Count(%v) = %d, corpus says %d", w, n, want)
+		}
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("EstimateIn(%v) = %g, want exactly 0", w, got)
+			}
+			continue
+		}
+		if got < float64(want)/2 || got > float64(want)*2 {
+			t.Fatalf("EstimateIn(%v) = %g, actual %d — outside the 2x band", w, got, want)
+		}
+	}
+}
+
+func TestEstimateInExactZeroOnlyWhenEmpty(t *testing.T) {
+	g := graph.New()
+	ix := Attach(g)
+	defer ix.Detach()
+	tss := histCorpus(t, g, 500, 30)
+
+	const day = int64(86400)
+	base := int64(1420070400)
+	// Far future, far past, and inverted windows hold nothing.
+	for _, w := range []Window{
+		{Since: base + 400*day, Until: base + 500*day},
+		{Since: base - 500*day, Until: base - 400*day},
+		Empty(),
+	} {
+		if got := ix.EstimateIn(w); got != 0 {
+			t.Fatalf("EstimateIn(%v) = %g, want 0", w, got)
+		}
+	}
+	// Conversely: any window with a real edge must estimate > 0 (the
+	// optimizer's skip-proof relies on this direction too).
+	for _, ts := range tss[:20] {
+		w := Window{Since: ts, Until: ts + 1}
+		if got := ix.EstimateIn(w); got <= 0 {
+			t.Fatalf("EstimateIn(%v) = %g with an edge at %d", w, got, ts)
+		}
+	}
+}
+
+func TestEstimateInExcludesTimeless(t *testing.T) {
+	g := graph.New()
+	ix := Attach(g)
+	defer ix.Detach()
+	a := g.AddVertex("E")
+	b := g.AddVertex("F")
+	for i := 0; i < 10; i++ {
+		if _, err := g.AddEdgeFull(a, b, "curated_rel", 1, Timeless, map[string]string{"curated": "true"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ix.Len())
+	}
+	if got := ix.EstimateIn(All()); got != 0 {
+		t.Fatalf("EstimateIn(all) = %g over a purely timeless graph, want 0", got)
+	}
+}
+
+// TestEstimateInSurvivesRemovalsAndRebuild pins that the incrementally
+// maintained histogram matches one rebuilt from scratch after a mix of
+// inserts and removals — the recovery path (Rebuild) and the live path
+// (insert/remove) must agree bucket for bucket.
+func TestEstimateInSurvivesRemovalsAndRebuild(t *testing.T) {
+	g := graph.New()
+	ix := Attach(g)
+	defer ix.Detach()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	const day = int64(86400)
+	base := int64(1420070400)
+	var ids []graph.EdgeID
+	var tss []int64
+	for i := 0; i < 300; i++ {
+		ts := base + int64(i%30)*day + int64(i)*7
+		id, err := g.AddEdgeFull(a, b, "mentions", 1, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		tss = append(tss, ts)
+	}
+	// Remove every third edge.
+	var left []int64
+	for i, id := range ids {
+		if i%3 == 0 {
+			g.RemoveEdge(id)
+		} else {
+			left = append(left, tss[i])
+		}
+	}
+	fresh := NewIndex(g)
+	windows := []Window{
+		{Since: base, Until: base + 3*day},
+		{Since: base + day/2, Until: base + 11*day},
+		{Since: base + 29*day, Until: math.MaxInt64},
+		All(),
+	}
+	for _, w := range windows {
+		live, rebuilt := ix.EstimateIn(w), fresh.EstimateIn(w)
+		if live != rebuilt {
+			t.Fatalf("EstimateIn(%v): live %g != rebuilt %g", w, live, rebuilt)
+		}
+		if want := exactIn(left, w); want > 0 && (live < float64(want)/2 || live > float64(want)*2) {
+			t.Fatalf("EstimateIn(%v) = %g, actual %d after removals", w, live, want)
+		}
+	}
+	ix.Rebuild()
+	for _, w := range windows {
+		if got, want := ix.EstimateIn(w), fresh.EstimateIn(w); got != want {
+			t.Fatalf("post-Rebuild EstimateIn(%v) = %g, want %g", w, got, want)
+		}
+	}
+}
+
+func TestEdgesWithLabelCountsLive(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex("Company")
+	b := g.AddVertex("Company")
+	var ids []graph.EdgeID
+	for i := 0; i < 8; i++ {
+		id, err := g.AddEdgeFull(a, b, "acquired", 1, int64(1000+i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := g.AddEdgeFull(a, b, "mentions", 1, 2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.EdgesWithLabel("acquired"); n != 8 {
+		t.Fatalf("EdgesWithLabel(acquired) = %d, want 8", n)
+	}
+	g.RemoveEdge(ids[0])
+	g.RemoveEdge(ids[1])
+	if n := g.EdgesWithLabel("acquired"); n != 6 {
+		t.Fatalf("EdgesWithLabel(acquired) after removals = %d, want 6", n)
+	}
+	if n := g.EdgesWithLabel("never_seen"); n != 0 {
+		t.Fatalf("EdgesWithLabel(never_seen) = %d, want 0", n)
+	}
+}
